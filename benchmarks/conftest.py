@@ -1,0 +1,48 @@
+"""Shared benchmark plumbing.
+
+Benchmarks regenerate the paper's evaluation (Sect. 6). Scale knobs:
+
+* ``BELIEFDB_BENCH_N``       — annotations per database (default 1000;
+  the paper uses 10,000 — set it to reproduce at full scale)
+* ``BELIEFDB_BENCH_REPEATS`` — seeds averaged per cell (default 3; paper: 10)
+* ``BELIEFDB_BENCH_USERS``   — the large user count (default 100, as paper)
+
+Experiment tables are printed outside pytest's capture (so they land in the
+terminal / tee'd log alongside pytest-benchmark's timing table) and appended
+to ``benchmarks/results/experiment_tables.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an experiment table past pytest's capture and persist it."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+        with open(RESULTS_DIR / "experiment_tables.txt", "a") as sink:
+            sink.write(f"\n[{stamp}]\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    from repro.bench.harness import bench_n, bench_repeats, bench_users_large
+
+    return {
+        "n": bench_n(),
+        "repeats": bench_repeats(),
+        "users_large": bench_users_large(),
+    }

@@ -1,0 +1,114 @@
+"""Ablation (Sect. 6.3 future work): eager vs. lazy default application.
+
+The paper's dominant open problem is the storage overhead of eagerly
+materializing every implied belief, and it proposes applying the default rule
+"only during query evaluation" instead. Both modes are implemented here, so
+we can measure the tradeoff the authors predicted: the lazy store is
+dramatically smaller, but queries pay the closure cost at evaluation time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_n, format_table
+from repro.bench.queries import conflict_query, content_query, user_query
+from repro.query.lazy import evaluate_lazy
+from repro.query.translate import evaluate_translated
+from repro.workload.generator import WorkloadConfig, build_store
+
+_STATS: dict[str, float] = {}
+
+
+def _config() -> WorkloadConfig:
+    return WorkloadConfig(
+        n_annotations=max(200, bench_n() // 2),
+        n_users=20,
+        depth_distribution=(0.5, 0.35, 0.15),
+        participation="zipf",
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def eager_store():
+    store, _ = build_store(_config(), eager=True)
+    return store
+
+
+@pytest.fixture(scope="module")
+def lazy_store():
+    store, _ = build_store(_config(), eager=False)
+    return store
+
+
+def test_build_eager(benchmark):
+    store = benchmark.pedantic(
+        lambda: build_store(_config(), eager=True)[0], rounds=1, iterations=1
+    )
+    _STATS["eager_size"] = store.total_rows()
+
+
+def test_build_lazy(benchmark):
+    store = benchmark.pedantic(
+        lambda: build_store(_config(), eager=False)[0], rounds=1, iterations=1
+    )
+    _STATS["lazy_size"] = store.total_rows()
+    # The whole point: a lazy store is much smaller (O(n+m·worlds) vs the
+    # eagerly multiplied defaults).
+    assert _STATS["lazy_size"] < _STATS["eager_size"]
+
+
+_QUERIES = {
+    "q1,1": content_query((1,)),
+    "q2": conflict_query(),
+    "q3": user_query(),
+}
+
+
+@pytest.mark.parametrize("qname", list(_QUERIES), ids=list(_QUERIES))
+def test_query_eager(benchmark, eager_store, qname):
+    query = _QUERIES[qname]
+    result = benchmark.pedantic(
+        lambda: evaluate_translated(eager_store, query),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _STATS[f"eager_{qname}_ms"] = benchmark.stats.stats.mean * 1000
+    _STATS[f"eager_{qname}_size"] = len(result)
+
+
+@pytest.mark.parametrize("qname", list(_QUERIES), ids=list(_QUERIES))
+def test_query_lazy(benchmark, lazy_store, qname):
+    query = _QUERIES[qname]
+    result = benchmark.pedantic(
+        lambda: evaluate_lazy(lazy_store, query),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _STATS[f"lazy_{qname}_ms"] = benchmark.stats.stats.mean * 1000
+    # Same answers in both modes.
+    assert len(result) == _STATS[f"eager_{qname}_size"]
+
+
+def test_lazy_vs_eager_report(benchmark, emit):
+    def render() -> str:
+        rows = [
+            ["|R*| (tuples)",
+             int(_STATS["eager_size"]), int(_STATS["lazy_size"]),
+             round(_STATS["eager_size"] / _STATS["lazy_size"], 1)],
+        ]
+        for qname in _QUERIES:
+            e = _STATS[f"eager_{qname}_ms"]
+            l = _STATS[f"lazy_{qname}_ms"]
+            rows.append(
+                [f"{qname} (ms)", round(e, 2), round(l, 2),
+                 round(l / max(e, 1e-6), 1)]
+            )
+        return format_table(
+            ("metric", "eager", "lazy", "ratio"),
+            rows,
+            title="Ablation — eager materialization (paper) vs lazy "
+                  "query-time defaults (paper's future work, Sect. 6.3)",
+        )
+
+    emit(benchmark(render))
+    assert _STATS["eager_size"] > _STATS["lazy_size"]

@@ -1,0 +1,83 @@
+"""Figure 6 (Sect. 6.1): relative overhead |R*|/n as a function of n.
+
+The paper plots two series for 100 users with uniform participation:
+
+* a flat depth distribution [1/3, 1/3, 1/3] whose overhead *rises* with n
+  (ever more depth-2 worlds get created, each multiplying defaults) before
+  flattening towards its theoretic bound;
+* a skewed distribution [0.199, 0.8, 0.001] whose overhead *falls* with n
+  (the world set saturates early, so the fixed per-user cost amortizes:
+  O((n+m)/n · m^dmax)).
+
+We regenerate both series on a log-spaced n sweep and assert the opposite
+monotonic trends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_n, bench_repeats, bench_users_large, format_table
+from repro.bench.overhead import FIGURE6_SERIES, measure_overhead
+
+_RESULTS: dict[tuple[str, int], float] = {}
+
+
+def _sweep() -> list[int]:
+    ns = [10, 32, 100, 316]
+    top = bench_n()
+    return sorted({n for n in ns if n < top} | {top})
+
+
+def _cells():
+    return [
+        pytest.param(label, dist, n, id=f"{label.split()[0]}-n{n}")
+        for label, dist in FIGURE6_SERIES.items()
+        for n in _sweep()
+    ]
+
+
+@pytest.mark.parametrize("label, dist, n", _cells())
+def test_figure6_point(benchmark, label, dist, n):
+    m = bench_users_large()
+
+    def build_point():
+        return measure_overhead(
+            n, m, "uniform", dist, depth_label=label,
+            repeats=bench_repeats(),
+        )
+
+    result = benchmark.pedantic(build_point, rounds=1, iterations=1)
+    _RESULTS[(label, n)] = result.overhead_mean
+    assert result.overhead_mean > 1.0
+
+
+def test_figure6_report(benchmark, emit):
+    ns = _sweep()
+    labels = list(FIGURE6_SERIES)
+
+    def render() -> str:
+        rows = [
+            [n] + [round(_RESULTS[(label, n)], 1) for label in labels]
+            for n in ns
+        ]
+        return format_table(
+            ["n"] + labels, rows,
+            title=f"Figure 6 reproduction — |R*|/n vs n "
+                  f"(m={bench_users_large()}, uniform participation)",
+        )
+
+    emit(benchmark(render))
+
+    flat_label, skewed_label = labels
+    flat = [_RESULTS[(flat_label, n)] for n in ns]
+    skewed = [_RESULTS[(skewed_label, n)] for n in ns]
+    # Upper series: rising overall (endpoints; small-n noise tolerated).
+    assert flat[-1] > flat[0]
+    # Lower series: falling overall.
+    assert skewed[-1] < skewed[0]
+    # The two series diverge: flat ends well above skewed.
+    assert flat[-1] > 2 * skewed[-1]
+    # Both stay below the theoretic bound m^dmax (Sect. 5.4).
+    bound = bench_users_large() ** 2
+    assert max(flat + skewed) < bound

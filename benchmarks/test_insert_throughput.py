@@ -1,0 +1,105 @@
+"""Ablation (Sect. 5.3): incremental updates vs. batch re-materialization.
+
+The paper's Algorithms 2-4 exist so that each new annotation touches only the
+worlds it affects. The alternative would be rebuilding the canonical
+representation from scratch after every change. We measure:
+
+* loading a whole workload through the incremental path, vs. one batch
+  materialization of the same statements (batch should win on bulk loads —
+  it skips intermediate states);
+* the cost of a *single* insert appended to an existing database, vs. a full
+  rebuild (incremental must win by a wide margin — this is its raison d'être).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_n, format_table
+from repro.storage.representation import materialize
+from repro.storage.updates import insert_statement
+from repro.workload.generator import (
+    AnnotationGenerator,
+    WorkloadConfig,
+    build_store,
+)
+
+_STATS: dict[str, float] = {}
+
+
+def _config() -> WorkloadConfig:
+    return WorkloadConfig(
+        n_annotations=max(200, bench_n() // 2),
+        n_users=10,
+        depth_distribution=(0.5, 0.35, 0.15),
+        participation="zipf",
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    store, _ = build_store(_config())
+    return store
+
+
+def test_bulk_load_incremental(benchmark):
+    def load():
+        store, stats = build_store(_config())
+        return store
+
+    store = benchmark.pedantic(load, rounds=1, iterations=1)
+    _STATS["incremental_ms"] = benchmark.stats.stats.mean * 1000
+    _STATS["size"] = store.total_rows()
+
+
+def test_bulk_load_batch(benchmark, loaded):
+    db = loaded.to_belief_database()
+
+    def rebuild():
+        return materialize(db, user_names=loaded.users())
+
+    store = benchmark.pedantic(rebuild, rounds=1, iterations=1)
+    _STATS["batch_ms"] = benchmark.stats.stats.mean * 1000
+    assert store.total_rows() == loaded.total_rows()
+
+
+def test_single_insert_incremental(benchmark, loaded):
+    generator = AnnotationGenerator(_config(), loaded.schema)
+    statements = iter(generator)
+
+    def one_insert():
+        stmt = next(statements)
+        insert_statement(loaded, stmt)
+
+    benchmark.pedantic(one_insert, rounds=20, iterations=1)
+    _STATS["single_insert_ms"] = benchmark.stats.stats.mean * 1000
+
+
+def test_insert_report(benchmark, loaded, emit):
+    def render() -> str:
+        per_annotation = _STATS["incremental_ms"] / max(
+            1, _config().n_annotations
+        )
+        rows = [
+            ["bulk load, incremental (Alg. 2-4)",
+             round(_STATS["incremental_ms"], 1)],
+            ["bulk load, batch materialization",
+             round(_STATS["batch_ms"], 1)],
+            ["single insert, incremental",
+             round(_STATS["single_insert_ms"], 3)],
+            ["single insert, amortized bulk rate",
+             round(per_annotation, 3)],
+            ["full rebuild a single insert would cost",
+             round(_STATS["batch_ms"], 1)],
+        ]
+        return format_table(
+            ("operation", "ms"),
+            rows,
+            title=f"Updates — incremental vs batch "
+                  f"(|R*|={int(_STATS['size']):,})",
+        )
+
+    emit(benchmark(render))
+    # Appending one annotation must be far cheaper than a full rebuild.
+    assert _STATS["single_insert_ms"] < _STATS["batch_ms"] / 5

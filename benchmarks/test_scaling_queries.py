@@ -1,0 +1,86 @@
+"""Sect. 6.2's scaling claim: "evaluation time scales roughly linear with the
+size of the BDMS (|R*|)".
+
+We grow the database geometrically and time the three query families at each
+size. The report prints time-per-|R*| ratios; the assertion is deliberately
+loose (wall-clock noise), checking only that queries on the largest store are
+not dramatically cheaper than linear scaling from the smallest would predict
+— i.e. no super-linear blowup hides in the translation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_n, format_table
+from repro.bench.queries import (
+    build_experiment_store,
+    conflict_query,
+    content_query,
+    user_query,
+)
+from repro.query.translate import evaluate_translated
+
+_SIZES: list[int] = []
+_DATA: dict[tuple[str, int], float] = {}
+
+
+def _ns() -> list[int]:
+    top = max(200, bench_n())
+    return [max(25, top // 8), max(50, top // 4), max(100, top // 2), top]
+
+
+_QUERIES = {
+    "q1,1": content_query((1,)),
+    "q2": conflict_query(),
+    "q3": user_query(),
+}
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return {n: build_experiment_store(n, n_users=10, seed=2) for n in _ns()}
+
+
+@pytest.mark.parametrize("n", _ns(), ids=[f"n{n}" for n in _ns()])
+@pytest.mark.parametrize("qname", list(_QUERIES), ids=list(_QUERIES))
+def test_scaling_point(benchmark, stores, qname, n):
+    store = stores[n]
+    query = _QUERIES[qname]
+    benchmark.pedantic(
+        lambda: evaluate_translated(store, query),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _DATA[(qname, n)] = benchmark.stats.stats.mean * 1000
+
+
+def test_scaling_report(benchmark, stores, emit):
+    ns = _ns()
+    sizes = {n: stores[n].total_rows() for n in ns}
+
+    def render() -> str:
+        rows = []
+        for n in ns:
+            row = [n, sizes[n]]
+            for qname in _QUERIES:
+                ms = _DATA[(qname, n)]
+                row.append(round(ms, 2))
+                row.append(round(1000 * ms / sizes[n], 3))
+            rows.append(row)
+        headers = ["n", "|R*|"]
+        for qname in _QUERIES:
+            headers += [f"{qname} ms", f"{qname} µs/|R*|"]
+        return format_table(
+            headers, rows,
+            title="Query time vs database size "
+                  "(Sect. 6.2: 'roughly linear with |R*|')",
+        )
+
+    emit(benchmark(render))
+
+    small, large = ns[0], ns[-1]
+    growth = stores[large].total_rows() / stores[small].total_rows()
+    for qname in _QUERIES:
+        ratio = _DATA[(qname, large)] / max(_DATA[(qname, small)], 1e-6)
+        # No worse than ~quadratic in |R*| growth, with generous noise slack.
+        assert ratio < growth * growth * 5, (qname, ratio, growth)

@@ -1,0 +1,101 @@
+"""Table 1 (Sect. 6.1): relative overhead |R*|/n of a belief database.
+
+Paper values, for n = 10,000 annotations:
+
+    Pr[d={0,1,2}]        m=10 Zipf  m=10 unif  m=100 Zipf  m=100 unif
+    [1/3, 1/3, 1/3]          31         38         130        1,009
+    [0.8, 0.19, 0.01]        27         60          68          162
+    [0.199, 0.8, 0.001]       7          6          21           26
+
+We reproduce the grid (scaled by BELIEFDB_BENCH_N) and assert the *shape*:
+more users → more overhead; Zipf participation ≤ uniform (within noise); the
+mostly-depth-1 skew [0.199,0.8,0.001] is by far the cheapest; the uniform
+m=100 flat-depth cell is the most expensive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_n, bench_repeats, bench_users_large, format_table
+from repro.bench.overhead import TABLE1_DEPTH_DISTS, measure_overhead
+
+_RESULTS: dict[tuple[str, int, str], float] = {}
+
+
+def _cells():
+    cells = []
+    for label, dist in TABLE1_DEPTH_DISTS.items():
+        for m in (10, bench_users_large()):
+            for participation in ("zipf", "uniform"):
+                cells.append(
+                    pytest.param(
+                        label, dist, m, participation,
+                        id=f"{label}-m{m}-{participation}",
+                    )
+                )
+    return cells
+
+
+@pytest.mark.parametrize("label, dist, m, participation", _cells())
+def test_table1_cell(benchmark, label, dist, m, participation):
+    n = bench_n()
+    repeats = bench_repeats()
+
+    def build_cell():
+        return measure_overhead(
+            n, m, participation, dist, depth_label=label, repeats=repeats
+        )
+
+    result = benchmark.pedantic(build_cell, rounds=1, iterations=1)
+    _RESULTS[(label, m, participation)] = result.overhead_mean
+    # Any belief database costs more than its annotations alone.
+    assert result.overhead_mean > 1.0
+    # ...but stays below the theoretic bound O(m^dmax) (Sect. 5.4).
+    assert result.overhead_mean < m ** 2 + len(dist) * m
+
+
+def test_table1_report(benchmark, emit):
+    """Render the grid and check the paper's qualitative orderings."""
+    n = bench_n()
+    m_large = bench_users_large()
+
+    def render() -> str:
+        rows = []
+        for label in TABLE1_DEPTH_DISTS:
+            row = [label]
+            for m in (10, m_large):
+                for participation in ("zipf", "uniform"):
+                    row.append(round(_RESULTS[(label, m, participation)], 1))
+            rows.append(row)
+        return format_table(
+            ("Pr[d={0,1,2}]", "m=10 zipf", "m=10 unif",
+             f"m={m_large} zipf", f"m={m_large} unif"),
+            rows,
+            title=f"Table 1 reproduction — |R*|/n at n={n} "
+                  f"(paper: n=10,000)",
+        )
+
+    emit(benchmark(render))
+
+    flat, mid, skewed = TABLE1_DEPTH_DISTS.keys()
+    for label in TABLE1_DEPTH_DISTS:
+        # More users cost more, for every depth skew (paper: every row grows
+        # from the m=10 to the m=100 column).
+        assert _RESULTS[(label, m_large, "uniform")] > _RESULTS[(label, 10, "uniform")]
+        # Zipf participation concentrates annotations in few users' worlds,
+        # never (much) worse than uniform — Table 1's column pattern.
+        assert (
+            _RESULTS[(label, m_large, "zipf")]
+            <= _RESULTS[(label, m_large, "uniform")] * 1.15
+        )
+    # The mostly-depth-1 skew is the cheapest row, as in the paper.
+    for m in (10, m_large):
+        for participation in ("zipf", "uniform"):
+            assert (
+                _RESULTS[(skewed, m, participation)]
+                < _RESULTS[(flat, m, participation)]
+            )
+    # The most expensive cell is uniform participation, flat depths, many
+    # users — the paper's 1,009.
+    assert max(_RESULTS.values()) == _RESULTS[(flat, m_large, "uniform")]

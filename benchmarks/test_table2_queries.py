@@ -1,0 +1,112 @@
+"""Table 2 (Sect. 6.2): execution time and result size for seven queries.
+
+Paper numbers (10,000 annotations, |R*| = 224,339, SQL Server 2005):
+
+            q1,0  q1,1  q1,2  q1,3  q1,4    q2    q3
+    E(ms)    105   145   146   152   144   436  4473
+    size    1626  2816  2253  2061  1931   196    99
+
+Absolute times are incomparable (pure Python vs. a commercial C++ server on
+2005 hardware), but the *pattern* must hold: content queries q1,d are fast
+and insensitive to the belief-path depth beyond the first E-join; the
+conflict query q2 (two subgoals, one negative) is markedly slower; the user
+query q3 (negative subgoal with a free user variable, ranging over every
+user's world) is the slowest of all.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import bench_n, format_table
+from repro.bench.queries import build_experiment_store, paper_queries
+from repro.query.sql_gen import evaluate_sql
+from repro.query.translate import evaluate_translated
+from repro.relational.sqlite_backend import SqliteMirror
+
+_TIMES: dict[tuple[str, str], float] = {}
+_SIZES: dict[tuple[str, str], int] = {}
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_experiment_store(n_annotations=bench_n(), n_users=10, seed=1)
+
+
+@pytest.fixture(scope="module")
+def mirror(store):
+    m = SqliteMirror()
+    m.sync(store.engine)
+    yield m
+    m.close()
+
+
+_QUERIES = list(paper_queries(max_depth=4).items())
+
+
+@pytest.mark.parametrize("name, query", _QUERIES, ids=[n for n, _ in _QUERIES])
+def test_table2_engine(benchmark, store, name, query):
+    result = benchmark.pedantic(
+        lambda: evaluate_translated(store, query),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    _TIMES[(name, "engine")] = benchmark.stats.stats.mean * 1000
+    _SIZES[(name, "engine")] = len(result)
+
+
+@pytest.mark.parametrize("name, query", _QUERIES, ids=[n for n, _ in _QUERIES])
+def test_table2_sqlite(benchmark, store, mirror, name, query):
+    result = benchmark.pedantic(
+        lambda: evaluate_sql(store, query, mirror),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    _TIMES[(name, "sqlite")] = benchmark.stats.stats.mean * 1000
+    _SIZES[(name, "sqlite")] = len(result)
+    # Both backends must agree on the answers.
+    assert len(result) == _SIZES[(name, "engine")]
+
+
+def test_table2_report(benchmark, store, emit):
+    names = [n for n, _ in _QUERIES]
+
+    def render() -> str:
+        rows = []
+        for backend in ("engine", "sqlite"):
+            rows.append(
+                [f"E(ms) {backend}"]
+                + [round(_TIMES[(n, backend)], 2) for n in names]
+            )
+        rows.append(["result size"] + [_SIZES[(n, "engine")] for n in names])
+        return format_table(
+            ["metric"] + names, rows,
+            title=(
+                f"Table 2 reproduction — n={bench_n()} annotations, "
+                f"|R*|={store.total_rows():,} "
+                f"(paper: n=10,000, |R*|=224,339)"
+            ),
+        )
+
+    emit(benchmark(render))
+
+    for backend in ("engine", "sqlite"):
+        content = [_TIMES[(f"q1,{d}", backend)] for d in range(5)]
+        q2 = _TIMES[("q2", backend)]
+        q3 = _TIMES[("q3", backend)]
+        # Content queries are in the same ballpark regardless of depth
+        # (the paper: 105-152 ms; E is small, extra joins are cheap).
+        assert max(content[1:]) < 6 * max(content[0], 1e-3)
+        # The conflict query is slower than any content query, and the user
+        # query is the slowest (paper: 436 ms and 4,473 ms vs. ~150 ms).
+        assert q2 > min(content)
+        assert q3 > max(content)
+    # q3 ≫ q2 is asserted on the engine backend only: SQLite's planner
+    # evaluates q2's per-row disjunction over the whole derived table and can
+    # land slightly above q3 — a planner artifact, not a property of the
+    # translation (see EXPERIMENTS.md).
+    assert _TIMES[("q3", "engine")] > _TIMES[("q2", "engine")]
+    # Result sizes: every query returns something on this workload, and the
+    # conflict/user queries return far fewer rows than content queries.
+    assert all(_SIZES[(n, "engine")] > 0 for n in names)
+    assert _SIZES[("q3", "engine")] <= _SIZES[("q1,0", "engine")]

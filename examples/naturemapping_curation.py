@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Collaborative curation à la NatureMapping (the paper's motivating app).
+
+Volunteers submit sightings; multiple experts curate them *in parallel* by
+annotating with beliefs instead of editing data — disagreements, corrections,
+and explanations co-exist in one database. The principal investigator then
+pulls conflict reports to decide what needs attention, replacing the paper's
+"single expert manually curates every row" bottleneck.
+
+Run:  python examples/naturemapping_curation.py
+"""
+
+from repro.bdms import UserSession
+from repro.workload import build_scenario, conflict_report
+
+
+def main() -> None:
+    scenario = build_scenario(n_sightings=24, seed=7, disagreement_rate=0.4)
+    db = scenario.db
+
+    print("== Database after one curation round ==")
+    print(db.describe())
+
+    print("\n== Conflict report (who disagrees with whom, per sighting) ==")
+    rows = conflict_report(scenario)
+    for name, sid, reported, believed in rows[:12]:
+        print(f"  {sid}: {name} sees {believed!r} where others see {reported!r}")
+    if len(rows) > 12:
+        print(f"  ... and {len(rows) - 12} more")
+
+    print("\n== Sightings every expert accepts (no negative belief) ==")
+    alice, bob = scenario.experts
+    accepted = [
+        sid
+        for sid in scenario.sighting_ids
+        if not any(
+            t.key == sid for t in alice.world().negatives
+        )
+        and not any(t.key == sid for t in bob.world().negatives)
+    ]
+    print(f"  {len(accepted)} of {len(scenario.sighting_ids)}: {accepted[:10]} ...")
+
+    print("\n== Expert workflow: Alice reviews a disputed sighting ==")
+    disputed = rows[0][1] if rows else scenario.sighting_ids[0]
+    report = db.execute(
+        f"select S.sid, S.species, S.location from Sightings as S "
+        f"where S.sid = '{disputed}'"
+    )
+    print(f"  ground record:   {report}")
+    for expert in scenario.experts:
+        view = [
+            (t.values[2], str(sign))
+            for (t, sign, explicit) in db.store.world_content((expert.uid,))
+            if t.relation == "Sightings" and t.key == disputed
+        ]
+        print(f"  {expert.name:6s} believes: {view}")
+
+    print("\n== Higher-order: what does Bob think the volunteers believe? ==")
+    bob_session = UserSession(db, "Bob")
+    for volunteer in scenario.volunteers[:2]:
+        world = bob_session.world_about([volunteer.uid])
+        print(f"  Bob about {volunteer.name}: {len(world.positives)} positive beliefs")
+
+    print("\n== Curation dashboard (BeliefSQL throughout) ==")
+    undisputed = db.execute(
+        "select S.sid, S.species from Sightings as S"
+    )
+    print(f"  total ground sightings: {len(undisputed)}")
+    print(f"  explicit annotations:   {db.annotation_count()}")
+    print(f"  belief worlds:          {db.store.world_count()}")
+    print(f"  |R*| / n overhead:      {db.relative_overhead():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a full reproduction of *Believe It or Not: Adding Belief
+Annotations to Databases* (Gatterbauer, Balazinska, Khoussainova, Suciu;
+PVLDB 2(1), 2009).
+
+The package implements the paper end to end:
+
+* :mod:`repro.core` — the formal model: belief worlds, belief databases, the
+  message-board closure ``D̄``, and the canonical Kripke structure (Sect. 3-4);
+* :mod:`repro.relational` — a from-scratch in-memory relational engine with a
+  non-recursive Datalog evaluator plus a ``sqlite3`` mirror backend (the
+  substrate the paper ran on a commercial RDBMS);
+* :mod:`repro.storage` — the internal schema ``R*, U, V, E, D, S`` and the
+  update algorithms of Sect. 5 (``idWorld``, ``dss``, ``insertTuple``);
+* :mod:`repro.query` — belief conjunctive queries, the Algorithm 1 translation
+  to Datalog/SQL, a naive reference evaluator, and a lazy evaluator;
+* :mod:`repro.beliefsql` — the BeliefSQL language of Fig. 1;
+* :mod:`repro.bdms` — the user-facing Belief DBMS facade;
+* :mod:`repro.workload` — the synthetic annotation generator of Sect. 6.
+
+Quickstart::
+
+    from repro import BeliefDBMS, sightings_schema
+
+    db = BeliefDBMS(sightings_schema())
+    db.add_user("Carol"); db.add_user("Bob")
+    db.execute("insert into Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    db.execute("insert into BELIEF 'Bob' not Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    rows = db.execute(
+        "select S.sid, S.species from Users as U, "
+        "BELIEF U.uid not Sightings as S where U.name = 'Bob'")
+"""
+
+from repro.core import (
+    BeliefDatabase,
+    BeliefStatement,
+    BeliefWorld,
+    ExternalSchema,
+    GroundTuple,
+    KripkeStructure,
+    RelationDef,
+    Sign,
+    canonical_kripke,
+    entailed_world,
+    entails,
+    experiment_schema,
+    sightings_schema,
+)
+from repro.errors import (
+    BeliefDBError,
+    BeliefSQLError,
+    InconsistencyError,
+    InvalidBeliefPath,
+    QueryError,
+    RejectedUpdateError,
+    SchemaError,
+    UnsafeQueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BeliefDBError",
+    "BeliefDBMS",
+    "BeliefDatabase",
+    "BeliefSQLError",
+    "BeliefStatement",
+    "BeliefWorld",
+    "ExternalSchema",
+    "GroundTuple",
+    "InconsistencyError",
+    "InvalidBeliefPath",
+    "KripkeStructure",
+    "QueryError",
+    "RejectedUpdateError",
+    "RelationDef",
+    "SchemaError",
+    "Sign",
+    "UnsafeQueryError",
+    "canonical_kripke",
+    "entailed_world",
+    "entails",
+    "experiment_schema",
+    "sightings_schema",
+]
+
+
+def __getattr__(name: str):
+    # BeliefDBMS pulls in the whole stack; import lazily to keep `import repro`
+    # light for users who only need the core model.
+    if name == "BeliefDBMS":
+        from repro.bdms import BeliefDBMS
+
+        return BeliefDBMS
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

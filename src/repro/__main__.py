@@ -1,0 +1,87 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``repl``     — interactive BeliefSQL shell on the running-example schema;
+* ``demo``     — replay the paper's Sect. 2 running example and print the
+  worlds, queries, and Kripke structure (same as examples/quickstart.py);
+* ``overhead`` — a quick storage-overhead measurement (mini Table 1 cell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.bdms.repl import main as repl_main
+
+    repl_main()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    example = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "examples" / "quickstart.py"
+    )
+    if example.exists():
+        spec = importlib.util.spec_from_file_location("quickstart", example)
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    print("examples/quickstart.py not found (installed without examples)")
+    return 1
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.bench.overhead import measure_overhead
+
+    result = measure_overhead(
+        args.n, args.users, args.participation,
+        tuple(float(x) for x in args.depths.split(",")),
+        repeats=args.repeats,
+    )
+    print(
+        f"n={result.n_annotations} m={result.n_users} "
+        f"{result.participation} {result.depth_label}: "
+        f"|R*|/n = {result.overhead_mean:.1f} "
+        f"(±{result.overhead_stdev:.1f}, {result.worlds_mean:.0f} worlds)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Belief database reproduction (VLDB 2009) utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("repl", help="interactive BeliefSQL shell")
+    sub.add_parser("demo", help="replay the paper's running example")
+    overhead = sub.add_parser("overhead", help="measure |R*|/n for one config")
+    overhead.add_argument("--n", type=int, default=500)
+    overhead.add_argument("--users", type=int, default=10)
+    overhead.add_argument(
+        "--participation", choices=("uniform", "zipf", "geometric"),
+        default="zipf",
+    )
+    overhead.add_argument("--depths", default="0.334,0.333,0.333")
+    overhead.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+    handler = {
+        "repl": _cmd_repl,
+        "demo": _cmd_demo,
+        "overhead": _cmd_overhead,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""The user-facing Belief DBMS facade, per-user sessions, and the shell."""
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.bdms.repl import BeliefShell
+from repro.bdms.session import UserSession, session
+
+__all__ = ["BeliefDBMS", "BeliefShell", "UserSession", "session"]

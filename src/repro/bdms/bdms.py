@@ -1,0 +1,325 @@
+"""The Belief Database Management System facade.
+
+:class:`BeliefDBMS` is the user-facing entry point that ties the whole stack
+together: an external schema, the canonical relational representation
+(:class:`~repro.storage.store.BeliefStore`), the incremental update algorithms
+of Sect. 5.3, the BeliefSQL front end of Fig. 1, and a choice of query
+backend:
+
+* ``"engine"`` (default) — Algorithm 1 translated to non-recursive Datalog on
+  the built-in relational engine;
+* ``"sqlite"`` — Algorithm 1 translated to SQL, executed on a ``sqlite3``
+  mirror (resynced lazily after updates), the closest analogue of the paper's
+  deployment on a commercial RDBMS;
+* ``"naive"`` — the Def. 14 reference evaluator (slow; for testing);
+* ``"lazy"`` — query-time default application on a lazy store (Sect. 6.3).
+
+Example::
+
+    db = BeliefDBMS(sightings_schema())
+    carol = db.add_user("Carol"); bob = db.add_user("Bob")
+    db.execute("insert into Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    db.execute("insert into BELIEF 'Bob' not Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    rows = db.execute("select S.sid, S.species from "
+                      "BELIEF 'Bob' not Sightings as S")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.beliefsql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.beliefsql.compiler import (
+    CompiledDelete,
+    CompiledInsert,
+    CompiledUpdate,
+    compile_delete,
+    compile_insert,
+    compile_select,
+    compile_update,
+)
+from repro.beliefsql.parser import parse_beliefsql
+from repro.core.database import BeliefDatabase
+from repro.core.kripke import KripkeStructure, canonical_kripke
+from repro.core.paths import BeliefPath, User
+from repro.core.schema import ExternalSchema, GroundTuple, Value
+from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement, Sign
+from repro.core.worlds import BeliefWorld
+from repro.errors import BeliefDBError, QueryError, RejectedUpdateError
+from repro.query.bcq import BCQuery
+from repro.query.lazy import evaluate_lazy
+from repro.query.naive import evaluate_naive
+from repro.query.parser import parse_bcq
+from repro.query.sql_gen import evaluate_sql
+from repro.query.translate import evaluate_translated
+from repro.relational.sqlite_backend import SqliteMirror
+from repro.storage.store import BeliefStore
+from repro.storage.updates import delete_tuple, insert_tuple
+
+_BACKENDS = ("engine", "sqlite", "naive", "lazy")
+
+
+class BeliefDBMS:
+    """A complete belief database management system (prototype of Sect. 6).
+
+    Parameters
+    ----------
+    schema:
+        The external schema users see (e.g. :func:`repro.sightings_schema`).
+    backend:
+        Query backend; see the module docstring.
+    eager:
+        Materialize implicit beliefs (the paper's representation). With
+        ``eager=False`` the store keeps only explicit annotations and queries
+        are forced through the lazy evaluator.
+    strict:
+        When True (default), rejected updates (Alg. 4 returning false) raise
+        :class:`RejectedUpdateError`; otherwise they return False/0 silently.
+    """
+
+    def __init__(
+        self,
+        schema: ExternalSchema,
+        backend: str = "engine",
+        eager: bool = True,
+        strict: bool = True,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise BeliefDBError(
+                f"unknown backend {backend!r}; pick one of {_BACKENDS}"
+            )
+        if not eager and backend in ("engine", "sqlite"):
+            backend = "lazy"
+        self.schema = schema
+        self.backend = backend
+        self.strict = strict
+        self.store = BeliefStore(schema, eager=eager)
+        self._mirror: SqliteMirror | None = None
+        self._mirror_dirty = True
+
+    # ------------------------------------------------------------------ users
+
+    def add_user(self, name: str | None = None, uid: User | None = None) -> User:
+        """Register a user; returns the user id (auto-assigned int if absent)."""
+        self._mirror_dirty = True
+        return self.store.add_user(name=name, uid=uid)
+
+    def users(self) -> dict[User, str]:
+        """All registered users as ``{uid: name}``."""
+        return self.store.users()
+
+    def uid(self, name: str) -> User:
+        """Look up a user id by display name."""
+        return self.store.uid_for_name(name)
+
+    # ------------------------------------------------------------------ DML
+
+    def insert(
+        self,
+        path: Sequence[Any],
+        relation: str,
+        values: Sequence[Value],
+        sign: Sign | str = POSITIVE,
+    ) -> bool:
+        """Insert a belief statement programmatically.
+
+        ``path`` entries may be user ids or display names; the empty path
+        inserts plain (root-world) content. Returns True on success; conflicts
+        with explicit beliefs raise (strict) or return False.
+        """
+        resolved = tuple(self.store.resolve_user(u) for u in path)
+        t = self.schema.tuple(relation, *values)
+        ok = insert_tuple(self.store, resolved, t, Sign.coerce(sign))
+        if ok:
+            self._mirror_dirty = True
+        elif self.strict:
+            raise RejectedUpdateError(
+                f"insert rejected: {t} with sign {Sign.coerce(sign)} conflicts "
+                f"with explicit beliefs at path {resolved!r} (or is a duplicate)"
+            )
+        return ok
+
+    def delete(
+        self,
+        path: Sequence[Any],
+        relation: str,
+        values: Sequence[Value],
+        sign: Sign | str = POSITIVE,
+    ) -> bool:
+        """Delete one explicit belief statement (implicit ones cannot be)."""
+        resolved = tuple(self.store.resolve_user(u) for u in path)
+        t = self.schema.tuple(relation, *values)
+        ok = delete_tuple(self.store, resolved, t, Sign.coerce(sign))
+        if ok:
+            self._mirror_dirty = True
+        elif self.strict:
+            raise RejectedUpdateError(
+                f"delete rejected: no explicit statement for {t} at {resolved!r}"
+            )
+        return ok
+
+    # ------------------------------------------------------------------ queries
+
+    def query(self, query: BCQuery | str) -> set[tuple]:
+        """Answer a belief conjunctive query (object or textual form)."""
+        if isinstance(query, str):
+            query = parse_bcq(query, self.schema)
+        query.check_safe(self.schema)
+        if self.backend == "engine":
+            return evaluate_translated(self.store, query)
+        if self.backend == "sqlite":
+            return evaluate_sql(self.store, query, self._synced_mirror())
+        if self.backend == "lazy":
+            return evaluate_lazy(self.store, query)
+        return evaluate_naive(
+            self.store.explicit_db, query, users=self.store.users()
+        )
+
+    def _synced_mirror(self) -> SqliteMirror:
+        if self._mirror is None:
+            self._mirror = SqliteMirror()
+            self._mirror_dirty = True
+        if self._mirror_dirty:
+            self._mirror.sync(self.store.engine)
+            self._mirror_dirty = False
+        return self._mirror
+
+    # ------------------------------------------------------------------ BeliefSQL
+
+    def execute(self, sql: str) -> list[tuple] | bool | int:
+        """Execute one BeliefSQL statement (Fig. 1).
+
+        Returns a sorted list of tuples for ``select``, True/False for
+        ``insert``, and the affected-statement count for ``delete``/``update``.
+        """
+        statement = parse_beliefsql(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: Statement) -> list[tuple] | bool | int:
+        if isinstance(statement, SelectStatement):
+            query = compile_select(statement, self.schema)
+            if query is None:
+                return []
+            return sorted(self.query(query), key=repr)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(compile_insert(statement, self.schema))
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(compile_delete(statement, self.schema))
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(compile_update(statement, self.schema))
+        raise BeliefDBError(f"unsupported statement {statement!r}")
+
+    def _execute_insert(self, op: CompiledInsert) -> bool:
+        return self.insert(op.path, op.relation, op.values, op.sign)
+
+    def _matching_statements(
+        self, path: BeliefPath, relation: str, sign: Sign, predicate
+    ) -> list[GroundTuple]:
+        """Entailed tuples of the world at ``path`` with this sign, filtered."""
+        world = self.store.entailed_world(path)
+        pool = world.positives if sign is POSITIVE else world.negatives
+        return [t for t in pool if t.relation == relation and predicate(t)]
+
+    def _execute_delete(self, op: CompiledDelete) -> int:
+        """Delete the *explicit* statements matching the WHERE clause."""
+        path = tuple(self.store.resolve_user(u) for u in op.path)
+        explicit = self.store.explicit_db.explicit_world(path)
+        pool = explicit.positives if op.sign is POSITIVE else explicit.negatives
+        doomed = [
+            t for t in pool if t.relation == op.relation and op.predicate(t)
+        ]
+        count = 0
+        for t in sorted(doomed, key=repr):
+            if delete_tuple(self.store, path, t, op.sign):
+                count += 1
+        if count:
+            self._mirror_dirty = True
+        return count
+
+    def _execute_update(self, op: CompiledUpdate) -> int:
+        """Update beliefs: re-assert matching tuples with new attribute values.
+
+        Matching considers the *entailed* world (so updating a default belief
+        turns it into an explicit one); matched explicit statements are
+        replaced, matched implicit ones are overridden by the new explicit
+        statement (Sect. 5.3 "delete operations follow a similar semantics").
+        """
+        path = tuple(self.store.resolve_user(u) for u in op.path)
+        matches = self._matching_statements(
+            path, op.relation, op.sign, op.predicate
+        )
+        explicit = self.store.explicit_db.explicit_signs(path)
+        count = 0
+        for t in sorted(matches, key=repr):
+            replacement = self.schema.replace(t, **dict(op.assignments))
+            if replacement == t:
+                continue
+            if (t, op.sign) in explicit:
+                delete_tuple(self.store, path, t, op.sign)
+            if insert_tuple(self.store, path, replacement, op.sign):
+                count += 1
+        if count:
+            self._mirror_dirty = True
+        return count
+
+    # ------------------------------------------------------------------ views
+
+    def world(self, path: Sequence[Any]) -> BeliefWorld:
+        """The entailed belief world at ``path`` (ids or names)."""
+        resolved = tuple(self.store.resolve_user(u) for u in path)
+        return self.store.entailed_world(resolved)
+
+    def believes(
+        self,
+        path: Sequence[Any],
+        relation: str,
+        values: Sequence[Value],
+        sign: Sign | str = POSITIVE,
+    ) -> bool:
+        """Entailment check: does ``D |= path t^sign`` hold?"""
+        world = self.world(path)
+        return world.entails(
+            self.schema.tuple(relation, *values), Sign.coerce(sign)
+        )
+
+    def kripke(self) -> KripkeStructure:
+        """The canonical Kripke structure of the current belief database."""
+        return canonical_kripke(
+            self.store.explicit_db, users=self.store.users().keys()
+        )
+
+    def belief_database(self) -> BeliefDatabase:
+        """A snapshot of the explicit annotations as a core belief database."""
+        return self.store.to_belief_database()
+
+    # ------------------------------------------------------------------ stats
+
+    def annotation_count(self) -> int:
+        """Number of explicit belief statements (the paper's ``n``)."""
+        return len(self.store.explicit_db)
+
+    def size(self) -> int:
+        """``|R*|``: total internal tuples (Sect. 5.4)."""
+        return self.store.total_rows()
+
+    def relative_overhead(self) -> float:
+        """``|R*| / n`` — Table 1 / Fig. 6's size measure."""
+        return self.store.relative_overhead(max(1, self.annotation_count()))
+
+    def describe(self) -> str:
+        counts = self.store.row_counts()
+        lines = [
+            f"BeliefDBMS(backend={self.backend!r}, eager={self.store.eager})",
+            f"  users: {len(self.users())}, worlds: {self.store.world_count()}, "
+            f"annotations: {self.annotation_count()}, |R*|: {self.size()}",
+        ]
+        lines += [f"    {name}: {count}" for name, count in counts.items()]
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""An interactive BeliefSQL shell.
+
+Accepts BeliefSQL statements plus meta-commands:
+
+    \\users                 registered users
+    \\worlds                belief worlds and their sizes
+    \\world <u1[.u2...]>    entailed content of one belief world
+    \\kripke                the canonical Kripke structure
+    \\stats                 |R*|, world count, annotation count
+    \\adduser <name>        register a user
+    \\explain <select ...>  show the Algorithm 1 translation
+    \\help, \\quit
+
+The loop is decoupled from I/O (``feed`` processes one line and returns the
+output text), so it is fully unit-testable and scriptable; ``main`` wires it
+to stdin.
+"""
+
+from __future__ import annotations
+
+from repro.beliefsql.compiler import compile_select
+from repro.beliefsql.parser import parse_beliefsql
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.paths import format_path
+from repro.core.schema import ExternalSchema, sightings_schema
+from repro.errors import BeliefDBError
+
+PROMPT = "beliefdb> "
+
+
+class BeliefShell:
+    """State and line-processing for the REPL."""
+
+    def __init__(self, db: BeliefDBMS | None = None) -> None:
+        self.db = db if db is not None else BeliefDBMS(sightings_schema())
+        self.done = False
+
+    # -- one line in, text out --------------------------------------------
+
+    def feed(self, line: str) -> str:
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("\\"):
+                return self._meta(line)
+            return self._sql(line)
+        except BeliefDBError as exc:
+            return f"error: {exc}"
+
+    def _sql(self, line: str) -> str:
+        result = self.db.execute(line)
+        if isinstance(result, list):
+            if not result:
+                return "(no rows)"
+            body = "\n".join("  " + " | ".join(map(str, row)) for row in result)
+            return f"{body}\n({len(result)} row{'s'[:len(result) != 1]})"
+        if isinstance(result, bool):
+            return "ok" if result else "rejected"
+        return f"{result} statement(s) affected"
+
+    def _meta(self, line: str) -> str:
+        command, _, argument = line[1:].partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        if command in ("quit", "q", "exit"):
+            self.done = True
+            return "bye"
+        if command == "help":
+            return __doc__.split("Accepts", 1)[1].split("The loop", 1)[0]
+        if command == "users":
+            users = self.db.users()
+            return "\n".join(f"  {uid}: {name}" for uid, name in users.items()) \
+                or "(no users)"
+        if command == "adduser":
+            if not argument:
+                return "usage: \\adduser <name>"
+            uid = self.db.add_user(argument)
+            return f"registered {argument!r} as uid {uid}"
+        if command == "worlds":
+            lines = []
+            for path in sorted(self.db.store.states(), key=lambda p: (len(p), repr(p))):
+                world = self.db.store.entailed_world(path)
+                lines.append(
+                    f"  {format_path(path)}: {len(world.positives)}+ / "
+                    f"{len(world.negatives)}-"
+                )
+            return "\n".join(lines)
+        if command == "world":
+            if not argument:
+                return "usage: \\world <user[.user...]>"
+            path = tuple(p for p in argument.split(".") if p)
+            return f"  {self.db.world(list(path))}"
+        if command == "kripke":
+            return self.db.kripke().describe()
+        if command == "stats":
+            return self.db.describe()
+        if command == "explain":
+            if not argument.lower().startswith("select"):
+                return "usage: \\explain select ..."
+            from repro.query.explain import explain
+
+            statement = parse_beliefsql(argument)
+            query = compile_select(statement, self.db.schema)  # type: ignore[arg-type]
+            if query is None:
+                return "provably empty (contradictory constants)"
+            return explain(self.db.store, query, analyze=True).render()
+        return f"unknown command \\{command} (try \\help)"
+
+    # -- scripting ------------------------------------------------------------
+
+    def run_script(self, lines: list[str]) -> list[str]:
+        """Feed many lines; returns the outputs (stops at \\quit)."""
+        outputs = []
+        for line in lines:
+            outputs.append(self.feed(line))
+            if self.done:
+                break
+        return outputs
+
+
+def main(schema: ExternalSchema | None = None) -> None:  # pragma: no cover
+    shell = BeliefShell(
+        BeliefDBMS(schema if schema is not None else sightings_schema())
+    )
+    print("Belief DBMS shell — BeliefSQL plus \\help for meta-commands.")
+    while not shell.done:
+        try:
+            line = input(PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = shell.feed(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,81 @@
+"""Per-user sessions: ergonomic helpers over the BDMS.
+
+A :class:`UserSession` pins a user id so collaborative-curation code reads
+like the paper's narrative: Carol *reports* a sighting, Bob *doubts* it and
+*suggests* an alternative, and *explains* what he thinks Alice believes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.paths import User
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.core.worlds import BeliefWorld
+
+
+class UserSession:
+    """All operations happen in (or below) this user's belief world."""
+
+    def __init__(self, db: BeliefDBMS, user: Any) -> None:
+        self.db = db
+        self.uid: User = db.store.resolve_user(user)
+
+    @property
+    def name(self) -> str:
+        return self.db.store.user_name(self.uid)
+
+    # -- plain content -------------------------------------------------------
+
+    def report(self, relation: str, *values: Any) -> bool:
+        """Insert ground content (root world) — a plain SQL insert."""
+        return self.db.insert((), relation, values)
+
+    # -- own beliefs ------------------------------------------------------------
+
+    def believes(self, relation: str, *values: Any) -> bool:
+        """Insert a positive belief of this user."""
+        return self.db.insert((self.uid,), relation, values)
+
+    def doubts(self, relation: str, *values: Any) -> bool:
+        """Insert a negative belief (disagreement) of this user."""
+        return self.db.insert((self.uid,), relation, values, sign=NEGATIVE)
+
+    def retracts(self, relation: str, *values: Any, sign: Any = POSITIVE) -> bool:
+        """Delete one of this user's explicit statements."""
+        return self.db.delete((self.uid,), relation, values, sign=sign)
+
+    # -- higher-order beliefs -----------------------------------------------------
+
+    def believes_that(
+        self, others: Sequence[Any], relation: str, *values: Any
+    ) -> bool:
+        """"This user believes that ``others[0]`` believes that ... t+"."""
+        path = (self.uid,) + tuple(others)
+        return self.db.insert(path, relation, values)
+
+    def doubts_that(
+        self, others: Sequence[Any], relation: str, *values: Any
+    ) -> bool:
+        """"This user believes that ... believes that t is false"."""
+        path = (self.uid,) + tuple(others)
+        return self.db.insert(path, relation, values, sign=NEGATIVE)
+
+    # -- views --------------------------------------------------------------------
+
+    def world(self) -> BeliefWorld:
+        """This user's entailed belief world."""
+        return self.db.world((self.uid,))
+
+    def world_about(self, others: Sequence[Any]) -> BeliefWorld:
+        """What this user believes the chain ``others`` believes."""
+        return self.db.world((self.uid,) + tuple(others))
+
+    def __repr__(self) -> str:
+        return f"<UserSession {self.name!r} ({self.uid!r})>"
+
+
+def session(db: BeliefDBMS, user: Any) -> UserSession:
+    """Create a :class:`UserSession` for ``user`` (id or name)."""
+    return UserSession(db, user)

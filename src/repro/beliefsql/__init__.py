@@ -1,0 +1,46 @@
+"""BeliefSQL — the SQL extension of Fig. 1."""
+
+from repro.beliefsql.ast import (
+    BeliefSpec,
+    ColumnRef,
+    Condition,
+    DeleteStatement,
+    FromItem,
+    InsertStatement,
+    Literal,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.beliefsql.compiler import (
+    CompiledDelete,
+    CompiledInsert,
+    CompiledUpdate,
+    compile_delete,
+    compile_insert,
+    compile_select,
+    compile_update,
+)
+from repro.beliefsql.parser import parse_beliefsql, tokenize
+
+__all__ = [
+    "BeliefSpec",
+    "ColumnRef",
+    "CompiledDelete",
+    "CompiledInsert",
+    "CompiledUpdate",
+    "Condition",
+    "DeleteStatement",
+    "FromItem",
+    "InsertStatement",
+    "Literal",
+    "SelectStatement",
+    "Statement",
+    "UpdateStatement",
+    "compile_delete",
+    "compile_insert",
+    "compile_select",
+    "compile_update",
+    "parse_beliefsql",
+    "tokenize",
+]

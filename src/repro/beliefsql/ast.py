@@ -1,0 +1,144 @@
+"""AST for BeliefSQL (Fig. 1).
+
+The grammar extends SQL's four DML statements with a *belief specification* in
+front of relation names::
+
+    select selectlist
+      from (((BELIEF user)+ not?)? relationname (as alias)?)+
+     where conditionlist
+
+    insert into ((BELIEF user)+ not?)? relationname values (...)
+    delete from ((BELIEF user)+ not?)? relationname where conditionlist
+    update ((BELIEF user)+ not?)? relationname set assignments where conditionlist
+
+A ``BELIEF`` argument is either a literal (user name or id) or a correlated
+column reference like ``U.uid`` (only meaningful inside ``select``). ``not``
+flips the sign of the whole belief specification — "user w does *not* believe".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``alias.column`` — or a bare ``column`` (``alias`` None) in DML."""
+
+    alias: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}" if self.alias else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left op right`` with op in =, <>, !=, <, <=, >, >=."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BeliefSpec:
+    """The ``(BELIEF user)+ not?`` prefix; empty path means plain content."""
+
+    path: tuple[Operand, ...] = ()
+    negated: bool = False
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def __str__(self) -> str:
+        parts = [f"BELIEF {p}" for p in self.path]
+        if self.negated:
+            parts.append("not")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FromItem:
+    belief: BeliefSpec
+    relation: str
+    alias: str
+
+    def __str__(self) -> str:
+        prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
+        return f"{prefix}{self.relation} as {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    columns: tuple[ColumnRef, ...]
+    items: tuple[FromItem, ...]
+    conditions: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        sql = "select " + ", ".join(map(str, self.columns))
+        sql += " from " + ", ".join(map(str, self.items))
+        if self.conditions:
+            sql += " where " + " and ".join(map(str, self.conditions))
+        return sql
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    belief: BeliefSpec
+    relation: str
+    values: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
+        vals = ", ".join(repr(v) for v in self.values)
+        return f"insert into {prefix}{self.relation} values ({vals})"
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    belief: BeliefSpec
+    relation: str
+    conditions: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
+        sql = f"delete from {prefix}{self.relation}"
+        if self.conditions:
+            sql += " where " + " and ".join(map(str, self.conditions))
+        return sql
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    belief: BeliefSpec
+    relation: str
+    assignments: tuple[tuple[str, Any], ...]
+    conditions: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
+        sets = ", ".join(f"{a} = {v!r}" for a, v in self.assignments)
+        sql = f"update {prefix}{self.relation} set {sets}"
+        if self.conditions:
+            sql += " where " + " and ".join(map(str, self.conditions))
+        return sql
+
+
+Statement = Union[SelectStatement, InsertStatement, DeleteStatement, UpdateStatement]

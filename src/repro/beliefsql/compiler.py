@@ -1,0 +1,316 @@
+"""Compiling BeliefSQL ASTs to belief conjunctive queries and DML operations.
+
+``select`` compiles to a :class:`BCQuery` (Def. 13): every ``from`` item
+becomes a modal subgoal (or a user atom for the users catalog); equality
+conditions *unify* columns into shared query variables — exactly how the
+paper's Example 18 rewrites its BeliefSQL query — while other comparisons
+become arithmetic predicates. ``insert``/``delete``/``update`` compile to
+plain descriptors the BDMS executes against the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.beliefsql.ast import (
+    BeliefSpec,
+    ColumnRef,
+    Condition,
+    DeleteStatement,
+    FromItem,
+    InsertStatement,
+    Literal,
+    Operand,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.core.schema import ExternalSchema, GroundTuple
+from repro.core.statements import NEGATIVE, POSITIVE, Sign
+from repro.errors import BeliefSQLCompileError
+from repro.query.bcq import Arith, BCQuery, ModalSubgoal, Term, UserAtom, Variable
+from repro.relational.expressions import compare
+
+
+# ----------------------------------------------------------------- union-find
+
+class _Classes:
+    """Union-find over column slots, with optional constants per class."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._constant: dict[str, Any] = {}
+        self.contradiction = False
+
+    def slot(self, key: str) -> str:
+        if key not in self._parent:
+            self._parent[key] = key
+        return self.find(key)
+
+    def find(self, key: str) -> str:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.slot(a), self.slot(b)
+        if ra == rb:
+            return
+        self._parent[rb] = ra
+        if rb in self._constant:
+            self.bind_constant(ra, self._constant.pop(rb))
+
+    def bind_constant(self, key: str, value: Any) -> None:
+        root = self.slot(key)
+        if root in self._constant and self._constant[root] != value:
+            self.contradiction = True
+        else:
+            self._constant[root] = value
+
+    def constant_of(self, key: str) -> tuple[bool, Any]:
+        root = self.slot(key)
+        if root in self._constant:
+            return True, self._constant[root]
+        return False, None
+
+
+# ----------------------------------------------------------------- select
+
+def compile_select(
+    stmt: SelectStatement, schema: ExternalSchema
+) -> BCQuery | None:
+    """Compile a ``select`` into a safe BCQ; None when provably empty
+    (two different constants equated in the WHERE clause)."""
+    aliases: dict[str, FromItem] = {}
+    for item in stmt.items:
+        if item.alias in aliases:
+            raise BeliefSQLCompileError(f"duplicate alias {item.alias!r}")
+        if item.relation not in schema:
+            raise BeliefSQLCompileError(f"unknown relation {item.relation!r}")
+        aliases[item.alias] = item
+
+    classes = _Classes()
+
+    def slot_key(ref: ColumnRef) -> str:
+        if ref.alias is None or ref.alias not in aliases:
+            raise BeliefSQLCompileError(f"unknown column reference {ref}")
+        relation = schema.relation(aliases[ref.alias].relation)
+        if ref.column not in relation.attributes:
+            raise BeliefSQLCompileError(
+                f"relation {relation.name} has no column {ref.column!r}"
+            )
+        return f"{ref.alias}.{ref.column}"
+
+    def register(operand: Operand) -> str | None:
+        """Slot key for a column ref; None for literals."""
+        if isinstance(operand, ColumnRef):
+            return slot_key(operand)
+        return None
+
+    # Seed every column slot so each gets a term.
+    for alias, item in aliases.items():
+        for column in schema.relation(item.relation).attributes:
+            classes.slot(f"{alias}.{column}")
+
+    arith: list[tuple[str, Operand, Operand]] = []
+    for cond in stmt.conditions:
+        if cond.op == "=":
+            left, right = register(cond.left), register(cond.right)
+            if left is not None and right is not None:
+                classes.union(left, right)
+            elif left is not None:
+                assert isinstance(cond.right, Literal)
+                classes.bind_constant(left, cond.right.value)
+            elif right is not None:
+                assert isinstance(cond.left, Literal)
+                classes.bind_constant(right, cond.left.value)
+            else:
+                assert isinstance(cond.left, Literal)
+                assert isinstance(cond.right, Literal)
+                if cond.left.value != cond.right.value:
+                    return None
+        else:
+            arith.append((cond.op, cond.left, cond.right))
+    if classes.contradiction:
+        return None
+
+    # One term per class: its constant, or a variable named after the root.
+    term_cache: dict[str, Term] = {}
+
+    def term_for(key: str) -> Term:
+        root = classes.find(key)
+        if root not in term_cache:
+            has_const, value = classes.constant_of(root)
+            if has_const:
+                term_cache[root] = value
+            else:
+                term_cache[root] = Variable(root.replace(".", "_"))
+        return term_cache[root]
+
+    def operand_term(operand: Operand) -> Term:
+        if isinstance(operand, ColumnRef):
+            return term_for(slot_key(operand))
+        return operand.value
+
+    subgoals: list[ModalSubgoal] = []
+    user_atoms: list[UserAtom] = []
+    for alias, item in aliases.items():
+        relation = schema.relation(item.relation)
+        args = tuple(
+            term_for(f"{alias}.{column}") for column in relation.attributes
+        )
+        if item.relation == schema.users_relation:
+            if item.belief.path or item.belief.negated:
+                raise BeliefSQLCompileError(
+                    "the users catalog cannot carry belief annotations"
+                )
+            if len(args) != 2:
+                raise BeliefSQLCompileError(
+                    f"users relation {relation.name} must have (uid, name)"
+                )
+            user_atoms.append(UserAtom(args[0], args[1]))
+            continue
+        path = tuple(operand_term(p) for p in item.belief.path)
+        sign = NEGATIVE if item.belief.negated else POSITIVE
+        subgoals.append(ModalSubgoal(path, item.relation, sign, args))
+
+    predicates = tuple(
+        Arith(op, operand_term(left), operand_term(right))
+        for op, left, right in arith
+    )
+    head = tuple(operand_term(col) for col in stmt.columns)
+    query = BCQuery(
+        head=head,
+        subgoals=tuple(subgoals),
+        user_atoms=tuple(user_atoms),
+        predicates=predicates,
+    )
+    return query.check_safe(schema)
+
+
+# ----------------------------------------------------------------- DML
+
+@dataclass(frozen=True)
+class CompiledInsert:
+    path: tuple[Any, ...]  # raw user references (uids or names)
+    sign: Sign
+    relation: str
+    values: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class CompiledDelete:
+    path: tuple[Any, ...]
+    sign: Sign
+    relation: str
+    predicate: Callable[[GroundTuple], bool]
+
+
+@dataclass(frozen=True)
+class CompiledUpdate:
+    path: tuple[Any, ...]
+    sign: Sign
+    relation: str
+    assignments: tuple[tuple[str, Any], ...]
+    predicate: Callable[[GroundTuple], bool]
+
+
+def _dml_path(belief: BeliefSpec) -> tuple[Any, ...]:
+    path: list[Any] = []
+    for operand in belief.path:
+        if isinstance(operand, ColumnRef):
+            raise BeliefSQLCompileError(
+                "BELIEF arguments in DML statements must be literals, "
+                f"not column references ({operand})"
+            )
+        path.append(operand.value)
+    return tuple(path)
+
+
+def _dml_sign(belief: BeliefSpec) -> Sign:
+    return NEGATIVE if belief.negated else POSITIVE
+
+
+def _dml_predicate(
+    relation_name: str,
+    conditions: Iterable[Condition],
+    schema: ExternalSchema,
+) -> Callable[[GroundTuple], bool]:
+    """Compile DML WHERE conditions into a tuple predicate.
+
+    Operands may be bare column names (or ``relation.column``) and literals.
+    """
+    relation = schema.relation(relation_name)
+
+    def index_of(operand: Operand) -> int | None:
+        if not isinstance(operand, ColumnRef):
+            return None
+        if operand.alias not in (None, relation_name):
+            raise BeliefSQLCompileError(
+                f"DML conditions may only reference {relation_name} columns, "
+                f"found {operand}"
+            )
+        if operand.column not in relation.attributes:
+            raise BeliefSQLCompileError(
+                f"relation {relation_name} has no column {operand.column!r}"
+            )
+        return relation.attributes.index(operand.column)
+
+    compiled: list[tuple[str, int | None, Any, int | None, Any]] = []
+    for cond in conditions:
+        left_idx = index_of(cond.left)
+        right_idx = index_of(cond.right)
+        left_val = cond.left.value if isinstance(cond.left, Literal) else None
+        right_val = cond.right.value if isinstance(cond.right, Literal) else None
+        compiled.append((cond.op, left_idx, left_val, right_idx, right_val))
+
+    def predicate(t: GroundTuple) -> bool:
+        for op, li, lv, ri, rv in compiled:
+            left = t.values[li] if li is not None else lv
+            right = t.values[ri] if ri is not None else rv
+            op = "!=" if op == "<>" else op
+            if not compare(op, left, right):
+                return False
+        return True
+
+    return predicate
+
+
+def compile_insert(stmt: InsertStatement, schema: ExternalSchema) -> CompiledInsert:
+    relation = schema.relation(stmt.relation)
+    if len(stmt.values) != relation.arity:
+        raise BeliefSQLCompileError(
+            f"{stmt.relation} expects {relation.arity} values, "
+            f"got {len(stmt.values)}"
+        )
+    return CompiledInsert(
+        _dml_path(stmt.belief), _dml_sign(stmt.belief), stmt.relation, stmt.values
+    )
+
+
+def compile_delete(stmt: DeleteStatement, schema: ExternalSchema) -> CompiledDelete:
+    return CompiledDelete(
+        _dml_path(stmt.belief),
+        _dml_sign(stmt.belief),
+        stmt.relation,
+        _dml_predicate(stmt.relation, stmt.conditions, schema),
+    )
+
+
+def compile_update(stmt: UpdateStatement, schema: ExternalSchema) -> CompiledUpdate:
+    relation = schema.relation(stmt.relation)
+    for column, _ in stmt.assignments:
+        if column not in relation.attributes:
+            raise BeliefSQLCompileError(
+                f"relation {stmt.relation} has no column {column!r}"
+            )
+    return CompiledUpdate(
+        _dml_path(stmt.belief),
+        _dml_sign(stmt.belief),
+        stmt.relation,
+        stmt.assignments,
+        _dml_predicate(stmt.relation, stmt.conditions, schema),
+    )

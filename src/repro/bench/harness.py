@@ -1,0 +1,96 @@
+"""Benchmark support: environment knobs, timing, and table rendering.
+
+The paper's experiments run at n = 10,000 annotations on a commercial RDBMS;
+pure-Python defaults are scaled down (n = 1,000) so the full suite finishes in
+minutes. The paper-scale runs stay one environment variable away:
+
+* ``BELIEFDB_BENCH_N``        — annotations per database (default 1000)
+* ``BELIEFDB_BENCH_REPEATS``  — databases per cell / timing repeats (default 3)
+* ``BELIEFDB_BENCH_USERS``    — the "large" user count of Table 1 (default 100)
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+def bench_n() -> int:
+    """Annotations per generated database (paper: 10,000)."""
+    return _env_int("BELIEFDB_BENCH_N", 1000)
+
+
+def bench_repeats() -> int:
+    """Databases averaged per cell (paper: 10) / timing repeats."""
+    return _env_int("BELIEFDB_BENCH_REPEATS", 3)
+
+
+def bench_users_large() -> int:
+    """The large user count of Table 1 (paper: 100)."""
+    return _env_int("BELIEFDB_BENCH_USERS", 100)
+
+
+@dataclass
+class Timing:
+    """Mean/stdev of repeated wall-clock timings, in milliseconds."""
+
+    mean_ms: float
+    stdev_ms: float
+    repeats: int
+    last_result: Any = None
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:8.2f} ± {self.stdev_ms:6.2f} ms (n={self.repeats})"
+
+
+def time_call(fn: Callable[[], Any], repeats: int = 5) -> Timing:
+    """Time ``fn()`` ``repeats`` times; returns millisecond statistics."""
+    samples: list[float] = []
+    result: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    return Timing(statistics.mean(samples), stdev, len(samples), result)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned text table (the benchmark output format)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        # Keep resolution for sub-10 values (query times in ms can be tiny).
+        return f"{value:,.1f}" if abs(value) >= 10 else f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,117 @@
+"""Core formal model of belief databases (Sect. 3-4 of the paper).
+
+Exports the data model (schemas, tuples, paths, statements, worlds), the
+belief database with its closure semantics, and the canonical Kripke
+structure. The storage and query layers build on these.
+"""
+
+from repro.core.closure import (
+    entailed_world,
+    entailed_world_levelwise,
+    entails,
+    entails_statement_membership,
+    implicit_statements,
+    theory_levelwise,
+)
+from repro.core.database import BeliefDatabase, database_from_statements
+from repro.core.default_logic import (
+    DefaultRule,
+    compute_extension,
+    consistent_with,
+    ground_defaults,
+    is_extension,
+)
+from repro.core.kripke import KripkeStructure, canonical_kripke, dss
+from repro.core.paths import (
+    ROOT_PATH,
+    BeliefPath,
+    User,
+    can_extend,
+    concat,
+    deepest_suffix_in,
+    format_path,
+    is_proper_suffix,
+    is_suffix,
+    is_valid_path,
+    make_path,
+    prefixes,
+    proper_suffixes,
+    suffixes,
+    validate_path,
+)
+from repro.core.schema import (
+    ExternalSchema,
+    GroundTuple,
+    RelationDef,
+    Value,
+    experiment_schema,
+    sightings_schema,
+)
+from repro.core.statements import (
+    NEGATIVE,
+    POSITIVE,
+    BeliefStatement,
+    Sign,
+    ground,
+    negative,
+    positive,
+    statement,
+)
+from repro.core.worlds import (
+    EMPTY_WORLD,
+    BeliefWorld,
+    KeyId,
+    MutableWorld,
+)
+
+__all__ = [
+    "BeliefDatabase",
+    "BeliefPath",
+    "BeliefStatement",
+    "BeliefWorld",
+    "DefaultRule",
+    "EMPTY_WORLD",
+    "ExternalSchema",
+    "GroundTuple",
+    "KeyId",
+    "KripkeStructure",
+    "MutableWorld",
+    "NEGATIVE",
+    "POSITIVE",
+    "ROOT_PATH",
+    "RelationDef",
+    "Sign",
+    "User",
+    "Value",
+    "can_extend",
+    "canonical_kripke",
+    "compute_extension",
+    "concat",
+    "consistent_with",
+    "database_from_statements",
+    "deepest_suffix_in",
+    "dss",
+    "entailed_world",
+    "entailed_world_levelwise",
+    "entails",
+    "entails_statement_membership",
+    "experiment_schema",
+    "format_path",
+    "ground",
+    "ground_defaults",
+    "implicit_statements",
+    "is_extension",
+    "is_proper_suffix",
+    "is_suffix",
+    "is_valid_path",
+    "make_path",
+    "negative",
+    "positive",
+    "prefixes",
+    "proper_suffixes",
+    "sightings_schema",
+    "statement",
+    "suffixes",
+    "theory_levelwise",
+    "validate_path",
+]

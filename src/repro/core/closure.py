@@ -1,0 +1,193 @@
+"""The theory ``D̄`` of a belief database (Def. 9/10/12).
+
+The *message board assumption* says that, by default, every user believes every
+statement in the database unless they explicitly contradicted it. Formally,
+``D̄ = ∪_d D(d)`` with
+
+    ``D(0)    = D``
+    ``D(d+1)  = D(d) ∪ {iϕ | ϕ ∈ D(d), i ∈ U, path(iϕ) ∈ Û*,
+                         D(d) ∪ {iϕ} is consistent}``
+
+and ``D |= ϕ`` iff ``ϕ ∈ D̄`` (Def. 12). ``D̄`` is infinite, but the entailed
+world at any single path is finite and computable.
+
+Two implementations live here:
+
+* :func:`entailed_world` — the practical one. Appendix B.3 (2a) shows that
+  ``D̄_w`` only depends on the explicit worlds at the *suffixes* of ``w``
+  (Fig. 9): start from the root world and repeatedly apply the *overriding
+  union* along the suffix chain. This is ``O(|w|)`` world combinations and is
+  what the storage layer materializes.
+
+* :func:`theory_levelwise` — a direct transcription of Def. 9 up to a depth
+  bound, used as the reference implementation in tests (it is exponential in
+  the depth bound and only suitable for small inputs).
+
+Lemma 11 (consistency of ``D̄``) and Lemma 20 (uniqueness of the extension) are
+exercised as properties in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.database import BeliefDatabase
+from repro.core.paths import (
+    ROOT_PATH,
+    BeliefPath,
+    User,
+    can_extend,
+    validate_path,
+)
+from repro.core.statements import (
+    NEGATIVE,
+    POSITIVE,
+    BeliefStatement,
+    Sign,
+)
+from repro.core.worlds import BeliefWorld
+
+
+def entailed_world(db: BeliefDatabase, path: BeliefPath) -> BeliefWorld:
+    """``D̄_w``: the entailed belief world at ``path``.
+
+    Implements the suffix-chain construction of Appendix B.3/Fig. 9:
+    ``D̄_ε = D_ε`` and ``D̄_w = D_w ⊕ D̄_{w[2,d]}`` where ``⊕`` is the
+    overriding union (:meth:`BeliefWorld.override`). Results are cached on the
+    database (invalidated automatically on mutation).
+
+    ``path`` may be any path in ``Û*`` — it need not be a state; non-support
+    paths simply contribute empty explicit worlds, so the chain collapses onto
+    the suffix *states* exactly as the canonical Kripke structure does.
+    """
+    validate_path(path)
+    cache = db._entailed_cache
+    # Walk down the suffix chain until a cached/root entry, then fold back up.
+    missing: list[BeliefPath] = []
+    probe = path
+    while probe not in cache:
+        missing.append(probe)
+        if probe == ROOT_PATH:
+            break
+        probe = probe[1:]
+    for current in reversed(missing):
+        if current == ROOT_PATH:
+            world = db.explicit_world(ROOT_PATH)
+        else:
+            world = db.explicit_world(current).override(cache[current[1:]])
+        cache[current] = world
+    return cache[path]
+
+
+def entails(db: BeliefDatabase, stmt: BeliefStatement) -> bool:
+    """``D |= ϕ`` (Def. 12), decided via the entailed world at ``ϕ``'s path.
+
+    ``D |= w t+`` iff ``t`` is a positive belief of ``D̄_w`` and ``D |= w t−``
+    iff it is a negative belief — note this uses Prop. 7, so *unstated*
+    negatives (key conflicts with an entailed positive) count.
+
+    This is the statement-level semantics used by queries: a query subgoal
+    ``w R^s(x̄)`` asks for positive/negative *beliefs* of the world at ``w``
+    (Def. 14), which for negatives is deliberately wider than membership of
+    ``w t−`` in ``D̄``.
+    """
+    world = entailed_world(db, stmt.path)
+    return world.entails(stmt.tuple, stmt.sign)
+
+
+def entails_statement_membership(db: BeliefDatabase, stmt: BeliefStatement) -> bool:
+    """Strict membership ``ϕ ∈ D̄`` (without Prop. 7's unstated negatives).
+
+    ``D̄`` contains exactly the explicit statements and their consistent
+    prefixings; a negative belief that is merely *implied* by a key conflict is
+    not a member. The level-wise reference and the default-logic extension
+    compute this set; provided for tests that compare against them.
+    """
+    world = entailed_world(db, stmt.path)
+    if stmt.sign is POSITIVE:
+        return stmt.tuple in world.positives
+    return stmt.tuple in world.negatives
+
+
+def theory_levelwise(
+    db: BeliefDatabase,
+    max_depth: int,
+    users: Iterable[User] | None = None,
+) -> set[BeliefStatement]:
+    """Reference implementation of Def. 9, truncated at ``max_depth``.
+
+    Returns every statement of ``D̄`` whose belief path has length at most
+    ``max_depth``. A statement at path ``w`` enters the sequence at level
+    ``≤ |w|`` and its world is final from level ``|w|`` on (Appendix B.3), so
+    ``max_depth`` rounds suffice.
+
+    Exponential in ``max_depth`` × users; use only on small databases.
+    """
+    user_set = frozenset(users) if users is not None else db.all_users()
+    current: set[BeliefStatement] = set(db.statements())
+    for _ in range(max_depth):
+        # Snapshot per Def. 9: candidates are judged against D(d), not against
+        # the set being built. Order therefore does not matter (Lemma 20).
+        snapshot = frozenset(current)
+        additions: set[BeliefStatement] = set()
+        for phi in snapshot:
+            if len(phi.path) >= max_depth:
+                continue
+            for i in sorted(user_set, key=repr):
+                if phi.path and phi.path[0] == i:
+                    continue  # i·ϕ would leave Û*
+                candidate = phi.prefixed(i)
+                if candidate in snapshot:
+                    continue
+                if _consistent_with(snapshot, candidate):
+                    additions.add(candidate)
+        if not additions:
+            break
+        current |= additions
+    return {s for s in current if len(s.path) <= max_depth}
+
+
+def _consistent_with(
+    statements: frozenset[BeliefStatement], candidate: BeliefStatement
+) -> bool:
+    """Is ``statements ∪ {candidate}`` consistent? Only candidate's world matters."""
+    pos = {s.tuple for s in statements if s.path == candidate.path and s.sign is POSITIVE}
+    neg = {s.tuple for s in statements if s.path == candidate.path and s.sign is NEGATIVE}
+    t = candidate.tuple
+    if candidate.sign is POSITIVE:
+        if t in neg:
+            return False
+        return not any(p.same_key(t) and p != t for p in pos)
+    return t not in pos
+
+
+def entailed_world_levelwise(
+    db: BeliefDatabase,
+    path: BeliefPath,
+    users: Iterable[User] | None = None,
+) -> BeliefWorld:
+    """``D̄_w`` read off the level-wise theory — the cross-check for tests."""
+    theory = theory_levelwise(db, max_depth=len(path), users=users)
+    return BeliefWorld(
+        frozenset(s.tuple for s in theory if s.path == path and s.sign is POSITIVE),
+        frozenset(s.tuple for s in theory if s.path == path and s.sign is NEGATIVE),
+    )
+
+
+def implicit_statements(
+    db: BeliefDatabase, path: BeliefPath
+) -> set[tuple[BeliefStatement, bool]]:
+    """The entailed world at ``path`` tagged with explicitness (the ``e`` flag).
+
+    Returns pairs ``(statement, explicit)`` — explicit ones are literally in
+    ``D``; the rest are implied by the message board assumption. This is the
+    content the storage layer materializes into ``V_i`` (Sect. 5.1).
+    """
+    world = entailed_world(db, path)
+    explicit = db.explicit_signs(path)
+    out: set[tuple[BeliefStatement, bool]] = set()
+    for t in world.positives:
+        out.add((BeliefStatement(path, t, POSITIVE), (t, POSITIVE) in explicit))
+    for t in world.negatives:
+        out.add((BeliefStatement(path, t, NEGATIVE), (t, NEGATIVE) in explicit))
+    return out

@@ -1,0 +1,176 @@
+"""Reiter default logic view of belief databases (Appendix C).
+
+The message board assumption is the single *normal default schema*
+
+    ``ds = ϕ : iϕ / iϕ``
+
+over belief statements: whenever ``ϕ`` is in the extension and ``iϕ`` is
+consistent with it, ``iϕ`` is in the extension. Appendix C shows that the
+closure ``D̄`` of Def. 9/10 is exactly the unique consistent extension of the
+default theory ``(D, {ds})`` (Lemma 20) — in particular, the order in which
+ground default rules fire does not matter.
+
+This module implements the default-logic machinery independently of
+:mod:`repro.core.closure` so that the two can be cross-checked:
+
+* :func:`ground_defaults` enumerates ground instances of the schema up to a
+  depth bound;
+* :func:`compute_extension` runs the algorithmic fixpoint ("a default is
+  applicable to W if W |= α and W ∪ β is consistent; its application adds ω"),
+  firing rules one at a time in a caller-controlled order;
+* :func:`is_extension` checks the fixpoint property of a candidate set.
+
+Everything is bounded by a maximum path depth, since the true extension is
+infinite (one statement per prefixing chain).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.database import BeliefDatabase
+from repro.core.paths import User
+from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement
+
+Statements = frozenset[BeliefStatement]
+
+
+@dataclass(frozen=True)
+class DefaultRule:
+    """A ground normal default ``α : ω / ω`` over belief statements.
+
+    For the message board schema, ``prerequisite = ϕ`` and
+    ``consequence = iϕ`` (justification equals consequence — *normal*).
+    """
+
+    prerequisite: BeliefStatement
+    consequence: BeliefStatement
+
+    @property
+    def justification(self) -> BeliefStatement:
+        return self.consequence
+
+    def applicable(self, current: set[BeliefStatement]) -> bool:
+        """Applicability: prerequisite holds and the justification is consistent."""
+        if self.prerequisite not in current:
+            return False
+        if self.consequence in current:
+            return False  # already satisfied — firing would be a no-op
+        return consistent_with(current, self.consequence)
+
+    def __str__(self) -> str:
+        return f"{self.prerequisite} : {self.consequence} / {self.consequence}"
+
+
+def consistent_with(
+    statements: Iterable[BeliefStatement], candidate: BeliefStatement
+) -> bool:
+    """Is ``statements ∪ {candidate}`` a consistent belief database?
+
+    Consistency here is the belief-database notion (Def. 8(4)): the explicit
+    world at the candidate's path must satisfy Γ1 and Γ2. Note Appendix C's
+    remark (4): this differs from propositional consistency — it is defined by
+    the extended key constraints.
+    """
+    t = candidate.tuple
+    path = candidate.path
+    if candidate.sign is POSITIVE:
+        for s in statements:
+            if s.path != path:
+                continue
+            if s.sign is NEGATIVE and s.tuple == t:
+                return False
+            if s.sign is POSITIVE and s.tuple.same_key(t) and s.tuple != t:
+                return False
+        return True
+    for s in statements:
+        if s.path == path and s.sign is POSITIVE and s.tuple == t:
+            return False
+    return True
+
+
+def ground_defaults(
+    statements: Iterable[BeliefStatement],
+    users: Iterable[User],
+    max_depth: int,
+) -> Iterator[DefaultRule]:
+    """Ground instances of ``ϕ : iϕ / iϕ`` whose consequence fits the bound.
+
+    Only instances whose prerequisite is drawn from ``statements`` are
+    generated; :func:`compute_extension` re-invokes this as the extension grows.
+    """
+    user_list = sorted(users, key=repr)
+    for phi in statements:
+        if len(phi.path) >= max_depth:
+            continue
+        for i in user_list:
+            if phi.path and phi.path[0] == i:
+                continue  # i·ϕ would repeat a user adjacently
+            yield DefaultRule(phi, phi.prefixed(i))
+
+
+def compute_extension(
+    db: BeliefDatabase,
+    max_depth: int,
+    users: Iterable[User] | None = None,
+    rng: random.Random | None = None,
+) -> set[BeliefStatement]:
+    """The (depth-bounded) extension of ``(D, {ds})`` by chaotic iteration.
+
+    Fires one applicable ground default at a time until none remains. When
+    ``rng`` is given, the firing order is randomized — Lemma 20 promises the
+    result is independent of this order for consistent ``D``, which the test
+    suite exercises directly.
+    """
+    user_set = frozenset(users) if users is not None else db.all_users()
+    current: set[BeliefStatement] = set(db.statements())
+    while True:
+        applicable = [
+            rule
+            for rule in ground_defaults(current, user_set, max_depth)
+            if rule.applicable(current)
+        ]
+        if not applicable:
+            return current
+        applicable.sort(key=str)
+        if rng is not None:
+            rule = applicable[rng.randrange(len(applicable))]
+            current.add(rule.consequence)
+        else:
+            # Deterministic mode may fire the whole front: every applicable
+            # consequence is consistent with the others (Lemma 11 argument),
+            # so this is equivalent and much faster.
+            for rule in applicable:
+                if rule.applicable(current):
+                    current.add(rule.consequence)
+
+
+def is_extension(
+    db: BeliefDatabase,
+    candidate: set[BeliefStatement],
+    max_depth: int,
+    users: Iterable[User] | None = None,
+) -> bool:
+    """Check the fixpoint property of Def. 19 on a depth-bounded candidate.
+
+    ``ϕ ∈ E`` iff ``ϕ ∈ D`` or ``ϕ`` is the consequence of a rule whose
+    prerequisite is in ``E`` and whose justification is consistent with ``E``
+    — restricted to statements of depth ≤ ``max_depth``.
+    """
+    user_set = frozenset(users) if users is not None else db.all_users()
+    explicit = set(db.statements())
+    if not explicit <= candidate:
+        return False
+    derivable: set[BeliefStatement] = set()
+    for rule in ground_defaults(candidate, user_set, max_depth):
+        if rule.prerequisite in candidate and consistent_with(
+            candidate, rule.consequence
+        ):
+            derivable.add(rule.consequence)
+    expected = {
+        s for s in (explicit | derivable) if len(s.path) <= max_depth
+    }
+    bounded_candidate = {s for s in candidate if len(s.path) <= max_depth}
+    return bounded_candidate == expected

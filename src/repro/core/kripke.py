@@ -1,0 +1,156 @@
+"""The canonical Kripke structure ``K(D)`` (Sect. 4, Def. 16, Thm. 17).
+
+A rooted Kripke structure is ``K = (V, (W_v)_{v∈V}, (E_i)_{i∈U}, v0)``; the
+entailment relation is
+
+    ``(K, v) |= t^s``  iff  ``W_v |= t^s``          (Def. 6 / Prop. 7)
+    ``(K, v) |= iϕ``   iff  ``∀(v, v') ∈ E_i: (K, v') |= ϕ``
+
+The *canonical* structure for a belief database ``D`` has one state per element
+of ``States(D)`` (the prefix closure of the annotated paths), carries the
+entailed world ``D̄_v`` at each state, and has edges
+
+    ``E_i = {(w, dss(w·i)) | w ∈ States(D), w·i ∈ Û*}``
+
+— i.e. edges go "forward" when the successor state exists and otherwise "back"
+to the deepest suffix state. Theorem 17: ``D |= ϕ  ⇔  K(D) |= ϕ``.
+
+Because each state has at most one outgoing ``i``-edge, entailment evaluation
+is a deterministic walk; :meth:`KripkeStructure.resolve` returns the state a
+path lands on, which is also how query translation grounds belief paths via
+the ``E`` relation (Sect. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.closure import entailed_world
+from repro.core.database import BeliefDatabase
+from repro.core.paths import (
+    ROOT_PATH,
+    BeliefPath,
+    User,
+    can_extend,
+    deepest_suffix_in,
+    format_path,
+    validate_path,
+)
+from repro.core.statements import BeliefStatement, Sign
+from repro.core.worlds import BeliefWorld
+from repro.errors import UnknownUserError, UnknownWorldError
+
+
+@dataclass(frozen=True)
+class KripkeStructure:
+    """An immutable rooted Kripke structure over belief worlds.
+
+    ``edges[i][v]`` is the unique target of the ``i``-edge leaving state ``v``
+    (absent when ``v`` ends with ``i``, since ``v·i ∉ Û*``).
+    """
+
+    states: frozenset[BeliefPath]
+    worlds: Mapping[BeliefPath, BeliefWorld]
+    edges: Mapping[User, Mapping[BeliefPath, BeliefPath]]
+    users: frozenset[User]
+    root: BeliefPath = ROOT_PATH
+
+    # -- navigation -----------------------------------------------------------
+
+    def successor(self, state: BeliefPath, user: User) -> BeliefPath:
+        """Follow the unique ``user``-edge from ``state``.
+
+        Raises :class:`UnknownUserError` for unregistered users and
+        :class:`UnknownWorldError` when no edge exists (``state·user ∉ Û*``).
+        """
+        if user not in self.edges:
+            raise UnknownUserError(f"user {user!r} is not part of this structure")
+        per_state = self.edges[user]
+        if state not in per_state:
+            raise UnknownWorldError(
+                f"no {user!r}-edge from state {format_path(state)} "
+                "(adjacent repetition is not a valid belief path)"
+            )
+        return per_state[state]
+
+    def resolve(self, path: BeliefPath) -> BeliefPath:
+        """The state reached by walking ``path`` from the root.
+
+        By Thm. 17 the world at that state is ``D̄_path``, for *any* valid
+        ``path`` — including paths far deeper than any annotation, which back
+        edges collapse onto existing states.
+        """
+        validate_path(path)
+        state = self.root
+        for user in path:
+            state = self.successor(state, user)
+        return state
+
+    def world_at(self, path: BeliefPath) -> BeliefWorld:
+        """``D̄_path`` — the entailed world for an arbitrary valid path."""
+        return self.worlds[self.resolve(path)]
+
+    # -- entailment (Sect. 4) -----------------------------------------------------
+
+    def entails(self, stmt: BeliefStatement) -> bool:
+        """``K |= ϕ`` for ``ϕ = w t^s``: walk ``w`` then apply Prop. 7."""
+        return self.world_at(stmt.path).entails(stmt.tuple, stmt.sign)
+
+    # -- introspection ---------------------------------------------------------
+
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def edge_count(self) -> int:
+        return sum(len(per_state) for per_state in self.edges.values())
+
+    def describe(self) -> str:
+        """A printable summary (states, worlds, edges) for examples/debugging."""
+        lines = [f"KripkeStructure: {self.state_count()} states, "
+                 f"{self.edge_count()} edges, users={sorted(map(str, self.users))}"]
+        for state in sorted(self.states, key=lambda p: (len(p), repr(p))):
+            lines.append(f"  state {format_path(state)}: {self.worlds[state]}")
+            for user in sorted(self.users, key=repr):
+                per_state = self.edges.get(user, {})
+                if state in per_state:
+                    lines.append(
+                        f"    --{user}--> {format_path(per_state[state])}"
+                    )
+        return "\n".join(lines)
+
+
+def canonical_kripke(
+    db: BeliefDatabase, users: Iterable[User] | None = None
+) -> KripkeStructure:
+    """Build the canonical Kripke structure ``K(D)`` (Def. 16).
+
+    ``users`` defaults to the database's registered users (which always include
+    every user mentioned in a path). Extra users get edges that loop back to
+    the deepest suffix states — for a user with no annotations, every edge from
+    state ``w`` targets ``dss(w·i)``, which collapses to the root for paths
+    that never mention them: the "new user Dora" default of Sect. 3.2.
+    """
+    user_set = frozenset(users) if users is not None else db.all_users()
+    states = db.states()
+    worlds = {state: entailed_world(db, state) for state in states}
+    edges: dict[User, dict[BeliefPath, BeliefPath]] = {}
+    for user in user_set:
+        per_state: dict[BeliefPath, BeliefPath] = {}
+        for state in states:
+            if not can_extend(state, user):
+                continue
+            per_state[state] = deepest_suffix_in(state + (user,), states)
+        edges[user] = per_state
+    return KripkeStructure(
+        states=states,
+        worlds=worlds,
+        edges=edges,
+        users=user_set,
+        root=ROOT_PATH,
+    )
+
+
+def dss(db: BeliefDatabase, path: BeliefPath) -> BeliefPath:
+    """``dss(path)``: deepest suffix state of ``path`` w.r.t. ``States(D)``."""
+    return deepest_suffix_in(path, db.states())

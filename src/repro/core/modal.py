@@ -1,0 +1,186 @@
+"""General modal formulas over belief databases — an extension module.
+
+The paper deliberately restricts its language to statements ``w t^s`` —
+chains of necessity operators applied to a signed ground tuple — because the
+full modal language "can quickly become intractable" (Sect. 3.4): allowing
+negation *before* modal operators (``¬□_Alice t``, equivalently
+``◇_Alice ¬t``) changes the complexity class of inference.
+
+Model *checking*, however, stays cheap once the canonical Kripke structure
+is built: ``K(D)`` is a finite structure, so any formula of the full
+multi-modal language can be evaluated over it in time linear in
+``|formula| × |K|``. This module implements that evaluator:
+
+    φ ::= t+ | t− | ⊤ | ⊥ | ¬φ | φ ∧ ψ | φ ∨ ψ | □_u φ | ◇_u φ
+
+with the atomic cases read via Prop. 7 at each world (so ``t−`` means the
+world *entails* the negative belief — stated or unstated — and ``¬t+`` means
+merely that ``t`` is not a positive belief: the open-world gap between the
+two is exactly what the paper's signed atoms capture).
+
+Caveat spelled out in Sect. 3.4's terms: this gives the paper's fragment its
+exact semantics (a ``w t^s`` statement is the box chain ``□_{w1}…□_{wd} t^s``,
+verified by tests), and *defines* a semantics for the larger language over
+the canonical structure. For formulas outside the fragment that definition is
+one natural choice (the K(D)-model-checking semantics), not something the
+paper assigns meaning to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.kripke import KripkeStructure
+from repro.core.paths import BeliefPath, User
+from repro.core.schema import GroundTuple
+from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement, Sign
+from repro.errors import BeliefDBError
+
+
+class Formula:
+    """Base class of modal formula nodes."""
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Lit(Formula):
+    """A signed ground tuple, evaluated by Prop. 7 at the state's world."""
+
+    tuple: GroundTuple
+    sign: Sign = POSITIVE
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return structure.worlds[state].entails(self.tuple, self.sign)
+
+    def __str__(self) -> str:
+        return f"{self.tuple}{self.sign}"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    item: Formula
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return not self.item.holds(structure, state)
+
+    def __str__(self) -> str:
+        return f"¬{self.item}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    items: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.items, list):
+            object.__setattr__(self, "items", tuple(self.items))
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return all(item.holds(structure, state) for item in self.items)
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(map(str, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    items: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.items, list):
+            object.__setattr__(self, "items", tuple(self.items))
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        return any(item.holds(structure, state) for item in self.items)
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(map(str, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class Box(Formula):
+    """``□_user φ``: φ holds in every ``user``-accessible world."""
+
+    user: User
+    item: Formula
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        per_state = structure.edges.get(self.user)
+        if per_state is None:
+            raise BeliefDBError(
+                f"user {self.user!r} is not part of the structure"
+            )
+        if state not in per_state:
+            # No successor (state ends with this user): □ holds vacuously.
+            # Paths in Û* never produce this case; kept for completeness.
+            return True
+        return self.item.holds(structure, per_state[state])
+
+    def __str__(self) -> str:
+        return f"□_{self.user} {self.item}"
+
+
+@dataclass(frozen=True)
+class Diamond(Formula):
+    """``◇_user φ``: φ holds in some ``user``-accessible world."""
+
+    user: User
+    item: Formula
+
+    def holds(self, structure: KripkeStructure, state: BeliefPath) -> bool:
+        per_state = structure.edges.get(self.user)
+        if per_state is None:
+            raise BeliefDBError(
+                f"user {self.user!r} is not part of the structure"
+            )
+        if state not in per_state:
+            return False
+        return self.item.holds(structure, per_state[state])
+
+    def __str__(self) -> str:
+        return f"◇_{self.user} {self.item}"
+
+
+def box_chain(path: Iterable[User], item: Formula) -> Formula:
+    """``□_{w1} … □_{wd} φ`` — the paper's statement shape."""
+    formula = item
+    for user in reversed(tuple(path)):
+        formula = Box(user, formula)
+    return formula
+
+
+def statement_formula(stmt: BeliefStatement) -> Formula:
+    """The modal formula a belief statement denotes (Sect. 3.2 notation)."""
+    return box_chain(stmt.path, Lit(stmt.tuple, stmt.sign))
+
+
+def holds(
+    structure: KripkeStructure,
+    formula: Formula,
+    state: BeliefPath | None = None,
+) -> bool:
+    """``K, state |= φ`` (root by default)."""
+    return formula.holds(
+        structure, structure.root if state is None else state
+    )

@@ -1,0 +1,117 @@
+"""Belief paths ``w ∈ Û*`` (Sect. 3.2).
+
+A belief path is a finite sequence of user ids, ``w = w[1]···w[d]``, restricted
+to ``Û* = {w ∈ U* | w[i] ≠ w[i+1]}`` — the same user may not appear in two
+*adjacent* positions (axiomatically, a user's beliefs about their own beliefs
+are their beliefs). The paper writes ``d = |w|`` for the depth, ``w[i,j]`` for
+subpaths, and uses suffixes heavily: the canonical Kripke structure redirects
+missing edges to the *deepest suffix state* (Sect. 4).
+
+User ids are opaque hashables here (ints in the internal schema, but the core
+model also accepts names, which keeps doctests and examples readable).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import InvalidBeliefPath
+
+#: A user id — any hashable value (the BDMS uses ints, examples use names).
+User = Hashable
+
+#: A belief path is an immutable tuple of user ids.
+BeliefPath = tuple[User, ...]
+
+#: The empty path ε (the root world: plain database content).
+ROOT_PATH: BeliefPath = ()
+
+
+def make_path(users: Iterable[User]) -> BeliefPath:
+    """Build a validated belief path from an iterable of user ids."""
+    path = tuple(users)
+    validate_path(path)
+    return path
+
+
+def validate_path(path: Sequence[User]) -> None:
+    """Raise :class:`InvalidBeliefPath` unless ``path ∈ Û*``."""
+    for i in range(len(path) - 1):
+        if path[i] == path[i + 1]:
+            raise InvalidBeliefPath(
+                f"belief path repeats user {path[i]!r} in adjacent positions "
+                f"{i + 1} and {i + 2}: {path!r}"
+            )
+
+
+def is_valid_path(path: Sequence[User]) -> bool:
+    """True iff ``path ∈ Û*`` (no adjacent repetition)."""
+    return all(path[i] != path[i + 1] for i in range(len(path) - 1))
+
+
+def can_extend(path: BeliefPath, user: User) -> bool:
+    """True iff ``path · user ∈ Û*`` — i.e. ``user`` differs from the last entry."""
+    return not path or path[-1] != user
+
+
+def concat(prefix: BeliefPath, suffix: BeliefPath) -> BeliefPath:
+    """Concatenation ``v · w``, validated at the junction only."""
+    if prefix and suffix and prefix[-1] == suffix[0]:
+        raise InvalidBeliefPath(
+            f"concatenation repeats user {prefix[-1]!r}: {prefix!r} · {suffix!r}"
+        )
+    return prefix + suffix
+
+
+def prefixes(path: BeliefPath) -> Iterator[BeliefPath]:
+    """All prefixes of ``path``, from ε up to ``path`` itself.
+
+    ``States(D)`` is the prefix closure of the support paths (Sect. 4).
+    """
+    for i in range(len(path) + 1):
+        yield path[:i]
+
+
+def proper_suffixes(path: BeliefPath) -> Iterator[BeliefPath]:
+    """All *proper* suffixes of ``path``, longest first, ending with ε."""
+    for i in range(1, len(path) + 1):
+        yield path[i:]
+
+
+def suffixes(path: BeliefPath) -> Iterator[BeliefPath]:
+    """All suffixes of ``path`` including itself, longest first, ending with ε."""
+    for i in range(len(path) + 1):
+        yield path[i:]
+
+
+def is_suffix(candidate: BeliefPath, path: BeliefPath) -> bool:
+    """True iff ``candidate`` is a (not necessarily proper) suffix of ``path``."""
+    if len(candidate) > len(path):
+        return False
+    return not candidate or path[len(path) - len(candidate):] == candidate
+
+
+def is_proper_suffix(candidate: BeliefPath, path: BeliefPath) -> bool:
+    """True iff ``candidate`` is a suffix of ``path`` and shorter than it."""
+    return len(candidate) < len(path) and is_suffix(candidate, path)
+
+
+def deepest_suffix_in(path: BeliefPath, states: "frozenset[BeliefPath] | set[BeliefPath]") -> BeliefPath:
+    """``dss(path)`` relative to a state set: the longest suffix that is a state.
+
+    The root ε must be in ``states`` (it always is for a canonical structure),
+    so the result is well defined.
+    """
+    for suffix in suffixes(path):
+        if suffix in states:
+            return suffix
+    raise InvalidBeliefPath(
+        f"state set does not contain the root; cannot resolve dss({path!r})"
+    )
+
+
+def format_path(path: BeliefPath) -> str:
+    """Human-readable rendering, e.g. ``'Bob·Alice'``; ε renders as ``'ε'``."""
+    if not path:
+        return "ε"
+    return "·".join(str(u) for u in path)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the belief database library.
+
+All library-specific errors derive from :class:`BeliefDBError` so that callers
+can catch a single base class. The hierarchy mirrors the layers of the system:
+schema problems, model-level inconsistencies (violations of the paper's
+consistency constraints ``Γ1``/``Γ2``), query-language problems (unsafe or
+malformed belief conjunctive queries), BeliefSQL parse errors, and engine-level
+errors from the relational substrate.
+"""
+
+from __future__ import annotations
+
+
+class BeliefDBError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(BeliefDBError):
+    """A relation, attribute, or tuple does not match the external schema."""
+
+
+class InvalidBeliefPath(BeliefDBError):
+    """A belief path is not in ``Û*`` (e.g. repeats a user in adjacent positions)."""
+
+
+class InconsistencyError(BeliefDBError):
+    """A belief world or belief database violates ``Γ1`` or ``Γ2`` (Prop. 5)."""
+
+
+class UnknownUserError(BeliefDBError):
+    """A belief path refers to a user that is not registered in ``U``."""
+
+
+class UnknownWorldError(BeliefDBError):
+    """An operation refers to a world id that is not in the world registry."""
+
+
+class QueryError(BeliefDBError):
+    """Base class for query-language problems."""
+
+
+class UnsafeQueryError(QueryError):
+    """A belief conjunctive query violates the safety condition of Def. 13."""
+
+
+class BCQParseError(QueryError):
+    """The textual BCQ form could not be parsed."""
+
+
+class BeliefSQLError(BeliefDBError):
+    """Base class for BeliefSQL front-end problems."""
+
+
+class BeliefSQLSyntaxError(BeliefSQLError):
+    """The BeliefSQL statement could not be tokenized or parsed."""
+
+
+class BeliefSQLCompileError(BeliefSQLError):
+    """The BeliefSQL statement parsed but cannot be compiled (bad references)."""
+
+
+class EngineError(BeliefDBError):
+    """Base class for relational-engine problems."""
+
+
+class DuplicateKeyError(EngineError):
+    """An insert violated a table's declared unique key."""
+
+
+class UnknownTableError(EngineError):
+    """A statement referenced a table that does not exist."""
+
+
+class UnknownColumnError(EngineError):
+    """A statement referenced a column that does not exist."""
+
+
+class RejectedUpdateError(BeliefDBError):
+    """An insert/delete on the belief store was rejected (Alg. 4 returned false).
+
+    Raised by the high-level BDMS facade when ``strict`` mode is enabled; the
+    lower-level store signals the same condition with a boolean return value,
+    matching the paper's Algorithm 4.
+    """

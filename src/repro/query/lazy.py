@@ -1,0 +1,45 @@
+"""Lazy query evaluation — the Sect. 6.3 future-work alternative.
+
+The eager representation materializes every implicit belief, which is where
+the ``O(m^dmax)`` storage overhead comes from. The alternative the paper
+sketches is to store only explicit annotations and "apply the default rule
+only during query evaluation". This module implements that mode:
+
+* the store is created with ``eager=False`` — its valuation tables hold only
+  explicit rows, so ``|R*|`` stays ``O(n + m)``;
+* queries run through :class:`LazyEvaluator`, which reconstructs entailed
+  worlds on demand via the closure's suffix-chain walk (cached per world on
+  the explicit database, invalidated on update).
+
+The answers are identical to the translated/eager path (tests assert this);
+the tradeoff — smaller database, slower queries — is measured by
+``benchmarks/test_ablation_lazy_vs_eager.py``.
+"""
+
+from __future__ import annotations
+
+from repro.query.bcq import BCQuery
+from repro.query.naive import evaluate_naive
+from repro.storage.store import BeliefStore
+
+
+class LazyEvaluator:
+    """Evaluates BCQs against a store without materialized defaults.
+
+    Works on eager stores too (it simply ignores the materialized implicit
+    rows and recomputes from the explicit mirror), which is how the
+    equivalence tests drive it.
+    """
+
+    def __init__(self, store: BeliefStore) -> None:
+        self.store = store
+
+    def evaluate(self, query: BCQuery) -> set[tuple]:
+        return evaluate_naive(
+            self.store.explicit_db, query, users=self.store.users()
+        )
+
+
+def evaluate_lazy(store: BeliefStore, query: BCQuery) -> set[tuple]:
+    """One-shot helper: ``LazyEvaluator(store).evaluate(query)``."""
+    return LazyEvaluator(store).evaluate(query)

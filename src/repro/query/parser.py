@@ -1,0 +1,232 @@
+"""A textual form for belief conjunctive queries.
+
+The paper writes BCQs in a Datalog-like notation with modal prefixes, e.g.::
+
+    q3(x) :- x S−(y, z, u, v, 'a'), 1 S+(y, z, u, v, 'a')
+
+Our concrete syntax brackets the belief path (so multi-user paths and empty
+paths are unambiguous), puts the sign after the relation name, quotes string
+constants with single quotes, and treats bare identifiers as variables::
+
+    q3(x) :- [x] Sightings-(y, z, u, v, 'a'), [1] Sightings+(y, z, u, v, 'a')
+    q2(x)  :- [2, 1] Sightings+(x, z, y, u, v), [2] Sightings-(x, z, y, u, v)
+    q(x,n) :- Users(x, n), [x] Sightings+(k, u, sp, d, l)
+
+Numbers are constants (ints/floats); everything in a path position that is a
+bare identifier is a variable ranging over user ids.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.core.schema import ExternalSchema
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.errors import BCQParseError
+from repro.query.bcq import Arith, BCQuery, ModalSubgoal, Term, UserAtom, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<implies>:-)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<sign>[+\-])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.pos}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise BCQParseError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, schema: ExternalSchema | None) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.schema = schema
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise BCQParseError(
+                f"expected {kind} at position {self.current.pos}, "
+                f"found {self.current.kind} {self.current.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> _Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_query(self) -> BCQuery:
+        name = self.expect("ident").text
+        self.expect("lparen")
+        head = self._term_list("rparen")
+        self.expect("rparen")
+        self.expect("implies")
+        subgoals: list[ModalSubgoal] = []
+        user_atoms: list[UserAtom] = []
+        predicates: list[Arith] = []
+        while True:
+            self._parse_atom(subgoals, user_atoms, predicates)
+            if not self.accept("comma"):
+                break
+        self.expect("eof")
+        return BCQuery(
+            head=tuple(head),
+            subgoals=tuple(subgoals),
+            user_atoms=tuple(user_atoms),
+            predicates=tuple(predicates),
+            name=name,
+        )
+
+    def _parse_atom(
+        self,
+        subgoals: list[ModalSubgoal],
+        user_atoms: list[UserAtom],
+        predicates: list[Arith],
+    ) -> None:
+        if self.current.kind == "lbracket":
+            subgoals.append(self._parse_modal())
+            return
+        # Either a user atom (Relname(t, t)), a root-path modal subgoal
+        # written without brackets, or an arithmetic predicate.
+        if self.current.kind == "ident" and self.tokens[self.index + 1].kind in (
+            "lparen",
+            "sign",
+        ):
+            self._parse_relation_atom(subgoals, user_atoms)
+            return
+        predicates.append(self._parse_arith())
+
+    def _parse_modal(self) -> ModalSubgoal:
+        self.expect("lbracket")
+        path = self._term_list("rbracket")
+        self.expect("rbracket")
+        relation = self.expect("ident").text
+        sign_token = self.accept("sign")
+        sign = NEGATIVE if (sign_token and sign_token.text == "-") else POSITIVE
+        self.expect("lparen")
+        args = self._term_list("rparen")
+        self.expect("rparen")
+        return ModalSubgoal(tuple(path), relation, sign, tuple(args))
+
+    def _parse_relation_atom(
+        self,
+        subgoals: list[ModalSubgoal],
+        user_atoms: list[UserAtom],
+    ) -> None:
+        relation = self.expect("ident").text
+        sign_token = self.accept("sign")
+        sign = NEGATIVE if (sign_token and sign_token.text == "-") else POSITIVE
+        self.expect("lparen")
+        args = self._term_list("rparen")
+        self.expect("rparen")
+        is_users = (
+            self.schema is not None and relation == self.schema.users_relation
+        ) or (self.schema is None and relation == "Users")
+        if is_users:
+            if sign_token is not None:
+                raise BCQParseError("the users catalog takes no sign")
+            if len(args) != 2:
+                raise BCQParseError(
+                    f"user atom {relation} expects (uid, name), got {len(args)} terms"
+                )
+            user_atoms.append(UserAtom(args[0], args[1]))
+        else:
+            subgoals.append(ModalSubgoal((), relation, sign, tuple(args)))
+
+    def _parse_arith(self) -> Arith:
+        left = self._parse_term()
+        op = self.expect("op").text
+        right = self._parse_term()
+        return Arith(op, left, right)
+
+    def _term_list(self, closing: str) -> list[Term]:
+        terms: list[Term] = []
+        if self.current.kind == closing:
+            return terms
+        terms.append(self._parse_term())
+        while self.accept("comma"):
+            terms.append(self._parse_term())
+        return terms
+
+    def _parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return Variable(token.text)
+        if token.kind == "string":
+            self.advance()
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            self.advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "sign" and token.text == "-":
+            # A negative number split by the tokenizer ('- 3' etc.).
+            self.advance()
+            number = self.expect("number")
+            value = float(number.text) if "." in number.text else int(number.text)
+            return -value
+        raise BCQParseError(
+            f"expected a term at position {token.pos}, found {token.text!r}"
+        )
+
+
+def parse_bcq(text: str, schema: ExternalSchema | None = None) -> BCQuery:
+    """Parse the textual BCQ form; checks safety before returning.
+
+    ``schema`` enables arity checks and users-catalog detection (falling back
+    to the conventional name ``Users`` when absent).
+    """
+    query = _Parser(text, schema).parse_query()
+    return query.check_safe(schema)

@@ -1,0 +1,304 @@
+"""Pull-based relational algebra operators.
+
+Operators expose ``columns`` (ordered names) and iterate tuples. They cover
+what the belief-database layers and tests need: scan, selection, projection,
+renaming, hash equi-join, union/difference, distinct, ordering, and simple
+aggregation (Alg. 3 needs a ``max``). The Datalog evaluator
+(:mod:`repro.relational.datalog`) is the workhorse for translated queries;
+the algebra exists as the substrate's general query surface.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import EngineError, UnknownColumnError
+from repro.relational.expressions import Expr, compare
+from repro.relational.table import Row, Table
+
+
+class Operator:
+    """Base class: an iterable of rows with named columns."""
+
+    columns: tuple[str, ...]
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise UnknownColumnError(f"no column {name!r} in {self.columns}") from None
+
+    def rows(self) -> list[Row]:
+        return list(self)
+
+    def to_set(self) -> set[Row]:
+        return set(self)
+
+    def env(self, row: Row) -> dict[str, Any]:
+        return dict(zip(self.columns, row))
+
+
+class Scan(Operator):
+    """Full scan of a stored table; columns are the table's columns."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.columns = table.schema.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.table)
+
+
+class Rows(Operator):
+    """A literal row source (for tests and intermediate results)."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row]) -> None:
+        self.columns = tuple(columns)
+        self._rows = [tuple(r) for r in rows]
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+
+class Select(Operator):
+    """Filter by an expression over column names."""
+
+    def __init__(self, child: Operator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.columns = child.columns
+        unknown = predicate.variables() - set(child.columns)
+        if unknown:
+            raise UnknownColumnError(f"predicate references {sorted(unknown)}")
+
+    def __iter__(self) -> Iterator[Row]:
+        cols = self.child.columns
+        for row in self.child:
+            if self.predicate.eval(dict(zip(cols, row))):
+                yield row
+
+
+class Project(Operator):
+    """Project (and reorder/duplicate) columns by name."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]) -> None:
+        self.child = child
+        self.columns = tuple(columns)
+        self._positions = tuple(child.column_index(c) for c in self.columns)
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            yield tuple(row[i] for i in self._positions)
+
+
+class Rename(Operator):
+    """Rename all columns (positionally)."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]) -> None:
+        if len(columns) != len(child.columns):
+            raise EngineError(
+                f"rename arity mismatch: {columns} vs {child.columns}"
+            )
+        self.child = child
+        self.columns = tuple(columns)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.child)
+
+
+class HashJoin(Operator):
+    """Equi-join on pairs of (left column, right column).
+
+    Output columns are the left columns followed by the right columns; clashes
+    must be resolved by renaming beforehand.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        on: Sequence[tuple[str, str]],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.on = tuple(on)
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise EngineError(
+                f"join operands share column names {sorted(overlap)}; rename first"
+            )
+        self.columns = left.columns + right.columns
+        self._left_pos = tuple(left.column_index(l) for l, _ in self.on)
+        self._right_pos = tuple(right.column_index(r) for _, r in self.on)
+
+    def __iter__(self) -> Iterator[Row]:
+        buckets: dict[tuple, list[Row]] = defaultdict(list)
+        for row in self.right:
+            buckets[tuple(row[i] for i in self._right_pos)].append(row)
+        for lrow in self.left:
+            probe = tuple(lrow[i] for i in self._left_pos)
+            for rrow in buckets.get(probe, ()):
+                yield lrow + rrow
+
+
+class CrossProduct(Operator):
+    def __init__(self, left: Operator, right: Operator) -> None:
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise EngineError(
+                f"product operands share column names {sorted(overlap)}"
+            )
+        self.left = left
+        self.right = right
+        self.columns = left.columns + right.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        right_rows = list(self.right)
+        for lrow in self.left:
+            for rrow in right_rows:
+                yield lrow + rrow
+
+
+class Union(Operator):
+    """Set union (deduplicated); operands must have the same arity."""
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        if len(left.columns) != len(right.columns):
+            raise EngineError("union arity mismatch")
+        self.left = left
+        self.right = right
+        self.columns = left.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for source in (self.left, self.right):
+            for row in source:
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+
+class Difference(Operator):
+    def __init__(self, left: Operator, right: Operator) -> None:
+        if len(left.columns) != len(right.columns):
+            raise EngineError("difference arity mismatch")
+        self.left = left
+        self.right = right
+        self.columns = left.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        exclude = set(map(tuple, self.right))
+        seen: set[Row] = set()
+        for row in self.left:
+            if row not in exclude and row not in seen:
+                seen.add(row)
+                yield row
+
+
+class Distinct(Operator):
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+        self.columns = child.columns
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class OrderBy(Operator):
+    """Sort by named columns; ``descending`` flips the whole ordering."""
+
+    def __init__(
+        self, child: Operator, by: Sequence[str], descending: bool = False
+    ) -> None:
+        self.child = child
+        self.columns = child.columns
+        self._positions = tuple(child.column_index(c) for c in by)
+        self.descending = descending
+
+    def __iter__(self) -> Iterator[Row]:
+        def sort_key(row: Row) -> tuple:
+            return tuple(
+                (type(row[i]).__name__, repr(row[i]), row[i] if _orderable(row[i]) else None)
+                for i in self._positions
+            )
+
+        rows = list(self.child)
+        try:
+            rows.sort(
+                key=lambda r: tuple(r[i] for i in self._positions),
+                reverse=self.descending,
+            )
+        except TypeError:
+            rows.sort(key=sort_key, reverse=self.descending)
+        return iter(rows)
+
+
+class Limit(Operator):
+    def __init__(self, child: Operator, count: int) -> None:
+        self.child = child
+        self.columns = child.columns
+        self.count = count
+
+    def __iter__(self) -> Iterator[Row]:
+        for i, row in enumerate(self.child):
+            if i >= self.count:
+                return
+            yield row
+
+
+class Aggregate(Operator):
+    """Group-by with a single aggregate: ``max``, ``min``, or ``count``.
+
+    Output columns are the group-by columns plus one result column named
+    ``f"{fn}_{column or 'all'}"``.
+    """
+
+    _FUNCTIONS: dict[str, Callable[[list[Any]], Any]] = {
+        "max": max,
+        "min": min,
+        "count": len,
+    }
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        fn: str,
+        column: str | None = None,
+    ) -> None:
+        if fn not in self._FUNCTIONS:
+            raise EngineError(f"unknown aggregate {fn!r}")
+        if fn != "count" and column is None:
+            raise EngineError(f"aggregate {fn!r} needs a column")
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.fn = fn
+        self.agg_column = column
+        self._group_pos = tuple(child.column_index(c) for c in self.group_by)
+        self._agg_pos = child.column_index(column) if column is not None else None
+        self.columns = self.group_by + (f"{fn}_{column or 'all'}",)
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: dict[tuple, list[Any]] = defaultdict(list)
+        for row in self.child:
+            group = tuple(row[i] for i in self._group_pos)
+            groups[group].append(
+                row[self._agg_pos] if self._agg_pos is not None else row
+            )
+        fn = self._FUNCTIONS[self.fn]
+        for group, values in groups.items():
+            yield group + (fn(values),)
+
+
+def _orderable(value: Any) -> bool:
+    return isinstance(value, (int, float, str))

@@ -1,0 +1,66 @@
+"""A named collection of tables — the engine's "database" object."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import EngineError, UnknownTableError
+from repro.relational.datalog import Program, Row, run_program
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+class RelationalDatabase:
+    """Holds tables by name; entry point for DDL, Datalog, and mirroring."""
+
+    def __init__(self, auto_index: bool = True) -> None:
+        self._tables: dict[str, Table] = {}
+        self.auto_index = auto_index
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise EngineError(f"table {schema.name!r} already exists")
+        table = Table(schema, auto_index=self.auto_index)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"unknown table {name!r}") from None
+
+    def tables(self) -> dict[str, Table]:
+        return dict(self._tables)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    # -- stats -------------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        """Total row count over all tables — the paper's ``|R*|`` size measure."""
+        return sum(len(t) for t in self._tables.values())
+
+    def row_counts(self) -> dict[str, int]:
+        return {name: len(t) for name, t in sorted(self._tables.items())}
+
+    # -- queries -----------------------------------------------------------------
+
+    def run(self, program: Program) -> set[Row]:
+        """Evaluate a non-recursive Datalog program; see :func:`run_program`."""
+        result, _ = run_program(self._tables, program)
+        return result

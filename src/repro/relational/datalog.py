@@ -1,0 +1,281 @@
+"""Non-recursive Datalog over the in-memory engine.
+
+Algorithm 1 translates belief conjunctive queries into non-recursive Datalog
+over the internal schema; this module evaluates such programs:
+
+* an :class:`Atom` is a table name with terms (variables or constants);
+* a :class:`Rule` derives head tuples from a conjunction of body atoms,
+  residual boolean conditions (arbitrary :mod:`expressions` trees, including
+  the nested disjunctions Algorithm 1 emits for negative subgoals), and
+  optional guarded negated atoms;
+* a :class:`Program` is an ordered list of rules; each rule may materialize a
+  temporary table that later rules read (the ``T_i`` of Sect. 5.2).
+
+Evaluation is a binding-passing join: body atoms are processed left to right
+(after a greedy bound-first reordering), each atom probing the table through
+:meth:`Table.match_columns`, so index support comes for free. Conditions fire
+as soon as their variables are bound, pruning early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import EngineError, UnknownTableError
+from repro.relational.expressions import Expr
+from repro.relational.schema import TableSchema
+from repro.relational.table import Row, Table
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable. Anything that is not a Var is a constant."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Any  # Var or a constant value
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``table(t1, ..., tk)`` with terms bound positionally to columns."""
+
+    table: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.terms, list):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(t.name for t in self.terms if isinstance(t, Var))
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            t.name if isinstance(t, Var) else repr(t) for t in self.terms
+        )
+        return f"{self.table}({inner})"
+
+
+@dataclass(frozen=True)
+class NegatedAtom:
+    """``not table(t1, ..., tk)`` — safe only when all variables are bound.
+
+    Not required by Algorithm 1 (negation there is encoded through signs), but
+    part of a complete non-recursive Datalog substrate.
+    """
+
+    atom: Atom
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body, conditions, negated.``"""
+
+    head: Atom
+    body: tuple[Atom, ...]
+    conditions: tuple[Expr, ...] = ()
+    negated: tuple[NegatedAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        for attr in ("body", "conditions", "negated"):
+            value = getattr(self, attr)
+            if isinstance(value, list):
+                object.__setattr__(self, attr, tuple(value))
+        head_vars = self.head.variables()
+        body_vars: set[str] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        unsafe = head_vars - body_vars
+        if unsafe:
+            raise EngineError(
+                f"unsafe rule: head variables {sorted(unsafe)} not bound in body"
+            )
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.body]
+        parts += [str(c) for c in self.conditions]
+        parts += [str(n) for n in self.negated]
+        return f"{self.head} :- " + ", ".join(parts)
+
+
+@dataclass
+class Program:
+    """An ordered, non-recursive list of rules.
+
+    Rules whose head table already exists append to it; otherwise a temporary
+    table is created (columns auto-named ``c0..ck``). The set of temporary
+    tables is returned by :meth:`Database.run_program` for inspection and is
+    dropped afterwards unless ``keep_temps``.
+    """
+
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "Program":
+        self.rules.append(rule)
+        return self
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+
+def evaluate_rule(tables: dict[str, Table], rule: Rule) -> set[Row]:
+    """All head tuples derivable by ``rule`` against ``tables``."""
+    results: set[Row] = set()
+    order = _plan_order(rule)
+    for env in _solve(tables, rule, order, 0, {}):
+        results.add(
+            tuple(
+                env[t.name] if isinstance(t, Var) else t for t in rule.head.terms
+            )
+        )
+    return results
+
+
+def _plan_order(rule: Rule) -> list[Atom]:
+    """Greedy bound-first ordering of body atoms.
+
+    Start from atoms with the most constants; repeatedly pick the atom sharing
+    the most variables with the bound set (ties: more constants, then source
+    order). This keeps probe patterns index-friendly without a full optimizer.
+    """
+    remaining = list(rule.body)
+    ordered: list[Atom] = []
+    bound: set[str] = set()
+    while remaining:
+        def score(item: tuple[int, Atom]) -> tuple[int, int, int]:
+            idx, atom = item
+            shared = len(atom.variables() & bound)
+            consts = sum(1 for t in atom.terms if not isinstance(t, Var))
+            return (shared, consts, -idx)
+
+        idx, atom = max(enumerate(remaining), key=score)
+        remaining.pop(idx)
+        ordered.append(atom)
+        bound |= atom.variables()
+    return ordered
+
+
+def _solve(
+    tables: dict[str, Table],
+    rule: Rule,
+    order: list[Atom],
+    position: int,
+    env: dict[str, Any],
+) -> Iterator[dict[str, Any]]:
+    if position == len(order):
+        if all(c.eval(env) for c in rule.conditions):
+            if all(not _negated_holds(tables, n, env) for n in rule.negated):
+                yield env
+        return
+    atom = order[position]
+    table = _table(tables, atom.table)
+    if len(atom.terms) != table.schema.arity:
+        raise EngineError(
+            f"atom {atom} arity mismatch with table "
+            f"{table.schema.name}({table.schema.arity})"
+        )
+    bound: dict[int, Any] = {}
+    free: list[tuple[int, str]] = []
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Var):
+            if term.name in env:
+                bound[i] = env[term.name]
+            else:
+                free.append((i, term.name))
+        else:
+            bound[i] = term
+    ready = [
+        c for c in rule.conditions
+        if c.variables() <= env.keys() | {name for _, name in free}
+    ]
+    for row in table.match_columns(bound):
+        child = dict(env)
+        ok = True
+        for i, name in free:
+            if name in child and child[name] != row[i]:
+                ok = False  # repeated variable within the atom
+                break
+            child[name] = row[i]
+        if not ok:
+            continue
+        # Early condition pruning: evaluate any condition fully bound now.
+        if any(
+            c.variables() <= child.keys() and not c.eval(child) for c in ready
+        ):
+            continue
+        yield from _solve(tables, rule, order, position + 1, child)
+
+
+def _negated_holds(
+    tables: dict[str, Table], negated: NegatedAtom, env: dict[str, Any]
+) -> bool:
+    atom = negated.atom
+    bound: dict[int, Any] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Var):
+            if term.name not in env:
+                raise EngineError(
+                    f"negated atom {atom} has unbound variable {term.name!r}"
+                )
+            bound[i] = env[term.name]
+        else:
+            bound[i] = term
+    return next(iter(_table(tables, atom.table).match_columns(bound)), None) is not None
+
+
+def _table(tables: dict[str, Table], name: str) -> Table:
+    try:
+        return tables[name]
+    except KeyError:
+        raise UnknownTableError(f"unknown table {name!r}") from None
+
+
+def run_program(
+    tables: dict[str, Table],
+    program: Program,
+    keep_temps: bool = False,
+) -> tuple[set[Row], dict[str, Table]]:
+    """Run rules in order; the last rule's derivations are the result.
+
+    Intermediate heads materialize as temporary tables visible to later rules.
+    Returns ``(result set, temporary tables)``; the caller owns cleanup when
+    ``keep_temps`` is set (temporaries live only in the returned dict, the
+    input ``tables`` mapping is never mutated).
+    """
+    if not program.rules:
+        return set(), {}
+    scope = dict(tables)
+    temps: dict[str, Table] = {}
+    result: set[Row] = set()
+    for rule in program.rules:
+        result = evaluate_rule(scope, rule)
+        if not rule.head.terms:
+            # Boolean rule (0-ary head): nothing to materialize; the result
+            # set is ∅ or {()}. Such heads cannot feed later rules.
+            continue
+        if rule.head.table not in scope:
+            schema = TableSchema(
+                rule.head.table,
+                tuple(f"c{i}" for i in range(len(rule.head.terms))),
+            )
+            temp = Table(schema)
+            temps[rule.head.table] = temp
+            scope[rule.head.table] = temp
+        target = scope[rule.head.table]
+        existing = set(target.rows())
+        for row in result:
+            if row not in existing:
+                target.insert(row)
+    return result, (temps if keep_temps else {})

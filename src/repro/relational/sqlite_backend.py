@@ -1,0 +1,102 @@
+"""SQLite mirror backend.
+
+The paper runs its translated queries on a commercial RDBMS (SQL Server 2005
+via JDBC). The stdlib ``sqlite3`` plays that role here: the internal tables of
+a belief store are mirrored into a SQLite database and the SQL produced by
+:mod:`repro.query.sql_gen` executes there. Mirroring is wholesale (drop &
+bulk-insert); for the benchmark pattern — build once, query many times — that
+is exactly what the paper does too.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import EngineError
+from repro.relational.database import RelationalDatabase
+from repro.relational.table import Table
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, escaping embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SqliteMirror:
+    """A SQLite reflection of a :class:`RelationalDatabase`."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self._mirrored: set[str] = set()
+
+    # -- mirroring --------------------------------------------------------------
+
+    def sync(self, source: RelationalDatabase) -> None:
+        """Mirror all tables (schema, rows, indexes) from ``source``."""
+        cursor = self.connection.cursor()
+        for name in self._mirrored:
+            cursor.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+        self._mirrored.clear()
+        for name, table in source.tables().items():
+            self._mirror_table(cursor, name, table)
+        self.connection.commit()
+
+    def _mirror_table(self, cursor: sqlite3.Cursor, name: str, table: Table) -> None:
+        columns = ", ".join(quote_identifier(c) for c in table.schema.columns)
+        cursor.execute(f"CREATE TABLE {quote_identifier(name)} ({columns})")
+        placeholders = ", ".join("?" for _ in table.schema.columns)
+        cursor.executemany(
+            f"INSERT INTO {quote_identifier(name)} VALUES ({placeholders})",
+            (tuple(map(_adapt, row)) for row in table),
+        )
+        for i, index_columns in enumerate(table.index_names()):
+            cols = ", ".join(quote_identifier(c) for c in index_columns)
+            cursor.execute(
+                f"CREATE INDEX {quote_identifier(f'idx_{name}_{i}')} "
+                f"ON {quote_identifier(name)} ({cols})"
+            )
+        if table.schema.key:
+            cols = ", ".join(quote_identifier(c) for c in table.schema.key)
+            cursor.execute(
+                f"CREATE UNIQUE INDEX {quote_identifier(f'key_{name}')} "
+                f"ON {quote_identifier(name)} ({cols})"
+            )
+        self._mirrored.add(name)
+
+    # -- queries ----------------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: Sequence[Any] | Mapping[str, Any] = ()
+    ) -> list[tuple[Any, ...]]:
+        """Run SQL with positional (sequence) or named (mapping) parameters."""
+        bound = params if isinstance(params, Mapping) else tuple(params)
+        cursor = self.connection.execute(sql, bound)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def explain(
+        self, sql: str, params: Sequence[Any] | Mapping[str, Any] = ()
+    ) -> list[str]:
+        bound = params if isinstance(params, Mapping) else tuple(params)
+        rows = self.connection.execute(
+            "EXPLAIN QUERY PLAN " + sql, bound
+        ).fetchall()
+        return [str(row[-1]) for row in rows]
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteMirror":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _adapt(value: Any) -> Any:
+    """SQLite accepts None/int/float/str/bytes; stringify anything else."""
+    if value is None or isinstance(value, (int, float, str, bytes)):
+        return value
+    return str(value)

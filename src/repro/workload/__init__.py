@@ -1,0 +1,47 @@
+"""Synthetic workloads: the Sect. 6 generator and a NatureMapping scenario."""
+
+from repro.workload.generator import (
+    LOCATIONS,
+    SPECIES,
+    AnnotationGenerator,
+    WorkloadConfig,
+    WorkloadStats,
+    build_store,
+    populate_store,
+)
+from repro.workload.naturemapping import (
+    CONFUSABLE,
+    EXPERTS,
+    VOLUNTEERS,
+    Scenario,
+    build_scenario,
+    conflict_report,
+)
+from repro.workload.trace import (
+    ReplayResult,
+    TraceEntry,
+    TraceRecorder,
+    UpdateTrace,
+    replay,
+)
+
+__all__ = [
+    "AnnotationGenerator",
+    "CONFUSABLE",
+    "EXPERTS",
+    "LOCATIONS",
+    "ReplayResult",
+    "SPECIES",
+    "Scenario",
+    "TraceEntry",
+    "TraceRecorder",
+    "UpdateTrace",
+    "VOLUNTEERS",
+    "WorkloadConfig",
+    "WorkloadStats",
+    "build_scenario",
+    "build_store",
+    "conflict_report",
+    "populate_store",
+    "replay",
+]

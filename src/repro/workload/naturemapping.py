@@ -1,0 +1,106 @@
+"""NatureMapping-flavoured demo scenario (Sect. 2's motivating application).
+
+Builds a small but realistic collaborative-curation state: volunteers report
+sightings, experts review them — agreeing by default, disagreeing explicitly,
+suggesting corrections, and annotating each other's annotations. Used by the
+examples and integration tests; fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.bdms.session import UserSession
+from repro.core.schema import sightings_schema
+from repro.workload.generator import LOCATIONS, SPECIES
+
+#: Plausible misidentification pairs (looks-similar species).
+CONFUSABLE = {
+    "bald eagle": "fish eagle",
+    "fish eagle": "bald eagle",
+    "crow": "raven",
+    "raven": "crow",
+    "douglas squirrel": "mountain beaver",
+    "red-tailed hawk": "osprey",
+}
+
+VOLUNTEERS = ("Carol", "Dave", "Erin", "Frank")
+EXPERTS = ("Alice", "Bob")
+
+
+@dataclass
+class Scenario:
+    db: BeliefDBMS
+    volunteers: list[UserSession]
+    experts: list[UserSession]
+    sighting_ids: list[str]
+
+
+def build_scenario(
+    n_sightings: int = 24,
+    seed: int = 7,
+    backend: str = "engine",
+    disagreement_rate: float = 0.35,
+) -> Scenario:
+    """Populate a BDMS with volunteer reports and expert curation beliefs.
+
+    Experts disagree with ~``disagreement_rate`` of the sightings; for half of
+    those they suggest the confusable species instead, and occasionally they
+    explain a colleague's error with a higher-order annotation plus a comment
+    — mirroring the i1-i8 narrative of Sect. 2.
+    """
+    rng = random.Random(seed)
+    db = BeliefDBMS(sightings_schema(), backend=backend, strict=False)
+    volunteers = [UserSession(db, db.add_user(name)) for name in VOLUNTEERS]
+    experts = [UserSession(db, db.add_user(name)) for name in EXPERTS]
+
+    sighting_ids: list[str] = []
+    comment_seq = 0
+    for i in range(n_sightings):
+        sid = f"s{i + 1}"
+        sighting_ids.append(sid)
+        reporter = rng.choice(volunteers)
+        species = rng.choice(SPECIES)
+        date = f"{rng.randrange(1, 13)}-{rng.randrange(1, 29)}-08"
+        location = rng.choice(LOCATIONS)
+        reporter.report("Sightings", sid, reporter.uid, species, date, location)
+
+        if rng.random() >= disagreement_rate:
+            continue
+        expert = rng.choice(experts)
+        # The expert rejects the reported species...
+        expert.doubts("Sightings", sid, reporter.uid, species, date, location)
+        if rng.random() < 0.5:
+            continue
+        # ...and suggests what was probably seen instead.
+        suggestion = CONFUSABLE.get(species, rng.choice(SPECIES))
+        if suggestion == species:
+            continue
+        expert.believes("Sightings", sid, reporter.uid, suggestion, date, location)
+        if rng.random() < 0.5:
+            # Higher-order explanation: what the expert thinks the reporter
+            # believed, plus their own corrected comment (the i7/i8 pattern).
+            comment_seq += 1
+            cid = f"c{comment_seq}"
+            expert.believes_that(
+                (reporter.uid,), "Comments", cid, f"saw a {species}", sid
+            )
+            expert.believes(
+                "Comments", cid, f"probably a {suggestion}", sid
+            )
+    return Scenario(db, volunteers, experts, sighting_ids)
+
+
+def conflict_report(scenario: Scenario) -> list[tuple]:
+    """All (user, sid, species reported, species believed) disagreements."""
+    rows = scenario.db.execute(
+        "select U2.name, S1.sid, S1.species, S2.species "
+        "from Users as U1, Users as U2, "
+        "BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2 "
+        "where S1.sid = S2.sid and S1.species <> S2.species"
+    )
+    assert isinstance(rows, list)
+    return rows

@@ -1,0 +1,206 @@
+"""Update traces: record, serialize, and replay belief-database sessions.
+
+A trace is an ordered list of update operations (inserts and deletes of
+belief statements, user registrations). Traces serve three purposes:
+
+* **reproducibility** — the exact update sequence behind an experiment can
+  be saved next to its results and replayed later;
+* **auditing** — a collaborative-curation deployment wants the who-said-what
+  history, which the store itself (holding only current explicit beliefs)
+  does not keep;
+* **portable workloads** — a trace recorded against one store replays
+  against any backend/mode combination, which is how the cross-backend
+  integration tests drive identical state everywhere.
+
+Serialization is JSON-lines; values must be JSON-representable (strings,
+numbers, booleans, None — exactly what external schemas hold in practice).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator
+
+from repro.core.schema import GroundTuple
+from repro.core.statements import BeliefStatement, Sign
+from repro.errors import BeliefDBError
+from repro.storage.store import BeliefStore
+from repro.storage.updates import delete_statement, insert_statement
+
+#: Operation kinds recorded in a trace.
+OP_ADD_USER = "add_user"
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded operation."""
+
+    op: str
+    uid: object = None
+    name: str | None = None
+    path: tuple = ()
+    relation: str | None = None
+    values: tuple = ()
+    sign: str = "+"
+    #: What the store answered (inserted/deleted successfully or rejected).
+    outcome: bool = True
+
+    def to_json(self) -> str:
+        payload = {
+            "op": self.op,
+            "uid": self.uid,
+            "name": self.name,
+            "path": list(self.path),
+            "relation": self.relation,
+            "values": list(self.values),
+            "sign": self.sign,
+            "outcome": self.outcome,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise BeliefDBError(f"malformed trace line: {exc}") from exc
+        return cls(
+            op=payload["op"],
+            uid=payload.get("uid"),
+            name=payload.get("name"),
+            path=tuple(payload.get("path", ())),
+            relation=payload.get("relation"),
+            values=tuple(payload.get("values", ())),
+            sign=payload.get("sign", "+"),
+            outcome=payload.get("outcome", True),
+        )
+
+    def statement(self) -> BeliefStatement:
+        if self.relation is None:
+            raise BeliefDBError(f"entry {self.op!r} carries no statement")
+        return BeliefStatement(
+            tuple(self.path),
+            GroundTuple(self.relation, tuple(self.values)),
+            Sign.coerce(self.sign),
+        )
+
+
+@dataclass
+class UpdateTrace:
+    """An ordered, serializable list of operations."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    # -- serialization ---------------------------------------------------
+
+    def dump(self, sink: IO[str]) -> None:
+        for entry in self.entries:
+            sink.write(entry.to_json() + "\n")
+
+    def dumps(self) -> str:
+        return "".join(entry.to_json() + "\n" for entry in self.entries)
+
+    @classmethod
+    def load(cls, source: IO[str] | Iterable[str]) -> "UpdateTrace":
+        entries = [
+            TraceEntry.from_json(line)
+            for line in source
+            if line.strip()
+        ]
+        return cls(entries)
+
+    @classmethod
+    def loads(cls, text: str) -> "UpdateTrace":
+        return cls.load(text.splitlines())
+
+
+class TraceRecorder:
+    """Wraps a store; performs operations while recording them."""
+
+    def __init__(self, store: BeliefStore) -> None:
+        self.store = store
+        self.trace = UpdateTrace()
+
+    def add_user(self, name: str | None = None, uid: object = None) -> object:
+        assigned = self.store.add_user(name=name, uid=uid)
+        self.trace.entries.append(
+            TraceEntry(
+                op=OP_ADD_USER, uid=assigned, name=self.store.user_name(assigned)
+            )
+        )
+        return assigned
+
+    def insert(self, stmt: BeliefStatement) -> bool:
+        ok = insert_statement(self.store, stmt)
+        self.trace.entries.append(_statement_entry(OP_INSERT, stmt, ok))
+        return ok
+
+    def delete(self, stmt: BeliefStatement) -> bool:
+        ok = delete_statement(self.store, stmt)
+        self.trace.entries.append(_statement_entry(OP_DELETE, stmt, ok))
+        return ok
+
+
+def _statement_entry(op: str, stmt: BeliefStatement, ok: bool) -> TraceEntry:
+    return TraceEntry(
+        op=op,
+        path=stmt.path,
+        relation=stmt.tuple.relation,
+        values=stmt.tuple.values,
+        sign=str(stmt.sign),
+        outcome=ok,
+    )
+
+
+@dataclass
+class ReplayResult:
+    applied: int = 0
+    mismatches: list[int] = field(default_factory=list)
+
+    @property
+    def faithful(self) -> bool:
+        """Did every operation produce the originally recorded outcome?"""
+        return not self.mismatches
+
+
+def replay(
+    trace: UpdateTrace,
+    store: BeliefStore,
+    strict: bool = False,
+) -> ReplayResult:
+    """Apply a trace to a (typically fresh) store.
+
+    Outcomes are compared against the recorded ones; with ``strict`` a
+    mismatch raises (a faithful replay on a fresh store must reproduce every
+    accept/reject decision — Alg. 4 is deterministic).
+    """
+    result = ReplayResult()
+    for index, entry in enumerate(trace):
+        if entry.op == OP_ADD_USER:
+            if not store.has_user(entry.uid):
+                store.add_user(name=entry.name, uid=entry.uid)
+            outcome = True
+        elif entry.op == OP_INSERT:
+            outcome = insert_statement(store, entry.statement())
+        elif entry.op == OP_DELETE:
+            outcome = delete_statement(store, entry.statement())
+        else:
+            raise BeliefDBError(f"unknown trace op {entry.op!r}")
+        result.applied += 1
+        if outcome != entry.outcome:
+            result.mismatches.append(index)
+            if strict:
+                raise BeliefDBError(
+                    f"replay diverged at entry {index}: {entry.op} "
+                    f"produced {outcome}, trace recorded {entry.outcome}"
+                )
+    return result

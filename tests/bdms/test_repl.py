@@ -1,0 +1,93 @@
+"""The BeliefSQL shell (scripted)."""
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.bdms.repl import BeliefShell
+from repro.core.schema import sightings_schema
+
+
+@pytest.fixture
+def shell() -> BeliefShell:
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    for name in ("Alice", "Bob"):
+        db.add_user(name)
+    return BeliefShell(db)
+
+
+class TestSQLThroughShell:
+    def test_insert_and_select(self, shell):
+        out = shell.run_script([
+            "insert into Sightings values ('s1','Carol','crow','d','l')",
+            "select S.sid, S.species from Sightings as S",
+        ])
+        assert out[0] == "ok"
+        assert "s1 | crow" in out[1]
+        assert "(1 row)" in out[1]
+
+    def test_rejected_insert_reported(self, shell):
+        out = shell.run_script([
+            "insert into BELIEF 'Alice' Sightings values ('s1','C','crow','d','l')",
+            "insert into BELIEF 'Alice' Sightings values ('s1','C','raven','d','l')",
+        ])
+        assert out == ["ok", "rejected"]
+
+    def test_update_delete_counts(self, shell):
+        shell.feed("insert into Sightings values ('s1','C','crow','d','l')")
+        assert shell.feed(
+            "update Sightings set species = 'raven' where sid = 's1'"
+        ) == "1 statement(s) affected"
+        assert shell.feed(
+            "delete from Sightings where sid = 's1'"
+        ) == "1 statement(s) affected"
+
+    def test_empty_result(self, shell):
+        out = shell.feed("select S.sid from Sightings as S where S.sid = 'zz'")
+        assert out == "(no rows)"
+
+    def test_errors_are_messages_not_exceptions(self, shell):
+        assert shell.feed("select bogus").startswith("error:")
+        assert shell.feed(
+            "insert into Nope values ('a')"
+        ).startswith("error:")
+
+
+class TestMetaCommands:
+    def test_users_and_adduser(self, shell):
+        assert "Alice" in shell.feed("\\users")
+        out = shell.feed("\\adduser Carol")
+        assert "Carol" in out
+        assert "Carol" in shell.feed("\\users")
+
+    def test_worlds_and_world(self, shell):
+        shell.feed("insert into BELIEF 'Bob' Sightings values ('s1','C','crow','d','l')")
+        worlds = shell.feed("\\worlds")
+        assert "ε" in worlds and "Bob" not in worlds  # paths use uids
+        world = shell.feed("\\world Bob")
+        assert "crow" in world
+
+    def test_kripke_and_stats(self, shell):
+        shell.feed("insert into Sightings values ('s1','C','crow','d','l')")
+        assert "states" in shell.feed("\\kripke")
+        assert "|R*|" in shell.feed("\\stats")
+
+    def test_explain(self, shell):
+        shell.feed("insert into Sightings values ('s1','C','crow','d','l')")
+        out = shell.feed(
+            "\\explain select S.sid from BELIEF 'Alice' Sightings as S"
+        )
+        assert "Datalog (Algorithm 1):" in out
+        assert shell.feed("\\explain nonsense").startswith("usage:")
+
+    def test_help_quit_unknown(self, shell):
+        assert "meta-commands" in shell.feed("\\help") or "users" in shell.feed("\\help")
+        assert shell.feed("\\wat").startswith("unknown command")
+        assert shell.feed("\\quit") == "bye"
+        assert shell.done
+
+    def test_blank_lines_ignored(self, shell):
+        assert shell.feed("   ") == ""
+
+    def test_script_stops_at_quit(self, shell):
+        out = shell.run_script(["\\quit", "\\users"])
+        assert out == ["bye"]

@@ -1,0 +1,57 @@
+"""Per-user session helpers."""
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.bdms.session import UserSession, session
+from repro.core.schema import sightings_schema
+from repro.core.statements import NEGATIVE
+
+
+@pytest.fixture
+def db() -> BeliefDBMS:
+    db = BeliefDBMS(sightings_schema())
+    for name in ("Alice", "Bob", "Carol"):
+        db.add_user(name)
+    return db
+
+
+class TestSessions:
+    def test_lookup_by_name_or_id(self, db):
+        assert UserSession(db, "Bob").uid == 2
+        assert session(db, 2).name == "Bob"
+
+    def test_report_inserts_ground_content(self, db):
+        carol = session(db, "Carol")
+        carol.report("Sightings", "s1", carol.uid, "bald eagle", "d", "l")
+        assert db.believes([], "Sightings", ("s1", 3, "bald eagle", "d", "l"))
+
+    def test_believe_doubt_retract(self, db):
+        bob = session(db, "Bob")
+        bob.doubts("Sightings", "s1", 3, "bald eagle", "d", "l")
+        assert db.believes(["Bob"], "Sightings", ("s1", 3, "bald eagle", "d", "l"),
+                           sign=NEGATIVE)
+        bob.retracts("Sightings", "s1", 3, "bald eagle", "d", "l", sign="-")
+        assert not db.believes(["Bob"], "Sightings",
+                               ("s1", 3, "bald eagle", "d", "l"), sign=NEGATIVE)
+
+    def test_higher_order(self, db):
+        bob, alice = session(db, "Bob"), session(db, "Alice")
+        bob.believes_that([alice.uid], "Comments", "c2", "black feathers", "s2")
+        assert db.believes(["Bob", "Alice"], "Comments",
+                           ("c2", "black feathers", "s2"))
+        bob.doubts_that([alice.uid], "Comments", "c3", "wrong", "s2")
+        assert db.believes(["Bob", "Alice"], "Comments", ("c3", "wrong", "s2"),
+                           sign=NEGATIVE)
+
+    def test_world_views(self, db):
+        carol, bob = session(db, "Carol"), session(db, "Bob")
+        carol.report("Sightings", "s1", carol.uid, "crow", "d", "l")
+        assert len(bob.world().positives) == 1          # default belief
+        bob.doubts("Sightings", "s1", carol.uid, "crow", "d", "l")
+        assert len(bob.world().positives) == 0
+        w = bob.world_about([carol.uid])
+        assert len(w.positives) == 1                    # Bob: Carol believes it
+
+    def test_repr(self, db):
+        assert "Alice" in repr(session(db, "Alice"))

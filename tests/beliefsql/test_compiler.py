@@ -1,0 +1,188 @@
+"""Compilation of BeliefSQL to BCQs and DML descriptors."""
+
+import pytest
+
+from repro.beliefsql.compiler import (
+    compile_delete,
+    compile_insert,
+    compile_select,
+    compile_update,
+)
+from repro.beliefsql.parser import parse_beliefsql
+from repro.core.schema import sightings_schema
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.errors import BeliefSQLCompileError, UnsafeQueryError
+from repro.query.bcq import Variable, is_var
+
+SCHEMA = sightings_schema()
+
+
+def select(sql: str):
+    return compile_select(parse_beliefsql(sql), SCHEMA)
+
+
+class TestSelectCompilation:
+    def test_example18_shape(self):
+        # The paper's Example 18: equality conditions become shared variables
+        # (there, all attributes of the negated item are equated — Def. 13
+        # requires the negated tuple to be fully determined).
+        q = select(
+            "select R1.sid, U1.name, U2.name "
+            "from Users as U1, Users as U2, "
+            "BELIEF U1.uid Sightings as R1, BELIEF U2.uid not Sightings as R2 "
+            "where R1.sid = R2.sid and R1.uid = R2.uid "
+            "and R1.species = R2.species and R1.date = R2.date "
+            "and R1.location = R2.location"
+        )
+        assert q is not None
+        pos = [sg for sg in q.subgoals if sg.sign is POSITIVE]
+        neg = [sg for sg in q.subgoals if sg.sign is NEGATIVE]
+        assert len(pos) == 1 and len(neg) == 1
+        # Equated columns share the same variable object.
+        assert pos[0].args == neg[0].args
+        assert len(q.user_atoms) == 2
+
+    def test_underdetermined_negated_item_rejected(self):
+        # Leaving a negated item's column unconstrained would existentially
+        # quantify inside a negative subgoal — unsafe per Def. 13.
+        with pytest.raises(UnsafeQueryError):
+            select(
+                "select R1.sid from BELIEF 'Alice' Sightings as R1, "
+                "BELIEF 'Bob' not Sightings as R2 where R1.sid = R2.sid"
+            )
+
+    def test_constants_substituted(self):
+        q = select(
+            "select S.sid from BELIEF 'Bob' Sightings as S "
+            "where S.species = 'raven'"
+        )
+        assert q is not None
+        assert q.subgoals[0].path == ("Bob",)
+        assert q.subgoals[0].args[2] == "raven"
+
+    def test_contradictory_constants_yield_none(self):
+        q = select(
+            "select S.sid from Sightings as S "
+            "where S.species = 'a' and S.species = 'b'"
+        )
+        assert q is None
+
+    def test_constant_equality_between_literals(self):
+        assert select(
+            "select S.sid from Sightings as S where 'x' = 'y'"
+        ) is None
+        q = select("select S.sid from Sightings as S where 'x' = 'x'")
+        assert q is not None
+
+    def test_inequalities_become_predicates(self):
+        q = select(
+            "select S.sid from Sightings as S where S.species <> 'crow'"
+        )
+        assert q is not None
+        assert len(q.predicates) == 1
+        assert q.predicates[0].op == "!="
+
+    def test_users_items_become_user_atoms(self):
+        q = select("select U.name from Users as U")
+        assert q is not None
+        assert len(q.user_atoms) == 1 and not q.subgoals
+
+    def test_belief_on_users_rejected(self):
+        with pytest.raises(BeliefSQLCompileError):
+            select("select U.name from BELIEF 'Bob' Users as U")
+
+    def test_unknown_alias_and_column(self):
+        with pytest.raises(BeliefSQLCompileError):
+            select("select Z.sid from Sightings as S")
+        with pytest.raises(BeliefSQLCompileError):
+            select("select S.nope from Sightings as S")
+        with pytest.raises(BeliefSQLCompileError):
+            select("select S.sid from Sightings as S, Sightings as S")
+
+    def test_unsafe_select_rejected(self):
+        # Selecting a column of a negated item that is not joined to any
+        # positive occurrence violates Def. 13.
+        with pytest.raises(UnsafeQueryError):
+            select("select S.species from BELIEF 'Bob' not Sightings as S")
+
+    def test_transitive_equalities(self):
+        q = select(
+            "select A.sid from Sightings as A, Sightings as B, Sightings as C "
+            "where A.sid = B.sid and B.sid = C.sid and C.sid = 's1'"
+        )
+        assert q is not None
+        assert q.subgoals[0].args[0] == "s1"
+        assert q.head == ("s1",)
+
+
+class TestDMLCompilation:
+    def test_insert(self):
+        op = compile_insert(
+            parse_beliefsql(
+                "insert into BELIEF 'Bob' not Sightings "
+                "values ('s1','C','x','d','l')"
+            ),
+            SCHEMA,
+        )
+        assert op.path == ("Bob",) and op.sign is NEGATIVE
+        assert op.values == ("s1", "C", "x", "d", "l")
+
+    def test_insert_arity_checked(self):
+        with pytest.raises(BeliefSQLCompileError):
+            compile_insert(
+                parse_beliefsql("insert into Sightings values ('s1')"), SCHEMA
+            )
+
+    def test_insert_rejects_column_ref_users(self):
+        with pytest.raises(BeliefSQLCompileError):
+            compile_insert(
+                parse_beliefsql(
+                    "insert into BELIEF U.uid Sightings "
+                    "values ('s1','C','x','d','l')"
+                ),
+                SCHEMA,
+            )
+
+    def test_delete_predicate(self):
+        op = compile_delete(
+            parse_beliefsql(
+                "delete from BELIEF 'Bob' Sightings "
+                "where sid = 's1' and species <> 'crow'"
+            ),
+            SCHEMA,
+        )
+        crow = SCHEMA.tuple("Sightings", "s1", 1, "crow", "d", "l")
+        raven = SCHEMA.tuple("Sightings", "s1", 1, "raven", "d", "l")
+        other = SCHEMA.tuple("Sightings", "s2", 1, "raven", "d", "l")
+        assert not op.predicate(crow)
+        assert op.predicate(raven)
+        assert not op.predicate(other)
+
+    def test_delete_condition_column_validation(self):
+        with pytest.raises(BeliefSQLCompileError):
+            compile_delete(
+                parse_beliefsql("delete from Sightings where nope = 1"), SCHEMA
+            )
+
+    def test_update_assignments_validated(self):
+        with pytest.raises(BeliefSQLCompileError):
+            compile_update(
+                parse_beliefsql("update Sightings set nope = 'x'"), SCHEMA
+            )
+        op = compile_update(
+            parse_beliefsql(
+                "update BELIEF 'Alice' Sightings set species = 'raven' "
+                "where sid = 's2'"
+            ),
+            SCHEMA,
+        )
+        assert op.assignments == (("species", "raven"),)
+        assert op.path == ("Alice",) and op.sign is POSITIVE
+
+    def test_column_to_column_conditions(self):
+        op = compile_delete(
+            parse_beliefsql("delete from Comments where cid = sid"), SCHEMA
+        )
+        same = SCHEMA.tuple("Comments", "x", "t", "x")
+        diff = SCHEMA.tuple("Comments", "x", "t", "y")
+        assert op.predicate(same) and not op.predicate(diff)

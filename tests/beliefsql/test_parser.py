@@ -1,0 +1,155 @@
+"""BeliefSQL parsing (Fig. 1 grammar)."""
+
+import pytest
+
+from repro.beliefsql.ast import (
+    BeliefSpec,
+    ColumnRef,
+    DeleteStatement,
+    InsertStatement,
+    Literal,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.beliefsql.parser import parse_beliefsql
+from repro.errors import BeliefSQLSyntaxError
+
+
+class TestInsert:
+    def test_plain_insert(self):
+        stmt = parse_beliefsql(
+            "insert into Sightings values "
+            "('s1','Carol','bald eagle','6-14-08','Lake Forest')"
+        )
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.relation == "Sightings"
+        assert stmt.belief == BeliefSpec()
+        assert stmt.values[2] == "bald eagle"
+
+    def test_belief_insert(self):
+        stmt = parse_beliefsql(
+            "insert into BELIEF 'Bob' not Sightings values ('s1','C','x','d','l')"
+        )
+        assert stmt.belief.path == (Literal("Bob"),)
+        assert stmt.belief.negated
+
+    def test_higher_order_belief(self):
+        stmt = parse_beliefsql(
+            "insert into BELIEF 'Bob' BELIEF 'Alice' Comments "
+            "values ('c2','black feathers','s2')"
+        )
+        assert stmt.belief.path == (Literal("Bob"), Literal("Alice"))
+        assert not stmt.belief.negated
+
+    def test_numeric_user_and_values(self):
+        stmt = parse_beliefsql(
+            "insert into BELIEF 2 Sightings values ('s1', 7, 'x', 'd', 'l')"
+        )
+        assert stmt.belief.path == (Literal(2),)
+        assert stmt.values[1] == 7
+
+    def test_bare_identifier_user_is_name_literal(self):
+        stmt = parse_beliefsql(
+            "insert into BELIEF Bob Sightings values ('s1','C','x','d','l')"
+        )
+        assert stmt.belief.path == (Literal("Bob"),)
+
+    def test_quote_escaping(self):
+        stmt = parse_beliefsql("insert into Comments values ('c1','it''s','s1')")
+        assert stmt.values[1] == "it's"
+
+
+class TestSelect:
+    def test_paper_q1(self):
+        stmt = parse_beliefsql(
+            "select S.sid, S.uid, S.species "
+            "from Users as U, BELIEF U.uid Sightings as S "
+            "where U.name = 'Bob' and S.location = 'Lake Forest'"
+        )
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.columns[0] == ColumnRef("S", "sid")
+        users_item, sightings_item = stmt.items
+        assert users_item.relation == "Users" and users_item.alias == "U"
+        assert sightings_item.belief.path == (ColumnRef("U", "uid"),)
+        assert len(stmt.conditions) == 2
+
+    def test_not_in_from_item(self):
+        stmt = parse_beliefsql(
+            "select R2.sample from BELIEF U2.uid not R as R2"
+        )
+        assert stmt.items[0].belief.negated
+
+    def test_alias_defaults_to_relation(self):
+        stmt = parse_beliefsql("select S.sid from Sightings where S.sid = 's1'")
+        assert stmt.items[0].alias == "Sightings"
+
+    def test_alias_without_as(self):
+        stmt = parse_beliefsql("select S.sid from Sightings S")
+        assert stmt.items[0].alias == "S"
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse_beliefsql("SELECT S.sid FROM Sightings AS S WHERE S.sid = 's1'")
+        assert isinstance(stmt, SelectStatement)
+
+    def test_comparison_operators(self):
+        stmt = parse_beliefsql(
+            "select S.sid from Sightings as S "
+            "where S.sid <> 's1' and S.uid >= 2 and S.species < 'z'"
+        )
+        assert [c.op for c in stmt.conditions] == ["<>", ">=", "<"]
+
+    def test_trailing_semicolon(self):
+        assert isinstance(
+            parse_beliefsql("select S.sid from Sightings as S;"),
+            SelectStatement,
+        )
+
+
+class TestDeleteUpdate:
+    def test_delete(self):
+        stmt = parse_beliefsql(
+            "delete from BELIEF 'Bob' not Sightings where sid = 's1'"
+        )
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.belief.negated
+        assert stmt.conditions[0].left == ColumnRef(None, "sid")
+
+    def test_update(self):
+        stmt = parse_beliefsql(
+            "update Sightings set species = 'fish eagle', location = 'L2' "
+            "where sid = 's1'"
+        )
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.assignments == (("species", "fish eagle"), ("location", "L2"))
+
+    def test_update_with_belief(self):
+        stmt = parse_beliefsql(
+            "update BELIEF 'Alice' Sightings set species = 'x' where sid = 's2'"
+        )
+        assert stmt.belief.path == (Literal("Alice"),)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explain select 1",
+            "select from Sightings",
+            "select S.sid Sightings",
+            "insert into Sightings values 'a', 'b'",
+            "insert into Sightings ('a')",
+            "update Sightings set species > 'x'",
+            "select S.sid from Sightings as S where S.sid ==",
+            "delete Sightings",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(BeliefSQLSyntaxError):
+            parse_beliefsql(bad)
+
+    def test_statement_round_trips_through_str(self):
+        sql = ("select S.sid from Users as U, BELIEF U.uid not Sightings as S "
+               "where U.name = 'Bob'")
+        stmt = parse_beliefsql(sql)
+        again = parse_beliefsql(str(stmt))
+        assert again == stmt

@@ -1,0 +1,149 @@
+"""The theory D̄ and the message board assumption (Def. 9/10/12, Fig. 9)."""
+
+import itertools
+
+from hypothesis import given
+
+from repro.core.closure import (
+    entailed_world,
+    entailed_world_levelwise,
+    entails,
+    entails_statement_membership,
+    implicit_statements,
+    theory_levelwise,
+)
+from repro.core.database import BeliefDatabase
+from repro.core.statements import (
+    NEGATIVE,
+    POSITIVE,
+    BeliefStatement,
+    ground,
+    negative,
+    positive,
+)
+from repro.core.worlds import BeliefWorld
+from tests.conftest import ALICE, BOB, CAROL
+from tests.strategies import TINY_SCHEMA, USERS, belief_databases
+
+T = TINY_SCHEMA.tuple
+
+
+def all_paths(users, max_depth):
+    out = [()]
+    for d in range(1, max_depth + 1):
+        for combo in itertools.product(users, repeat=d):
+            if all(combo[i] != combo[i + 1] for i in range(d - 1)):
+                out.append(combo)
+    return out
+
+
+class TestPaperExamples:
+    """The Sect. 3.2 narrative, statement by statement."""
+
+    def test_default_belief_after_carols_insert(self, example):
+        db = BeliefDatabase([ground(example.s11)], schema=example.schema,
+                            users=[ALICE, BOB, CAROL])
+        # D |= Alice s11+ and D |= Bob s11+ hold by default...
+        assert entails(db, positive([ALICE], example.s11))
+        assert entails(db, positive([BOB], example.s11))
+
+    def test_explicit_disagreement_overrides_default(self, example_db, example):
+        # ...but after i2, Bob does not believe it himself,
+        assert entails(example_db, negative([BOB], example.s11))
+        assert not entails(example_db, positive([BOB], example.s11))
+        # while he still believes that Alice believes it (message board).
+        assert entails(example_db, positive([BOB, ALICE], example.s11))
+
+    def test_fig4_worlds(self, example_db, example):
+        assert entailed_world(example_db, ()) == BeliefWorld.from_tuples(
+            [example.s11]
+        )
+        assert entailed_world(example_db, (ALICE,)) == BeliefWorld.from_tuples(
+            [example.s11, example.s21, example.c11]
+        )
+        assert entailed_world(example_db, (BOB,)) == BeliefWorld.from_tuples(
+            [example.s22, example.c22], [example.s11, example.s12]
+        )
+        assert entailed_world(example_db, (BOB, ALICE)) == BeliefWorld.from_tuples(
+            [example.s11, example.s21, example.c11, example.c21]
+        )
+
+    def test_carol_collapses_to_root_defaults(self, example_db, example):
+        # Carol has no annotations: her world is the root world's content.
+        assert entailed_world(example_db, (CAROL,)) == entailed_world(
+            example_db, ()
+        )
+
+    def test_deep_paths_collapse_to_suffix_states(self, example_db):
+        w1 = entailed_world(example_db, (CAROL, BOB, ALICE))
+        w2 = entailed_world(example_db, (BOB, ALICE))
+        assert w1 == w2
+
+    def test_i9_alternative_conflict(self, example):
+        # Sect. 3.1's i9: Alice proposes the fish eagle for Carol's key s1;
+        # Alice's world then holds s12+ (her statement wins over the default).
+        db = example.database()
+        db.add(positive([ALICE], example.s12))
+        w = entailed_world(db, (ALICE,))
+        assert example.s12 in w.positives
+        assert example.s11 not in w.positives
+        # Bob still disagrees with both (i2, i3 are explicit).
+        wb = entailed_world(db, (BOB,))
+        assert example.s11 in wb.negatives and example.s12 in wb.negatives
+
+
+class TestUnstatedNegatives:
+    def test_entails_uses_prop7(self, example_db, example):
+        # Bob believes raven for s2, so crow is an unstated negative for him.
+        assert entails(example_db, negative([BOB], example.s21))
+        # But s21− is not a member of D̄ (only implied).
+        assert not entails_statement_membership(
+            example_db, negative([BOB], example.s21)
+        )
+
+    def test_membership_for_stated(self, example_db, example):
+        assert entails_statement_membership(
+            example_db, negative([BOB], example.s11)
+        )
+
+
+class TestLevelwiseAgreement:
+    @given(belief_databases())
+    def test_suffix_chain_equals_levelwise(self, db):
+        for path in all_paths(USERS, 2):
+            assert entailed_world(db, path) == entailed_world_levelwise(
+                db, path
+            ), path
+
+    @given(belief_databases(max_statements=8, max_depth=2))
+    def test_lemma11_consistency_preserved(self, db):
+        # If D is consistent then D̄ is consistent (Lemma 11).
+        for path in all_paths(USERS, 3):
+            assert entailed_world(db, path).is_consistent()
+
+    @given(belief_databases(max_statements=8, max_depth=2))
+    def test_theory_contains_explicit_statements(self, db):
+        theory = theory_levelwise(db, max_depth=3)
+        assert set(db.statements()) <= theory
+
+    @given(belief_databases(max_statements=6, max_depth=1))
+    def test_theory_statement_paths_are_valid(self, db):
+        from repro.core.paths import is_valid_path
+        for stmt in theory_levelwise(db, max_depth=3):
+            assert is_valid_path(stmt.path)
+
+
+class TestImplicitStatements:
+    def test_explicit_flags(self, example_db, example):
+        tagged = implicit_statements(example_db, (ALICE,))
+        by_stmt = {s: e for s, e in tagged}
+        assert by_stmt[BeliefStatement((ALICE,), example.s21, POSITIVE)] is True
+        assert by_stmt[BeliefStatement((ALICE,), example.s11, POSITIVE)] is False
+
+    def test_caching_is_transparent(self, example_db, example):
+        w1 = entailed_world(example_db, (BOB, ALICE))
+        w2 = entailed_world(example_db, (BOB, ALICE))
+        assert w1 == w2
+        example_db.add(positive([CAROL], example.s22))
+        w3 = entailed_world(example_db, (CAROL,))
+        assert example.s22 in w3.positives

@@ -1,0 +1,126 @@
+"""Belief databases: explicit worlds, Supp/States, consistency (Def. 8)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.database import BeliefDatabase
+from repro.core.statements import NEGATIVE, POSITIVE, ground, negative, positive
+from repro.core.worlds import BeliefWorld
+from repro.errors import InconsistencyError, InvalidBeliefPath
+from tests.conftest import ALICE, BOB, CAROL
+from tests.strategies import TINY_SCHEMA, belief_databases
+
+T = TINY_SCHEMA.tuple
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        stmt = positive([1], T("R", "k0", "a"))
+        db.add(stmt)
+        assert stmt in db and len(db) == 1
+        db.add(stmt)  # idempotent
+        assert len(db) == 1
+
+    def test_add_registers_path_users(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        db.add(positive([1, 2], T("R", "k0", "a")))
+        assert db.all_users() >= {1, 2}
+
+    def test_add_rejects_gamma1(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        db.add(positive([1], T("R", "k0", "a")))
+        with pytest.raises(InconsistencyError):
+            db.add(positive([1], T("R", "k0", "b")))
+        # ...but a different world is fine.
+        db.add(positive([2], T("R", "k0", "b")))
+
+    def test_add_rejects_gamma2(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        db.add(positive([1], T("R", "k0", "a")))
+        with pytest.raises(InconsistencyError):
+            db.add(negative([1], T("R", "k0", "a")))
+
+    def test_unchecked_add_allows_inconsistency(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        db.add(positive([1], T("R", "k0", "a")))
+        db.add(positive([1], T("R", "k0", "b")), check=False)
+        assert not db.is_consistent()
+        with pytest.raises(InconsistencyError):
+            db.check_consistent()
+
+    def test_add_validates_path(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        from repro.core.statements import BeliefStatement
+        with pytest.raises(InvalidBeliefPath):
+            db.add(BeliefStatement((1, 1), T("R", "k0", "a"), POSITIVE))
+
+    def test_discard(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        stmt = positive([1], T("R", "k0", "a"))
+        assert not db.discard(stmt)
+        db.add(stmt)
+        assert db.discard(stmt)
+        assert stmt not in db
+        assert (1,) not in db.support()
+
+    def test_version_bumps_invalidate_cache(self):
+        from repro.core.closure import entailed_world
+        db = BeliefDatabase(schema=TINY_SCHEMA, users=[1])
+        t = T("R", "k0", "a")
+        db.add(ground(t))
+        assert t in entailed_world(db, (1,)).positives
+        db.discard(ground(t))
+        assert t not in entailed_world(db, (1,)).positives
+
+
+class TestWorldsAndStates:
+    def test_explicit_world(self, example_db, example):
+        w = example_db.explicit_world((BOB,))
+        assert w == BeliefWorld.from_tuples(
+            [example.s22, example.c22], [example.s11, example.s12]
+        )
+
+    def test_explicit_signs(self, example_db, example):
+        signs = example_db.explicit_signs((BOB,))
+        assert (example.s22, POSITIVE) in signs
+        assert (example.s11, NEGATIVE) in signs
+
+    def test_support_and_states(self, example_db):
+        assert example_db.support() == {(), (ALICE,), (BOB,), (BOB, ALICE)}
+        assert example_db.states() == {(), (ALICE,), (BOB,), (BOB, ALICE)}
+
+    def test_states_are_prefix_closed(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        db.add(positive([1, 2, 1], T("R", "k0", "a")))
+        assert db.states() == {(), (1,), (1, 2), (1, 2, 1)}
+        assert db.support() == {(1, 2, 1)}
+
+    def test_empty_database_has_root_state(self):
+        db = BeliefDatabase(schema=TINY_SCHEMA)
+        assert db.states() == {()}
+        assert db.max_depth() == 0
+
+    def test_max_depth(self, example_db):
+        assert example_db.max_depth() == 2
+
+    @given(belief_databases())
+    def test_generated_databases_consistent(self, db):
+        assert db.is_consistent()
+
+    @given(belief_databases())
+    def test_states_prefix_closure_property(self, db):
+        states = db.states()
+        for path in states:
+            for i in range(len(path)):
+                assert path[:i] in states
+
+
+class TestActiveDomain:
+    def test_all_tuples(self, example_db, example):
+        assert example_db.all_tuples() == frozenset(example.tuples)
+
+    def test_constants_by_column(self, example_db):
+        cols = example_db.constants_by_column("Sightings")
+        assert cols[0] == {"s1", "s2"}
+        assert "crow" in cols[2] and "raven" in cols[2]

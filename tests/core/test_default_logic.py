@@ -1,0 +1,105 @@
+"""Reiter default-logic formulation (Appendix C, Lemma 20)."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.closure import theory_levelwise
+from repro.core.database import BeliefDatabase
+from repro.core.default_logic import (
+    DefaultRule,
+    compute_extension,
+    consistent_with,
+    ground_defaults,
+    is_extension,
+)
+from repro.core.statements import NEGATIVE, POSITIVE, ground, negative, positive
+from tests.strategies import TINY_SCHEMA, USERS, belief_databases
+
+T = TINY_SCHEMA.tuple
+t_a = T("R", "k0", "a")
+t_b = T("R", "k0", "b")
+
+
+class TestDefaultRule:
+    def test_message_board_schema_shape(self):
+        phi = positive([1], t_a)
+        rules = list(ground_defaults([phi], USERS, max_depth=2))
+        consequences = {r.consequence for r in rules}
+        # i·ϕ for i in {2, 3} (1·ϕ would repeat user 1 adjacently).
+        assert consequences == {positive([2, 1], t_a), positive([3, 1], t_a)}
+        for rule in rules:
+            assert rule.prerequisite == phi
+            assert rule.justification == rule.consequence  # normal default
+
+    def test_depth_bound_respected(self):
+        phi = positive([1, 2], t_a)
+        assert list(ground_defaults([phi], USERS, max_depth=2)) == []
+
+    def test_applicability(self):
+        phi = ground(t_a)
+        rule = DefaultRule(phi, positive([1], t_a))
+        assert rule.applicable({phi})
+        # Consequence already present -> not applicable (fixpoint).
+        assert not rule.applicable({phi, positive([1], t_a)})
+        # Justification inconsistent -> not applicable.
+        assert not rule.applicable({phi, negative([1], t_a)})
+        # Prerequisite missing -> not applicable.
+        assert not rule.applicable({positive([2], t_a)})
+
+
+class TestConsistentWith:
+    def test_gamma1_and_gamma2(self):
+        base = {positive([1], t_a)}
+        assert not consistent_with(base, positive([1], t_b))  # same key
+        assert not consistent_with(base, negative([1], t_a))  # Γ2
+        assert consistent_with(base, negative([1], t_b))
+        assert consistent_with(base, positive([2], t_b))      # other world
+
+
+class TestLemma20:
+    @given(belief_databases(max_statements=8, max_depth=1), st.integers(0, 10_000))
+    def test_extension_is_order_independent(self, db, seed):
+        """Lemma 20: consistent D has exactly one consistent extension."""
+        deterministic = compute_extension(db, max_depth=2)
+        randomized = compute_extension(
+            db, max_depth=2, rng=random.Random(seed)
+        )
+        assert deterministic == randomized
+
+    @given(belief_databases(max_statements=8, max_depth=1))
+    def test_extension_equals_levelwise_closure(self, db):
+        """Appendix C: the extension is exactly Def. 9/10's theory."""
+        extension = compute_extension(db, max_depth=2)
+        theory = theory_levelwise(db, max_depth=2)
+        assert {s for s in extension if len(s.path) <= 2} == theory
+
+    @given(belief_databases(max_statements=8, max_depth=1))
+    def test_extension_satisfies_fixpoint(self, db):
+        extension = compute_extension(db, max_depth=2)
+        assert is_extension(db, extension, max_depth=2)
+
+    @given(belief_databases(max_statements=8, max_depth=1))
+    def test_non_extensions_rejected(self, db):
+        extension = compute_extension(db, max_depth=2)
+        # Dropping a derived statement breaks the fixpoint property...
+        derived = extension - set(db.statements())
+        if derived:
+            smaller = set(extension)
+            smaller.discard(next(iter(sorted(derived, key=str))))
+            assert not is_extension(db, smaller, max_depth=2)
+        # ...and so does removing an explicit statement.
+        if len(db) > 0:
+            broken = set(extension)
+            broken.discard(next(iter(sorted(db.statements(), key=str))))
+            assert not is_extension(db, broken, max_depth=2)
+
+
+class TestRunningExampleExtension:
+    def test_bob_does_not_inherit_bald_eagle(self, example_db, example):
+        extension = compute_extension(example_db, max_depth=2)
+        assert negative([2], example.s11) in extension  # explicit i2
+        assert positive([2], example.s11) not in extension  # blocked default
+        assert positive([1], example.s11) in extension  # Alice's default
+        assert positive([2, 1], example.s11) in extension  # Bob: Alice believes

@@ -1,0 +1,137 @@
+"""The canonical Kripke structure (Sect. 4, Def. 16, Thm. 17)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.core.closure import entails
+from repro.core.database import BeliefDatabase
+from repro.core.kripke import canonical_kripke, dss
+from repro.core.statements import (
+    NEGATIVE,
+    POSITIVE,
+    BeliefStatement,
+    positive,
+)
+from repro.core.worlds import BeliefWorld
+from repro.errors import UnknownUserError, UnknownWorldError
+from tests.conftest import ALICE, BOB, CAROL
+from tests.strategies import TINY_SCHEMA, USERS, belief_databases, ground_tuples
+
+T = TINY_SCHEMA.tuple
+
+
+class TestFig4:
+    """The running example's canonical structure, edge for edge."""
+
+    def test_states(self, example_db):
+        K = canonical_kripke(example_db)
+        assert K.states == {(), (ALICE,), (BOB,), (BOB, ALICE)}
+
+    def test_worlds_match_fig4(self, example_db, example):
+        K = canonical_kripke(example_db)
+        assert K.worlds[()] == BeliefWorld.from_tuples([example.s11])
+        assert K.worlds[(BOB,)] == BeliefWorld.from_tuples(
+            [example.s22, example.c22], [example.s11, example.s12]
+        )
+
+    def test_forward_edges(self, example_db):
+        K = canonical_kripke(example_db)
+        assert K.edges[ALICE][()] == (ALICE,)
+        assert K.edges[BOB][()] == (BOB,)
+        assert K.edges[ALICE][(BOB,)] == (BOB, ALICE)
+
+    def test_back_edges(self, example_db):
+        K = canonical_kripke(example_db)
+        # Carol's edges all loop to the root (she has no annotations).
+        assert K.edges[CAROL][()] == ()
+        assert K.edges[CAROL][(BOB,)] == ()
+        assert K.edges[CAROL][(BOB, ALICE)] == ()
+        # Bob's edge from Bob·Alice goes back to Bob (dss of Bob·Alice·Bob...
+        # is the suffix state "Alice·Bob"? no — Bob).
+        assert K.edges[BOB][(BOB, ALICE)] == (BOB,)
+        # Alice's edge from her own state goes to Bob's forward state? No:
+        # dss(Alice·Bob) = (Bob,).
+        assert K.edges[BOB][(ALICE,)] == (BOB,)
+
+    def test_no_self_user_edges(self, example_db):
+        K = canonical_kripke(example_db)
+        assert (ALICE,) not in K.edges[ALICE]
+        with pytest.raises(UnknownWorldError):
+            K.successor((ALICE,), ALICE)
+
+    def test_edge_and_state_counts(self, example_db):
+        K = canonical_kripke(example_db)
+        assert K.state_count() == 4
+        # Fig. 5's E relation has 9 rows.
+        assert K.edge_count() == 9
+
+
+class TestNavigation:
+    def test_resolve_deep_path(self, example_db):
+        K = canonical_kripke(example_db)
+        assert K.resolve((CAROL, BOB, ALICE)) == (BOB, ALICE)
+        assert K.resolve((ALICE, BOB, ALICE)) == (BOB, ALICE)
+        assert K.resolve(()) == ()
+
+    def test_world_at_arbitrary_path(self, example_db, example):
+        K = canonical_kripke(example_db)
+        assert example.s22 in K.world_at((CAROL, BOB)).positives
+
+    def test_unknown_user_raises(self, example_db):
+        K = canonical_kripke(example_db)
+        with pytest.raises(UnknownUserError):
+            K.resolve((99,))
+
+    def test_extra_registered_user_gets_root_loops(self, example_db):
+        example_db.register_user(4)  # "Dora" joins with no statements
+        K = canonical_kripke(example_db)
+        assert K.edges[4][()] == ()
+        assert K.edges[4][(BOB, ALICE)] == ()
+        # Dora believes everything stated in the root world by default.
+        assert K.world_at((4,)) == K.worlds[()]
+
+
+class TestTheorem17:
+    @given(belief_databases(max_statements=10, max_depth=2))
+    def test_entailment_agreement(self, db):
+        """D |= ϕ iff K(D) |= ϕ — over all probes up to depth 3."""
+        K = canonical_kripke(db)
+        paths = [()]
+        for d in (1, 2, 3):
+            paths += [
+                p
+                for p in itertools.product(USERS, repeat=d)
+                if all(p[i] != p[i + 1] for i in range(d - 1))
+            ]
+        tuples = {s.tuple for s in db.statements()} or {T("R", "k0", "a")}
+        for path in paths:
+            for t in tuples:
+                for sign in (POSITIVE, NEGATIVE):
+                    phi = BeliefStatement(path, t, sign)
+                    assert entails(db, phi) == K.entails(phi), phi
+
+    @given(belief_databases(max_statements=10, max_depth=3))
+    def test_edges_target_deepest_suffix_state(self, db):
+        K = canonical_kripke(db)
+        states = db.states()
+        for user, per_state in K.edges.items():
+            for source, target in per_state.items():
+                assert target == dss(db, source + (user,))
+                assert target in states
+
+    @given(belief_databases(max_statements=8, max_depth=2))
+    def test_state_worlds_are_entailed_worlds(self, db):
+        from repro.core.closure import entailed_world
+        K = canonical_kripke(db)
+        for state in K.states:
+            assert K.worlds[state] == entailed_world(db, state)
+
+
+class TestDescribe:
+    def test_describe_mentions_all_states(self, example_db):
+        K = canonical_kripke(example_db)
+        text = K.describe()
+        assert "4 states" in text
+        assert "ε" in text

@@ -1,0 +1,106 @@
+"""General modal formulas over the canonical Kripke structure (extension)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.closure import entails
+from repro.core.kripke import canonical_kripke
+from repro.core.modal import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    Lit,
+    Not,
+    Or,
+    Top,
+    box_chain,
+    holds,
+    statement_formula,
+)
+from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement
+from repro.errors import BeliefDBError
+from tests.conftest import ALICE, BOB, CAROL
+from tests.strategies import belief_databases, belief_statements
+
+from hypothesis import strategies as st
+
+
+class TestAtomsAndConnectives:
+    def test_literals_follow_prop7(self, example_db, example):
+        K = canonical_kripke(example_db)
+        assert holds(K, Lit(example.s11), state=())
+        assert holds(K, Lit(example.s11, NEGATIVE), state=(BOB,))
+        # Unstated negative: Bob's raven makes the crow impossible.
+        assert holds(K, Lit(example.s21, NEGATIVE), state=(BOB,))
+        # Open world: neither positive nor negative at the root for s21.
+        assert not holds(K, Lit(example.s21), state=())
+        assert not holds(K, Lit(example.s21, NEGATIVE), state=())
+
+    def test_connectives(self, example_db, example):
+        K = canonical_kripke(example_db)
+        assert holds(K, Top())
+        assert not holds(K, Bottom())
+        assert holds(K, And((Lit(example.s11), Not(Lit(example.s21)))))
+        assert holds(K, Or((Bottom(), Lit(example.s11))))
+        assert not holds(K, Not(Lit(example.s11)))
+
+
+class TestModalities:
+    def test_box_follows_edges(self, example_db, example):
+        K = canonical_kripke(example_db)
+        assert holds(K, Box(ALICE, Lit(example.s21)))
+        assert not holds(K, Box(BOB, Lit(example.s11)))
+        assert holds(K, Box(BOB, Box(ALICE, Lit(example.s11))))
+
+    def test_negation_before_modality(self, example_db, example):
+        """The shapes the paper's fragment excludes (Sect. 3.4)."""
+        K = canonical_kripke(example_db)
+        # ¬□_Bob s11+ : Bob does not (positively) believe Carol's sighting.
+        assert holds(K, Not(Box(BOB, Lit(example.s11))))
+        # ◇_Bob ¬(s11+) is its dual over the deterministic edges.
+        assert holds(K, Diamond(BOB, Not(Lit(example.s11))))
+        # At the root, s21 is open for Carol: neither believed nor rejected.
+        open_world = And(
+            (
+                Not(Box(CAROL, Lit(example.s21))),
+                Not(Box(CAROL, Lit(example.s21, NEGATIVE))),
+            )
+        )
+        assert holds(K, open_world)
+
+    def test_box_diamond_duality(self, example_db, example):
+        K = canonical_kripke(example_db)
+        probes = [Lit(t, s) for t in example.tuples for s in (POSITIVE, NEGATIVE)]
+        for user in (ALICE, BOB, CAROL):
+            for lit in probes:
+                a = holds(K, Not(Box(user, lit)))
+                b = holds(K, Diamond(user, Not(lit)))
+                assert a == b, (user, lit)
+
+    def test_unknown_user_raises(self, example_db, example):
+        K = canonical_kripke(example_db)
+        with pytest.raises(BeliefDBError):
+            holds(K, Box(99, Lit(example.s11)))
+
+    def test_str_rendering(self, example):
+        formula = Box(BOB, Diamond(ALICE, Not(Lit(example.s11))))
+        text = str(formula)
+        assert "□" in text and "◇" in text and "¬" in text
+
+
+class TestFragmentCorrespondence:
+    @given(belief_databases(max_statements=8, max_depth=2),
+           st.lists(belief_statements(max_depth=3), min_size=1, max_size=6))
+    def test_statements_are_box_chains(self, db, probes):
+        """``D |= w t^s`` iff ``K(D), root |= □_{w1}…□_{wd} t^s``."""
+        K = canonical_kripke(db)
+        for stmt in probes:
+            formula = statement_formula(stmt)
+            assert holds(K, formula) == entails(db, stmt), stmt
+
+    def test_box_chain_builder(self, example):
+        stmt = BeliefStatement((BOB, ALICE), example.c21, POSITIVE)
+        formula = statement_formula(stmt)
+        assert formula == Box(BOB, Box(ALICE, Lit(example.c21, POSITIVE)))
+        assert box_chain((), Lit(example.c21)) == Lit(example.c21)

@@ -1,0 +1,105 @@
+"""Belief paths in Û* (Sect. 3.2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.paths import (
+    ROOT_PATH,
+    can_extend,
+    concat,
+    deepest_suffix_in,
+    format_path,
+    is_proper_suffix,
+    is_suffix,
+    is_valid_path,
+    make_path,
+    prefixes,
+    proper_suffixes,
+    suffixes,
+    validate_path,
+)
+from repro.errors import InvalidBeliefPath
+from tests.strategies import belief_paths
+
+
+class TestValidation:
+    def test_adjacent_repetition_rejected(self):
+        with pytest.raises(InvalidBeliefPath):
+            make_path([1, 1])
+        with pytest.raises(InvalidBeliefPath):
+            validate_path((1, 2, 2, 3))
+
+    def test_non_adjacent_repetition_allowed(self):
+        assert make_path([1, 2, 1]) == (1, 2, 1)
+
+    def test_empty_and_singleton(self):
+        assert make_path([]) == ROOT_PATH
+        assert make_path([5]) == (5,)
+
+    def test_is_valid_path(self):
+        assert is_valid_path(())
+        assert is_valid_path((1, 2, 1))
+        assert not is_valid_path((1, 1))
+
+    def test_can_extend(self):
+        assert can_extend((), 1)
+        assert can_extend((1, 2), 1)
+        assert not can_extend((1, 2), 2)
+
+    def test_concat_validates_junction(self):
+        assert concat((1, 2), (1, 3)) == (1, 2, 1, 3)
+        with pytest.raises(InvalidBeliefPath):
+            concat((1, 2), (2, 3))
+        assert concat((), (1,)) == (1,)
+        assert concat((1,), ()) == (1,)
+
+
+class TestSuffixMachinery:
+    def test_prefixes(self):
+        assert list(prefixes((1, 2, 3))) == [(), (1,), (1, 2), (1, 2, 3)]
+
+    def test_suffixes_longest_first(self):
+        assert list(suffixes((1, 2))) == [(1, 2), (2,), ()]
+        assert list(proper_suffixes((1, 2))) == [(2,), ()]
+
+    def test_is_suffix(self):
+        assert is_suffix((), (1, 2))
+        assert is_suffix((2,), (1, 2))
+        assert is_suffix((1, 2), (1, 2))
+        assert not is_suffix((1,), (1, 2))
+        assert not is_suffix((1, 2, 3), (2, 3))
+
+    def test_is_proper_suffix(self):
+        assert is_proper_suffix((2,), (1, 2))
+        assert not is_proper_suffix((1, 2), (1, 2))
+
+    def test_deepest_suffix_in(self):
+        states = {(), (2,), (1, 2)}
+        assert deepest_suffix_in((3, 1, 2), states) == (1, 2)
+        assert deepest_suffix_in((3, 2), states) == (2,)
+        assert deepest_suffix_in((3,), states) == ()
+        # The path itself counts as its own (improper) suffix.
+        assert deepest_suffix_in((1, 2), states) == (1, 2)
+        with pytest.raises(InvalidBeliefPath):
+            deepest_suffix_in((2,), {(1,)})  # no suffix state, no root
+
+    @given(belief_paths())
+    def test_suffix_count(self, path):
+        assert len(list(suffixes(path))) == len(path) + 1
+        assert all(is_suffix(s, path) for s in suffixes(path))
+
+    @given(belief_paths())
+    def test_dss_is_longest(self, path):
+        states = {(), (1,), (2, 1)}
+        dss = deepest_suffix_in(path, states)
+        for s in suffixes(path):
+            if s in states:
+                assert len(s) <= len(dss)
+
+
+class TestFormatting:
+    def test_root_renders_as_epsilon(self):
+        assert format_path(()) == "ε"
+
+    def test_dots_between_users(self):
+        assert format_path(("Bob", "Alice")) == "Bob·Alice"

@@ -1,0 +1,119 @@
+"""External schema and ground tuples (Sect. 3 preliminaries)."""
+
+import pytest
+
+from repro.core.schema import (
+    ExternalSchema,
+    GroundTuple,
+    RelationDef,
+    experiment_schema,
+    sightings_schema,
+)
+from repro.errors import SchemaError
+
+
+class TestRelationDef:
+    def test_key_is_first_attribute(self):
+        rel = RelationDef("R", ("id", "a", "b"))
+        assert rel.key_attribute == "id"
+        assert rel.arity == 3
+
+    def test_rejects_empty_attribute_list(self):
+        with pytest.raises(SchemaError):
+            RelationDef("R", ())
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationDef("R", ("a", "a"))
+
+    def test_rejects_non_identifier_names(self):
+        with pytest.raises(SchemaError):
+            RelationDef("bad name", ("a",))
+        with pytest.raises(SchemaError):
+            RelationDef("R", ("bad attr",))
+
+    def test_tuple_checks_arity(self):
+        rel = RelationDef("R", ("id", "a"))
+        assert rel.tuple("k", 1).values == ("k", 1)
+        with pytest.raises(SchemaError):
+            rel.tuple("k")
+
+    def test_tuple_from_mapping(self):
+        rel = RelationDef("R", ("id", "a"))
+        assert rel.tuple_from_mapping({"id": "k", "a": 2}).values == ("k", 2)
+        with pytest.raises(SchemaError):
+            rel.tuple_from_mapping({"id": "k"})
+        with pytest.raises(SchemaError):
+            rel.tuple_from_mapping({"id": "k", "a": 2, "zzz": 3})
+
+
+class TestGroundTuple:
+    def test_key_and_key_id(self):
+        t = GroundTuple("R", ("k", 1, 2))
+        assert t.key == "k"
+        assert t.key_id == ("R", "k")
+
+    def test_same_key_requires_same_relation(self):
+        a = GroundTuple("R", ("k", 1))
+        b = GroundTuple("S", ("k", 1))
+        c = GroundTuple("R", ("k", 2))
+        assert not a.same_key(b)
+        assert a.same_key(c)
+
+    def test_equality_ignores_arity_marker(self):
+        assert GroundTuple("R", ("k", 1), _arity=2) == GroundTuple("R", ("k", 1))
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(SchemaError):
+            GroundTuple("R", ())
+
+    def test_tuple_universes_are_disjoint(self):
+        # Def. 8 requires Tup_i ∩ Tup_j = ∅: same values, different relation.
+        assert GroundTuple("R", ("k",)) != GroundTuple("S", ("k",))
+
+
+class TestExternalSchema:
+    def test_lookup_and_iteration(self):
+        s = sightings_schema()
+        assert "Sightings" in s
+        assert len(s) == 3
+        assert s.relation("Comments").arity == 3
+        with pytest.raises(SchemaError):
+            s.relation("Nope")
+
+    def test_users_relation_must_exist(self):
+        with pytest.raises(SchemaError):
+            ExternalSchema([RelationDef("R", ("a",))], users_relation="Users")
+
+    def test_content_relations_exclude_users(self):
+        s = sightings_schema()
+        names = [r.name for r in s.content_relations]
+        assert names == ["Sightings", "Comments"]
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            ExternalSchema([RelationDef("R", ("a",)), RelationDef("R", ("b",))])
+
+    def test_validate_checks_arity(self):
+        s = sightings_schema()
+        with pytest.raises(SchemaError):
+            s.validate(GroundTuple("Comments", ("c1", "x")))
+
+    def test_replace_attributes(self):
+        s = sightings_schema()
+        t = s.tuple("Comments", "c1", "text", "s2")
+        t2 = s.replace(t, comment="new text")
+        assert t2.values == ("c1", "new text", "s2")
+        with pytest.raises(SchemaError):
+            s.replace(t, nonexistent="x")
+
+    def test_attribute_index(self):
+        s = sightings_schema()
+        assert s.attribute_index("Sightings", "species") == 2
+        with pytest.raises(SchemaError):
+            s.attribute_index("Sightings", "zzz")
+
+    def test_experiment_schema_drops_comments(self):
+        s = experiment_schema()
+        assert "Comments" not in s
+        assert s.users_relation == "Users"

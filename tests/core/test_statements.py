@@ -1,0 +1,67 @@
+"""Belief statements and signs (Def. 8)."""
+
+import pytest
+
+from repro.core.schema import GroundTuple
+from repro.core.statements import (
+    NEGATIVE,
+    POSITIVE,
+    BeliefStatement,
+    Sign,
+    ground,
+    negative,
+    positive,
+    statement,
+)
+from repro.errors import BeliefDBError, InvalidBeliefPath
+
+T = GroundTuple("R", ("k", 1))
+
+
+class TestSign:
+    def test_coerce_strings(self):
+        assert Sign.coerce("+") is POSITIVE
+        assert Sign.coerce("-") is NEGATIVE
+        assert Sign.coerce("−") is NEGATIVE  # the paper's unicode minus
+        assert Sign.coerce(POSITIVE) is POSITIVE
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(BeliefDBError):
+            Sign.coerce("±")
+
+    def test_negated(self):
+        assert POSITIVE.negated is NEGATIVE
+        assert NEGATIVE.negated is POSITIVE
+
+    def test_str(self):
+        assert str(POSITIVE) == "+"
+        assert str(NEGATIVE) == "-"
+
+
+class TestBeliefStatement:
+    def test_constructors(self):
+        assert ground(T) == BeliefStatement((), T, POSITIVE)
+        assert positive([1], T) == BeliefStatement((1,), T, POSITIVE)
+        assert negative([1, 2], T) == BeliefStatement((1, 2), T, NEGATIVE)
+        assert statement([2], T, "-") == BeliefStatement((2,), T, NEGATIVE)
+
+    def test_constructor_validates_path(self):
+        with pytest.raises(InvalidBeliefPath):
+            positive([1, 1], T)
+
+    def test_depth(self):
+        assert ground(T).depth == 0
+        assert positive([1, 2, 1], T).depth == 3
+
+    def test_prefixed(self):
+        # The default rule ϕ : iϕ / iϕ prepends one user.
+        phi = positive([1], T)
+        assert phi.prefixed(2) == positive([2, 1], T)
+
+    def test_statements_hashable_and_distinct_by_sign(self):
+        assert positive([1], T) != negative([1], T)
+        assert len({positive([1], T), positive([1], T)}) == 1
+
+    def test_str_rendering(self):
+        assert str(ground(T)) == "R('k', 1)+"
+        assert "[1·2]" in str(positive([1, 2], T))

@@ -1,0 +1,202 @@
+"""Belief worlds: Γ1/Γ2, Prop. 5, Prop. 7, overriding union (Sect. 3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schema import GroundTuple
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.core.worlds import EMPTY_WORLD, BeliefWorld, MutableWorld
+from repro.errors import InconsistencyError
+from tests.strategies import KEYS, VALUES, ground_tuples
+
+t_ka = GroundTuple("R", ("k", "a"))
+t_kb = GroundTuple("R", ("k", "b"))
+t_ja = GroundTuple("R", ("j", "a"))
+s_ka = GroundTuple("S", ("k", "a"))
+
+
+@st.composite
+def worlds(draw):
+    pos = draw(st.lists(ground_tuples(), max_size=4))
+    neg = draw(st.lists(ground_tuples(), max_size=4))
+    return BeliefWorld.from_tuples(pos, neg)
+
+
+@st.composite
+def consistent_worlds(draw):
+    candidates = draw(st.lists(ground_tuples(), max_size=6))
+    signs = draw(st.lists(st.booleans(), min_size=len(candidates), max_size=len(candidates)))
+    world = MutableWorld()
+    for t, is_pos in zip(candidates, signs):
+        world.inherit(t, POSITIVE if is_pos else NEGATIVE)
+    return world.freeze()
+
+
+class TestConsistency:
+    def test_gamma1_distinct_tuples_same_key(self):
+        w = BeliefWorld.from_tuples([t_ka, t_kb])
+        assert not w.is_consistent()
+        assert w.gamma1_violations()
+        with pytest.raises(InconsistencyError, match="Γ1"):
+            w.check_consistent()
+
+    def test_gamma1_same_key_different_relation_ok(self):
+        assert BeliefWorld.from_tuples([t_ka, s_ka]).is_consistent()
+
+    def test_gamma2_overlap(self):
+        w = BeliefWorld.from_tuples([t_ka], [t_ka])
+        assert w.gamma2_violations() == {t_ka}
+        with pytest.raises(InconsistencyError, match="Γ2"):
+            w.check_consistent()
+
+    def test_multiple_negatives_same_key_allowed(self):
+        # Bob's world in Fig. 3: two negatives with key s1.
+        assert BeliefWorld.from_tuples([], [t_ka, t_kb]).is_consistent()
+
+    def test_empty_world_consistent(self):
+        assert EMPTY_WORLD.is_consistent()
+
+    @given(consistent_worlds())
+    def test_prop5_equals_nonempty_semantics(self, w):
+        # Prop. 5: Γ1 ∧ Γ2 iff [[W]] ≠ ∅ (checked on the tiny universe).
+        universe = [GroundTuple("R", (k, v)) for k in KEYS for v in VALUES]
+        assert w.is_consistent() == (next(w.instances(universe), None) is not None)
+
+    @given(worlds())
+    def test_prop5_on_arbitrary_worlds(self, w):
+        universe = [GroundTuple("R", (k, v)) for k in KEYS for v in VALUES]
+        has_instance = next(w.instances(universe), None) is not None
+        assert w.is_consistent() == has_instance
+
+
+class TestProp7:
+    def test_positive_iff_in_ipos(self):
+        w = BeliefWorld.from_tuples([t_ka], [t_ja])
+        assert w.entails_positive(t_ka)
+        assert not w.entails_positive(t_kb)
+        assert not w.entails_positive(t_ja)
+
+    def test_stated_negative(self):
+        w = BeliefWorld.from_tuples([], [t_ja])
+        assert w.entails_negative(t_ja)
+
+    def test_unstated_negative_same_key(self):
+        w = BeliefWorld.from_tuples([t_ka])
+        assert w.entails_negative(t_kb)       # same key, different tuple
+        assert not w.entails_negative(t_ka)   # not itself
+        assert not w.entails_negative(t_ja)   # other key: open world
+        assert not w.entails_negative(s_ka)   # other relation
+
+    @given(consistent_worlds(), ground_tuples())
+    def test_prop7_matches_instance_semantics(self, w, t):
+        # Def. 6 via Def. 3: t is positive iff in all instances; negative iff
+        # in none — checked against explicit [[W]] enumeration.
+        universe = [GroundTuple("R", (k, v)) for k in KEYS for v in VALUES]
+        instances = list(w.instances(universe))
+        assert instances, "consistent world must have instances"
+        assert w.entails_positive(t) == all(t in i for i in instances)
+        assert w.entails_negative(t) == all(t not in i for i in instances)
+
+
+class TestOverride:
+    def test_explicit_negative_blocks_inherited_positive(self):
+        w = BeliefWorld.from_tuples([], [t_ka]).override(
+            BeliefWorld.from_tuples([t_ka])
+        )
+        assert t_ka in w.negatives and t_ka not in w.positives
+
+    def test_explicit_positive_blocks_same_key_inherited(self):
+        w = BeliefWorld.from_tuples([t_kb]).override(
+            BeliefWorld.from_tuples([t_ka])
+        )
+        assert t_kb in w.positives and t_ka not in w.positives
+
+    def test_explicit_positive_blocks_inherited_negative(self):
+        w = BeliefWorld.from_tuples([t_ka]).override(
+            BeliefWorld.from_tuples([], [t_ka])
+        )
+        assert t_ka in w.positives and t_ka not in w.negatives
+
+    def test_compatible_content_inherited(self):
+        w = BeliefWorld.from_tuples([t_ka]).override(
+            BeliefWorld.from_tuples([t_ja], [t_kb])
+        )
+        assert {t_ka, t_ja} == set(w.positives)
+        assert {t_kb} == set(w.negatives)
+
+    def test_override_empty_is_identity(self):
+        w = BeliefWorld.from_tuples([t_ka], [t_ja])
+        assert w.override(EMPTY_WORLD) == w
+        assert EMPTY_WORLD.override(w) == w
+
+    @given(consistent_worlds(), consistent_worlds())
+    def test_override_preserves_consistency(self, a, b):
+        # The inductive step behind Lemma 11.
+        assert a.override(b).is_consistent()
+
+    @given(consistent_worlds(), consistent_worlds())
+    def test_override_keeps_left_side(self, a, b):
+        merged = a.override(b)
+        assert a.positives <= merged.positives
+        assert a.negatives <= merged.negatives
+
+    def test_override_is_not_associative(self):
+        """⊕ is *not* associative — the fold direction matters.
+
+        With a = {k1b+}, b = {k1a+, k0a−}, c = {k1a−}:
+        (a⊕b)⊕c re-admits k1a− (a⊕b lost b's k1a+ to a's key conflict),
+        while a⊕(b⊕c) never sees it (b blocks c's k1a− first). Def. 9 says
+        the latter is right: a statement only propagates from world to world
+        if it survives *each* intermediate world, so the closure folds from
+        the root outward — a ⊕ (b ⊕ (c ⊕ ...)). Found by hypothesis.
+        """
+        a = BeliefWorld.from_tuples([t_kb])
+        b = BeliefWorld.from_tuples([t_ka], [t_ja])
+        c = BeliefWorld.from_tuples([], [t_ka])
+        left = a.override(b).override(c)
+        right = a.override(b.override(c))
+        assert t_ka in left.negatives
+        assert t_ka not in right.negatives
+        assert left != right
+
+    @given(consistent_worlds(), consistent_worlds(), consistent_worlds())
+    def test_right_fold_blocks_at_each_level(self, a, b, c):
+        """The closure's fold: nothing from c enters a⊕(b⊕c) unless it
+        already survived into b⊕c — statements cannot skip a level."""
+        merged = a.override(b.override(c))
+        survived = b.override(c)
+        for t in merged.positives - a.positives:
+            assert t in survived.positives
+        for t in merged.negatives - a.negatives:
+            assert t in survived.negatives
+
+
+class TestMutableWorld:
+    def test_explicit_tracking(self):
+        w = MutableWorld()
+        w.add_explicit(t_ka, POSITIVE)
+        w.inherit(t_ja, NEGATIVE)
+        assert w.is_explicit(t_ka, POSITIVE)
+        assert not w.is_explicit(t_ja, NEGATIVE)
+
+    def test_inherit_refuses_conflicts(self):
+        w = MutableWorld()
+        w.add_explicit(t_ka, POSITIVE)
+        assert not w.inherit(t_kb, POSITIVE)   # same key
+        assert not w.inherit(t_ka, NEGATIVE)   # Γ2
+        assert w.inherit(t_ja, POSITIVE)
+
+    def test_freeze_roundtrip(self):
+        w = MutableWorld()
+        w.add_explicit(t_ka, POSITIVE)
+        w.add_explicit(t_ja, NEGATIVE)
+        frozen = w.freeze()
+        assert frozen == BeliefWorld.from_tuples([t_ka], [t_ja])
+        assert len(w) == 2
+
+    def test_positive_for_key(self):
+        w = MutableWorld()
+        w.add_explicit(t_ka, POSITIVE)
+        assert w.positive_for_key(("R", "k")) == t_ka
+        assert w.positive_for_key(("R", "j")) is None

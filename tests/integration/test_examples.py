@@ -1,0 +1,53 @@
+"""Every example script must run cleanly (they are living documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "naturemapping_curation.py",
+    "message_board.py",
+    "beliefsql_tour.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should print something"
+
+
+def test_quickstart_output_contains_paper_answers():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert "('s2', 'Alice', 'raven')" in result.stdout        # q1
+    assert "('Bob', 'crow', 'raven')" in result.stdout        # q2
+    assert "4 states" in result.stdout                        # Fig. 4
+    assert "overhead" in result.stdout
+
+
+def test_cli_overhead_subcommand():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "overhead",
+         "--n", "60", "--users", "4", "--repeats", "1"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "|R*|/n" in result.stdout

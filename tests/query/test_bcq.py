@@ -1,0 +1,114 @@
+"""BCQ construction and the Def. 13 safety condition."""
+
+import pytest
+
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.errors import QueryError, UnsafeQueryError
+from repro.query.bcq import (
+    Arith,
+    BCQuery,
+    ModalSubgoal,
+    UserAtom,
+    Variable,
+    make_vars,
+    var,
+)
+from tests.strategies import TINY_SCHEMA
+
+x, y, z, k, v = make_vars("x y z k v")
+
+
+def positive_subgoal(path=(x,), args=(k, v)):
+    return ModalSubgoal(path, "R", POSITIVE, args)
+
+
+def negative_subgoal(path=(x,), args=(k, v)):
+    return ModalSubgoal(path, "R", NEGATIVE, args)
+
+
+class TestConstruction:
+    def test_vars_helpers(self):
+        assert var("a") == Variable("a")
+        assert make_vars("a b") == (Variable("a"), Variable("b"))
+
+    def test_subgoal_properties(self):
+        sg = positive_subgoal()
+        assert sg.is_positive and sg.depth == 1
+        assert sg.variables() == {"x", "k", "v"}
+
+    def test_query_needs_a_body(self):
+        with pytest.raises(QueryError):
+            BCQuery(head=(x,), subgoals=())
+
+    def test_arith_normalizes_ne(self):
+        assert Arith("<>", x, y).op == "!="
+        with pytest.raises(QueryError):
+            Arith("~~", x, y)
+
+    def test_str_rendering(self):
+        q = BCQuery(
+            head=(k,),
+            subgoals=(negative_subgoal(),),
+            user_atoms=(UserAtom(x, Variable("n")),),
+            predicates=(Arith("<", k, "z"),),
+        )
+        text = str(q)
+        assert "R-" in text and "Users(" in text and "k < 'z'" in text
+
+
+class TestSafety:
+    def test_positive_occurrences_make_safe(self):
+        BCQuery(head=(k,), subgoals=(positive_subgoal(),)).check_safe()
+
+    def test_negative_args_alone_are_unsafe(self):
+        q = BCQuery(head=(k,), subgoals=(negative_subgoal(),))
+        with pytest.raises(UnsafeQueryError):
+            q.check_safe()
+
+    def test_path_position_counts_as_positive(self):
+        # q3's shape: the head variable occurs only in a negative subgoal's
+        # belief path — that is a positive occurrence per Def. 13.
+        q = BCQuery(
+            head=(x,),
+            subgoals=(
+                negative_subgoal(path=(x,), args=(k, v)),
+                positive_subgoal(path=(1,), args=(k, v)),
+            ),
+        )
+        q.check_safe()
+
+    def test_user_atom_binds(self):
+        q = BCQuery(
+            head=(x,),
+            subgoals=(negative_subgoal(path=(1,), args=(x, "c")),),
+            user_atoms=(UserAtom(x, Variable("n")),),
+        )
+        q.check_safe()
+
+    def test_arith_only_variable_unsafe(self):
+        q = BCQuery(
+            head=(k,),
+            subgoals=(positive_subgoal(args=(k, v)),),
+            predicates=(Arith("<", z, 3),),
+        )
+        with pytest.raises(UnsafeQueryError):
+            q.check_safe()
+
+    def test_head_variable_must_occur_positively(self):
+        q = BCQuery(head=(z,), subgoals=(positive_subgoal(),))
+        with pytest.raises(UnsafeQueryError):
+            q.check_safe()
+
+    def test_schema_checks(self):
+        q = BCQuery(
+            head=(k,),
+            subgoals=(ModalSubgoal((x,), "R", POSITIVE, (k,)),),  # bad arity
+        )
+        with pytest.raises(QueryError):
+            q.check_safe(TINY_SCHEMA)
+        q2 = BCQuery(
+            head=(k,),
+            subgoals=(ModalSubgoal((x,), "Users", POSITIVE, (k, v)),),
+        )
+        with pytest.raises(QueryError):
+            q2.check_safe(TINY_SCHEMA)  # catalog cannot carry beliefs

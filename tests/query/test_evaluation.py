@@ -1,0 +1,209 @@
+"""Query evaluation on the running example — all paper queries, all backends.
+
+Each query is executed through the four evaluation paths (naive reference,
+translated Datalog with and without selection pushdown, generated SQL on
+SQLite, lazy) and the answers must coincide.
+"""
+
+import pytest
+
+from repro.query.lazy import evaluate_lazy
+from repro.query.naive import evaluate_naive
+from repro.query.parser import parse_bcq
+from repro.query.sql_gen import evaluate_sql
+from repro.query.translate import evaluate_translated
+from repro.relational.sqlite_backend import SqliteMirror
+from tests.conftest import ALICE, BOB, CAROL
+
+
+@pytest.fixture
+def store(example_store):
+    return example_store
+
+
+@pytest.fixture
+def mirror(store):
+    m = SqliteMirror()
+    m.sync(store.engine)
+    yield m
+    m.close()
+
+
+def answers(store, mirror, text):
+    query = parse_bcq(text, store.schema)
+    results = {
+        "naive": evaluate_naive(store.explicit_db, query, users=store.users()),
+        "datalog": evaluate_translated(store, query),
+        "datalog-nopush": evaluate_translated(store, query, push_selections=False),
+        "sql": evaluate_sql(store, query, mirror),
+        "lazy": evaluate_lazy(store, query),
+    }
+    reference = results["naive"]
+    for backend, result in results.items():
+        assert result == reference, backend
+    return reference
+
+
+class TestPaperQueries:
+    def test_q1_bobs_sightings(self, store, mirror):
+        # Sect. 2's q1 with the location fixed to Lake Placid (the paper's
+        # text says 'Lake Forest' but its own expected answer is the Placid
+        # raven — see DESIGN.md).
+        got = answers(
+            store, mirror,
+            "q1(k, u, sp) :- Users(x, n), [x] Sightings+(k, u, sp, d, l), "
+            "n = 'Bob', l = 'Lake Placid'",
+        )
+        assert got == {("s2", ALICE, "raven")}
+
+    def test_q2_disagreements_with_alice(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q2(n2, sp1, sp2) :- Users(x1, n1), Users(x2, n2), "
+            "[x1] Sightings+(k, u1, sp1, d1, l1), "
+            "[x2] Sightings+(k, u2, sp2, d2, l2), "
+            "n1 = 'Alice', sp1 != sp2",
+        )
+        assert got == {("Bob", "crow", "raven")}
+
+    def test_example15_who_disagrees_with_alice(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q3(x) :- [x] Sightings-(y, z, u, v, w), "
+            "[1] Sightings+(y, z, u, v, w)",
+        )
+        assert got == {(BOB,)}
+
+    def test_sect6_q2_conflict_query(self, store, mirror):
+        # "Which sightings does Bob believe Alice believes, which he does not
+        # believe himself?" — both of Alice's beliefs qualify.
+        got = answers(
+            store, mirror,
+            "q(k, sp) :- [2, 1] Sightings+(k, z, sp, u, v), "
+            "[2] Sightings-(k, z, sp, u, v)",
+        )
+        assert got == {("s1", "bald eagle"), ("s2", "crow")}
+
+    def test_content_queries_by_depth(self, store, mirror):
+        assert answers(store, mirror,
+                       "q(k, sp) :- [] Sightings+(k, z, sp, u, v)") == {
+            ("s1", "bald eagle")
+        }
+        deep = {("s1", "bald eagle"), ("s2", "crow")}
+        for path in ("[1]", "[2, 1]", "[1, 2, 1]", "[3, 1]"):
+            got = answers(
+                store, mirror,
+                f"q(k, sp) :- {path} Sightings+(k, z, sp, u, v)",
+            )
+            assert got == deep, path
+
+
+class TestNegationSemantics:
+    def test_stated_negative(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(x) :- [x] Sightings-('s1', 3, 'bald eagle', '6-14-08', "
+            "'Lake Forest'), Users(x, n)",
+        )
+        assert got == {(BOB,)}
+
+    def test_unstated_negative_via_key_conflict(self, store, mirror):
+        # Bob believes raven for s2, so crow is impossible for him (Prop. 7).
+        got = answers(
+            store, mirror,
+            "q(x) :- [x] Sightings-('s2', 1, 'crow', '6-14-08', "
+            "'Lake Placid'), Users(x, n)",
+        )
+        assert got == {(BOB,)}
+
+    def test_open_world_no_negative_for_unknown_key(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(x) :- [x] Sightings-('s99', 1, 'crow', 'd', 'l'), Users(x, n)",
+        )
+        assert got == set()
+
+    def test_negative_subgoal_on_comments(self, store, mirror):
+        # Alice's world has comment c1; a different comment text with the
+        # same key is an unstated negative for everyone who inherits c1.
+        got = answers(
+            store, mirror,
+            "q(x) :- [x] Comments-('c1', 'wrong text', 's2'), Users(x, n)",
+        )
+        # Only Alice's own world holds c1 (Bob/Carol never inherit it).
+        assert got == {(ALICE,)}
+
+
+class TestPathSemantics:
+    def test_adjacent_valuations_excluded(self, store, mirror):
+        # Back edges would let Carol·Carol slip through without the
+        # disequality fix (DESIGN.md §2).
+        got = answers(
+            store, mirror,
+            "q(x, y) :- [x] Sightings+(k, z, sp, u, v), "
+            "[y, x] Sightings+(k, z, sp, u, v), x = 3, y = 3",
+        )
+        assert got == set()
+
+    def test_adjacent_constants_make_query_empty(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(k) :- [3, 3] Sightings+(k, z, sp, u, v)",
+        )
+        assert got == set()
+
+    def test_unknown_user_constant_yields_empty(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(k) :- ['Nobody'] Sightings+(k, z, sp, u, v)",
+        )
+        assert got == set()
+
+    def test_user_names_resolve_in_paths(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(k, sp) :- ['Bob'] Sightings+(k, z, sp, u, v)",
+        )
+        assert got == {("s2", "raven")}
+
+    def test_higher_order_content(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(x) :- [x, 1] Comments+('c2', 'black feathers', 's2'), "
+            "Users(x, n)",
+        )
+        assert got == {(BOB,)}
+
+    def test_deep_paths_collapse(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(k, sp) :- [3, 2, 1] Sightings+(k, z, sp, u, v)",
+        )
+        assert got == {("s1", "bald eagle"), ("s2", "crow")}
+
+
+class TestHeadsAndPredicates:
+    def test_constant_in_head(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q('tag', k) :- [2] Sightings+(k, z, sp, u, v)",
+        )
+        assert got == {("tag", "s2")}
+
+    def test_duplicate_elimination(self, store, mirror):
+        # Both of Alice's sightings share the date: one output row.
+        got = answers(store, mirror, "q(d) :- [1] Sightings+(k, z, sp, d, v)")
+        assert got == {("6-14-08",)}
+
+    def test_comparison_predicates(self, store, mirror):
+        got = answers(
+            store, mirror,
+            "q(sp) :- [2] Sightings+(k, z, sp, u, v), sp >= 'r'",
+        )
+        assert got == {("raven",)}
+
+    def test_repeated_variable_inside_atom(self, store, mirror):
+        # sid attribute equal to the key column of Comments ('s2' vs 'c?'):
+        # never matches here, exercising within-atom unification.
+        got = answers(store, mirror, "q(c) :- [1] Comments+(c, x, c)")
+        assert got == set()

@@ -1,0 +1,84 @@
+"""Textual BCQ parsing."""
+
+import pytest
+
+from repro.core.statements import NEGATIVE, POSITIVE
+from repro.errors import BCQParseError, UnsafeQueryError
+from repro.query.bcq import Variable
+from repro.query.parser import parse_bcq
+from tests.strategies import TINY_SCHEMA
+
+
+class TestParsing:
+    def test_simple_positive(self):
+        q = parse_bcq("q(k) :- [1] R+(k, v)", TINY_SCHEMA)
+        assert q.name == "q"
+        assert q.head == (Variable("k"),)
+        (sg,) = q.subgoals
+        assert sg.path == (1,) and sg.sign is POSITIVE
+        assert sg.args == (Variable("k"), Variable("v"))
+
+    def test_negative_and_multi_user_path(self):
+        q = parse_bcq("q(k) :- [2, 1] R-(k, v), [] R+(k, v)", TINY_SCHEMA)
+        assert q.subgoals[0].sign is NEGATIVE
+        assert q.subgoals[0].path == (2, 1)
+        assert q.subgoals[1].path == ()
+
+    def test_path_variables_and_string_constants(self):
+        q = parse_bcq("q(x) :- [x, 'Alice'] R+(k, v)", TINY_SCHEMA)
+        assert q.subgoals[0].path == (Variable("x"), "Alice")
+
+    def test_sign_defaults_to_positive(self):
+        q = parse_bcq("q(k) :- [1] R(k, v)", TINY_SCHEMA)
+        assert q.subgoals[0].sign is POSITIVE
+
+    def test_bare_relation_is_root_subgoal(self):
+        q = parse_bcq("q(k) :- R+(k, v)", TINY_SCHEMA)
+        assert q.subgoals[0].path == ()
+
+    def test_user_atom_detected(self):
+        q = parse_bcq("q(n) :- Users(x, n), [x] R+(k, v)", TINY_SCHEMA)
+        assert len(q.user_atoms) == 1 and len(q.subgoals) == 1
+
+    def test_user_atom_without_schema_uses_conventional_name(self):
+        q = parse_bcq("q(n) :- Users(x, n), [x] R+(k, v)")
+        assert len(q.user_atoms) == 1
+
+    def test_arithmetic_predicates(self):
+        q = parse_bcq("q(k) :- [1] R+(k, v), v != 'a', k <= 'z'", TINY_SCHEMA)
+        assert len(q.predicates) == 2
+        assert q.predicates[0].op == "!="
+
+    def test_numbers_and_quote_escapes(self):
+        q = parse_bcq("q(k) :- [1] R+(k, 3)", TINY_SCHEMA)
+        assert q.subgoals[0].args[1] == 3
+        q2 = parse_bcq("q(k) :- [1] R+(k, 'it''s')", TINY_SCHEMA)
+        assert q2.subgoals[0].args[1] == "it's"
+        q3 = parse_bcq("q(k) :- [1] R+(k, -2.5)", TINY_SCHEMA)
+        assert q3.subgoals[0].args[1] == -2.5
+
+    def test_empty_head(self):
+        q = parse_bcq("q() :- [1] R+(k, v)", TINY_SCHEMA)
+        assert q.head == ()
+
+
+class TestErrors:
+    def test_safety_enforced(self):
+        with pytest.raises(UnsafeQueryError):
+            parse_bcq("q(z) :- [1] R+(k, v)", TINY_SCHEMA)
+
+    def test_syntax_errors(self):
+        for bad in [
+            "q(k)",                     # no body
+            "q(k) : [1] R+(k, v)",      # bad implication
+            "q(k) :- [1 R+(k, v)",      # unclosed bracket
+            "q(k) :- [1] R+(k, v",      # unclosed paren
+            "q(k) :- [1] R+(k, v) extra",
+            "q(k) ;- [1] R+(k,v)",
+        ]:
+            with pytest.raises(BCQParseError):
+                parse_bcq(bad, TINY_SCHEMA)
+
+    def test_users_atom_arity_checked(self):
+        with pytest.raises(BCQParseError):
+            parse_bcq("q(x) :- Users(x), [x] R+(k, v)", TINY_SCHEMA)

@@ -1,0 +1,141 @@
+"""Relational algebra operators."""
+
+import pytest
+
+from repro.errors import EngineError, UnknownColumnError
+from repro.relational.algebra import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    HashJoin,
+    Limit,
+    OrderBy,
+    Project,
+    Rename,
+    Rows,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import Cmp, Const, Ref
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+def people() -> Rows:
+    return Rows(
+        ("id", "name", "age"),
+        [(1, "ann", 30), (2, "bob", 25), (3, "cay", 30)],
+    )
+
+
+def pets() -> Rows:
+    return Rows(
+        ("owner", "pet"),
+        [(1, "cat"), (1, "dog"), (3, "fish")],
+    )
+
+
+class TestBasics:
+    def test_scan(self):
+        t = Table(TableSchema("T", ("a", "b")))
+        t.insert_many([(1, 2), (3, 4)])
+        assert set(Scan(t)) == {(1, 2), (3, 4)}
+        assert Scan(t).columns == ("a", "b")
+
+    def test_select(self):
+        out = Select(people(), Cmp("=", Ref("age"), Const(30)))
+        assert {r[1] for r in out} == {"ann", "cay"}
+
+    def test_select_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            Select(people(), Cmp("=", Ref("zzz"), Const(1)))
+
+    def test_project_reorders_and_duplicates(self):
+        out = Project(people(), ("name", "id", "name"))
+        assert out.rows()[0] == ("ann", 1, "ann")
+
+    def test_rename(self):
+        out = Rename(people(), ("a", "b", "c"))
+        assert out.columns == ("a", "b", "c")
+        with pytest.raises(EngineError):
+            Rename(people(), ("a",))
+
+
+class TestJoins:
+    def test_hash_join(self):
+        out = HashJoin(people(), pets(), on=[("id", "owner")])
+        rows = out.to_set()
+        assert (1, "ann", 30, 1, "cat") in rows
+        assert (3, "cay", 30, 3, "fish") in rows
+        assert len(rows) == 3
+
+    def test_join_rejects_column_clash(self):
+        with pytest.raises(EngineError):
+            HashJoin(people(), people(), on=[("id", "id")])
+
+    def test_cross_product(self):
+        out = CrossProduct(Rows(("a",), [(1,), (2,)]), Rows(("b",), [(3,)]))
+        assert out.to_set() == {(1, 3), (2, 3)}
+
+
+class TestSetOps:
+    def test_union_dedupes(self):
+        a = Rows(("x",), [(1,), (2,)])
+        b = Rows(("x",), [(2,), (3,)])
+        assert Union(a, b).to_set() == {(1,), (2,), (3,)}
+
+    def test_difference(self):
+        a = Rows(("x",), [(1,), (2,), (2,)])
+        b = Rows(("x",), [(2,)])
+        assert Difference(a, b).rows() == [(1,)]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(EngineError):
+            Union(Rows(("x",), []), Rows(("x", "y"), []))
+
+    def test_distinct(self):
+        out = Distinct(Rows(("x",), [(1,), (1,), (2,)]))
+        assert out.rows() == [(1,), (2,)]
+
+
+class TestOrderingAndAggregates:
+    def test_order_by(self):
+        out = OrderBy(people(), ("age", "name"))
+        assert [r[1] for r in out] == ["bob", "ann", "cay"]
+
+    def test_order_by_descending(self):
+        out = OrderBy(people(), ("age",), descending=True)
+        assert out.rows()[0][2] == 30
+
+    def test_limit(self):
+        assert len(Limit(people(), 2).rows()) == 2
+        assert len(Limit(people(), 0).rows()) == 0
+
+    def test_aggregate_max(self):
+        out = Aggregate(people(), ("age",), "max", "id")
+        assert set(out) == {(30, 3), (25, 2)}
+
+    def test_aggregate_count(self):
+        out = Aggregate(pets(), ("owner",), "count")
+        assert set(out) == {(1, 2), (3, 1)}
+
+    def test_aggregate_global_group(self):
+        out = Aggregate(people(), (), "min", "age")
+        assert out.rows() == [(25,)]
+
+    def test_aggregate_validation(self):
+        with pytest.raises(EngineError):
+            Aggregate(people(), (), "median", "age")
+        with pytest.raises(EngineError):
+            Aggregate(people(), (), "max")
+
+
+class TestComposition:
+    def test_pipeline(self):
+        # Names of 30-year-olds with pets, alphabetical.
+        joined = HashJoin(people(), pets(), on=[("id", "owner")])
+        filtered = Select(joined, Cmp("=", Ref("age"), Const(30)))
+        names = OrderBy(Distinct(Project(filtered, ("name",))), ("name",))
+        assert names.rows() == [("ann",), ("cay",)]

@@ -1,0 +1,147 @@
+"""Non-recursive Datalog evaluation."""
+
+import pytest
+
+from repro.errors import EngineError, UnknownTableError
+from repro.relational.database import RelationalDatabase
+from repro.relational.datalog import (
+    Atom,
+    NegatedAtom,
+    Program,
+    Rule,
+    Var,
+    evaluate_rule,
+    run_program,
+)
+from repro.relational.expressions import Cmp, Const, Ref
+from repro.relational.schema import TableSchema
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def db() -> RelationalDatabase:
+    db = RelationalDatabase()
+    edge = db.create_table(TableSchema("edge", ("src", "dst")))
+    edge.insert_many([(1, 2), (2, 3), (3, 4), (1, 3)])
+    label = db.create_table(TableSchema("label", ("node", "tag")))
+    label.insert_many([(2, "a"), (3, "b"), (4, "a")])
+    return db
+
+
+class TestRuleEvaluation:
+    def test_single_atom(self, db):
+        rule = Rule(Atom("q", (X, Y)), [Atom("edge", (X, Y))])
+        assert evaluate_rule(db.tables(), rule) == {(1, 2), (2, 3), (3, 4), (1, 3)}
+
+    def test_join(self, db):
+        rule = Rule(
+            Atom("q", (X, Z)), [Atom("edge", (X, Y)), Atom("edge", (Y, Z))]
+        )
+        assert evaluate_rule(db.tables(), rule) == {(1, 3), (2, 4), (1, 4)}
+
+    def test_constants_in_atoms(self, db):
+        rule = Rule(Atom("q", (Y,)), [Atom("edge", (1, Y))])
+        assert evaluate_rule(db.tables(), rule) == {(2,), (3,)}
+
+    def test_repeated_variable_in_atom(self, db):
+        db.table("edge").insert((5, 5))
+        rule = Rule(Atom("q", (X,)), [Atom("edge", (X, X))])
+        assert evaluate_rule(db.tables(), rule) == {(5,)}
+
+    def test_conditions(self, db):
+        rule = Rule(
+            Atom("q", (X, Y)),
+            [Atom("edge", (X, Y))],
+            conditions=(Cmp(">", Ref("y"), Const(2)),),
+        )
+        assert evaluate_rule(db.tables(), rule) == {(2, 3), (3, 4), (1, 3)}
+
+    def test_disjunctive_condition(self, db):
+        from repro.relational.expressions import Or
+        rule = Rule(
+            Atom("q", (X, Y)),
+            [Atom("edge", (X, Y))],
+            conditions=(
+                Or((Cmp("=", Ref("x"), Const(1)), Cmp("=", Ref("y"), Const(4)))),
+            ),
+        )
+        assert evaluate_rule(db.tables(), rule) == {(1, 2), (1, 3), (3, 4)}
+
+    def test_negated_atom(self, db):
+        rule = Rule(
+            Atom("q", (X, Y)),
+            [Atom("edge", (X, Y))],
+            negated=(NegatedAtom(Atom("label", (Y, "a"))),),
+        )
+        assert evaluate_rule(db.tables(), rule) == {(2, 3), (1, 3)}
+
+    def test_negated_atom_requires_bound_vars(self, db):
+        rule = Rule(
+            Atom("q", (X,)),
+            [Atom("edge", (X, Y))],
+            negated=(NegatedAtom(Atom("label", (Z, "a"))),),
+        )
+        with pytest.raises(EngineError):
+            evaluate_rule(db.tables(), rule)
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(EngineError):
+            Rule(Atom("q", (X, Z)), [Atom("edge", (X, Y))])
+
+    def test_unknown_table(self, db):
+        rule = Rule(Atom("q", (X,)), [Atom("nope", (X,))])
+        with pytest.raises(UnknownTableError):
+            evaluate_rule(db.tables(), rule)
+
+    def test_arity_mismatch(self, db):
+        rule = Rule(Atom("q", (X,)), [Atom("edge", (X,))])
+        with pytest.raises(EngineError):
+            evaluate_rule(db.tables(), rule)
+
+    def test_cross_product_when_no_shared_vars(self, db):
+        rule = Rule(
+            Atom("q", (X, Z)),
+            [Atom("label", (X, "a")), Atom("label", (Z, "b"))],
+        )
+        assert evaluate_rule(db.tables(), rule) == {(2, 3), (4, 3)}
+
+
+class TestPrograms:
+    def test_temp_tables_feed_later_rules(self, db):
+        program = Program(
+            [
+                Rule(Atom("hop2", (X, Z)), [Atom("edge", (X, Y)), Atom("edge", (Y, Z))]),
+                Rule(Atom("q", (X,)), [Atom("hop2", (X, 4))]),
+            ]
+        )
+        assert db.run(program) == {(2,), (1,)}
+
+    def test_result_is_last_rule(self, db):
+        program = Program(
+            [
+                Rule(Atom("t1", (X,)), [Atom("edge", (X, Y))]),
+                Rule(Atom("t2", (X,)), [Atom("t1", (X,))], conditions=(Cmp("<", Ref("x"), Const(2)),)),
+            ]
+        )
+        assert db.run(program) == {(1,)}
+
+    def test_empty_program(self, db):
+        assert db.run(Program()) == set()
+
+    def test_run_program_keep_temps(self, db):
+        program = Program(
+            [Rule(Atom("t1", (X,)), [Atom("edge", (X, Y))])]
+        )
+        result, temps = run_program(db.tables(), program, keep_temps=True)
+        assert "t1" in temps
+        assert set(map(tuple, temps["t1"])) == result
+
+    def test_engine_tables_not_polluted(self, db):
+        program = Program([Rule(Atom("t1", (X,)), [Atom("edge", (X, Y))])])
+        db.run(program)
+        assert not db.has_table("t1")
+
+    def test_head_constants(self, db):
+        rule = Rule(Atom("q", ("const", X)), [Atom("edge", (1, X))])
+        assert evaluate_rule(db.tables(), rule) == {("const", 2), ("const", 3)}

@@ -1,0 +1,89 @@
+"""Expression trees and cross-type comparison semantics."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.relational.expressions import (
+    And,
+    Cmp,
+    Const,
+    Not,
+    Or,
+    Ref,
+    compare,
+    conjunction,
+    disjunction,
+    eq,
+    neq,
+)
+
+
+class TestCompare:
+    def test_basic_operators(self):
+        assert compare("=", 1, 1)
+        assert compare("!=", 1, 2)
+        assert compare("<", 1, 2)
+        assert compare("<=", 2, 2)
+        assert compare(">", 3, 2)
+        assert compare(">=", 3, 3)
+
+    def test_cross_type_equality(self):
+        assert not compare("=", 1, "1")
+        assert compare("!=", 1, "1")
+
+    def test_cross_type_ordering_is_total_and_stable(self):
+        a = compare("<", 3, "x")
+        b = compare("<", 3, "x")
+        assert a == b
+        assert compare("<", 3, "x") != compare(">=", 3, "x")
+
+    def test_unknown_operator(self):
+        with pytest.raises(EngineError):
+            compare("~", 1, 2)
+
+
+class TestNodes:
+    ENV = {"x": 3, "y": "a"}
+
+    def test_const_and_ref(self):
+        assert Const(5).eval({}) == 5
+        assert Ref("x").eval(self.ENV) == 3
+        with pytest.raises(EngineError):
+            Ref("zzz").eval(self.ENV)
+
+    def test_cmp(self):
+        assert Cmp("=", Ref("x"), Const(3)).eval(self.ENV)
+        assert not Cmp(">", Const(1), Ref("x")).eval(self.ENV)
+        with pytest.raises(EngineError):
+            Cmp("bogus", Const(1), Const(2))
+
+    def test_and_or_not(self):
+        t = Cmp("=", Ref("x"), Const(3))
+        f = Cmp("=", Ref("y"), Const("b"))
+        assert And((t,)).eval(self.ENV)
+        assert not And((t, f)).eval(self.ENV)
+        assert Or((f, t)).eval(self.ENV)
+        assert Not(f).eval(self.ENV)
+
+    def test_variables_collected(self):
+        expr = Or((Cmp("=", Ref("x"), Const(1)), Cmp("<", Ref("y"), Ref("z"))))
+        assert expr.variables() == {"x", "y", "z"}
+
+    def test_conjunction_flattening(self):
+        t1 = eq(Ref("x"), Const(3))
+        t2 = neq(Ref("y"), Const("b"))
+        flat = conjunction([And((t1,)), t2])
+        assert isinstance(flat, And) and len(flat.items) == 2
+        assert conjunction([]).eval({}) is True
+        assert conjunction([t1]) is t1
+
+    def test_disjunction_flattening(self):
+        t1 = eq(Ref("x"), Const(3))
+        flat = disjunction([Or((t1,)), t1])
+        assert isinstance(flat, Or) and len(flat.items) == 2
+        assert disjunction([]).eval({}) is False
+        assert disjunction([t1]) is t1
+
+    def test_str_forms(self):
+        assert "x = 3" in str(Cmp("=", Ref("x"), Const(3)))
+        assert "and" in str(And((eq(Ref("x"), Const(1)), eq(Ref("y"), Const(2)))))

@@ -1,0 +1,74 @@
+"""SQLite mirroring and execution."""
+
+import pytest
+
+from repro.relational.database import RelationalDatabase
+from repro.relational.schema import TableSchema
+from repro.relational.sqlite_backend import SqliteMirror, quote_identifier
+
+
+@pytest.fixture
+def db() -> RelationalDatabase:
+    db = RelationalDatabase()
+    t = db.create_table(TableSchema("people", ("id", "name"), key=("id",)))
+    t.insert_many([(1, "ann"), (2, "bob")])
+    t.create_index(("name",))
+    pets = db.create_table(TableSchema("pets", ("owner", "pet")))
+    pets.insert_many([(1, "cat"), (2, "dog"), (1, "axolotl")])
+    return db
+
+
+class TestQuoting:
+    def test_quote_identifier(self):
+        assert quote_identifier("simple") == '"simple"'
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+
+class TestMirror:
+    def test_sync_and_query(self, db):
+        with SqliteMirror() as m:
+            m.sync(db)
+            rows = m.execute('SELECT "name" FROM "people" ORDER BY "id"')
+            assert rows == [("ann",), ("bob",)]
+
+    def test_join_across_tables(self, db):
+        with SqliteMirror() as m:
+            m.sync(db)
+            rows = m.execute(
+                'SELECT p."name", x."pet" FROM "people" p '
+                'JOIN "pets" x ON x."owner" = p."id" ORDER BY 1, 2'
+            )
+            assert rows == [("ann", "axolotl"), ("ann", "cat"), ("bob", "dog")]
+
+    def test_positional_and_named_params(self, db):
+        with SqliteMirror() as m:
+            m.sync(db)
+            assert m.execute(
+                'SELECT "id" FROM "people" WHERE "name" = ?', ("bob",)
+            ) == [(2,)]
+            assert m.execute(
+                'SELECT "id" FROM "people" WHERE "name" = :n', {"n": "ann"}
+            ) == [(1,)]
+
+    def test_resync_replaces_content(self, db):
+        with SqliteMirror() as m:
+            m.sync(db)
+            db.table("people").insert((3, "cay"))
+            m.sync(db)
+            assert len(m.execute('SELECT * FROM "people"')) == 3
+
+    def test_indexes_mirrored(self, db):
+        with SqliteMirror() as m:
+            m.sync(db)
+            plan = "\n".join(
+                m.explain('SELECT * FROM "people" WHERE "name" = ?', ("x",))
+            )
+            assert "USING INDEX" in plan.upper() or "SEARCH" in plan.upper()
+
+    def test_non_primitive_values_stringified(self):
+        db = RelationalDatabase()
+        t = db.create_table(TableSchema("t", ("a",)))
+        t.insert(((1, 2),))  # a tuple value
+        with SqliteMirror() as m:
+            m.sync(db)
+            assert m.execute('SELECT "a" FROM "t"') == [("(1, 2)",)]

@@ -1,0 +1,138 @@
+"""Row storage and hash indexes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError, SchemaError, UnknownColumnError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+def make_table(auto_index: bool = True) -> Table:
+    return Table(TableSchema("T", ("a", "b", "c")), auto_index=auto_index)
+
+
+class TestSchema:
+    def test_column_index(self):
+        s = TableSchema("T", ("a", "b"))
+        assert s.column_index("b") == 1
+        with pytest.raises(UnknownColumnError):
+            s.column_index("z")
+
+    def test_key_columns_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ("a",), key=("z",))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ("a", "a"))
+
+
+class TestInsertDelete:
+    def test_insert_and_len(self):
+        t = make_table()
+        t.insert((1, 2, 3))
+        t.insert_many([(4, 5, 6), (7, 8, 9)])
+        assert len(t) == 3
+        assert set(t.rows()) == {(1, 2, 3), (4, 5, 6), (7, 8, 9)}
+
+    def test_arity_enforced(self):
+        t = make_table()
+        with pytest.raises(ValueError):
+            t.insert((1, 2))
+
+    def test_unique_key_enforced(self):
+        t = Table(TableSchema("T", ("a", "b"), key=("a",)))
+        t.insert((1, "x"))
+        with pytest.raises(DuplicateKeyError):
+            t.insert((1, "y"))
+        # Deleting frees the key.
+        t.delete_where(lambda row: row[0] == 1)
+        t.insert((1, "y"))
+
+    def test_delete_matching(self):
+        t = make_table()
+        t.insert_many([(1, 2, 3), (1, 5, 6), (2, 2, 3)])
+        assert t.delete_matching({0: 1}) == 2
+        assert t.rows() == [(2, 2, 3)]
+
+    def test_delete_where_predicate(self):
+        t = make_table()
+        t.insert_many([(i, i * 2, 0) for i in range(10)])
+        assert t.delete_where(lambda r: r[1] >= 10) == 5
+        assert len(t) == 5
+
+    def test_clear(self):
+        t = make_table()
+        t.insert((1, 2, 3))
+        t.create_index(("a",))
+        t.clear()
+        assert len(t) == 0
+        assert list(t.match_named(a=1)) == []
+
+
+class TestIndexes:
+    def test_explicit_index_used(self):
+        t = make_table(auto_index=False)
+        t.insert_many([(i % 3, i, "x") for i in range(100)])
+        t.create_index(("a",))
+        assert t.has_index(("a",))
+        rows = list(t.match_named(a=1))
+        assert len(rows) == 34 or len(rows) == 33
+
+    def test_index_maintained_on_delete(self):
+        t = make_table(auto_index=False)
+        t.create_index(("a",))
+        rid = t.insert((1, 2, 3))
+        t.insert((1, 9, 9))
+        t.delete_rowid(rid)
+        assert list(t.match_named(a=1)) == [(1, 9, 9)]
+
+    def test_composite_index(self):
+        t = make_table(auto_index=False)
+        t.create_index(("a", "b"))
+        t.insert_many([(1, 2, "x"), (1, 3, "y"), (2, 2, "z")])
+        assert list(t.match_named(a=1, b=2)) == [(1, 2, "x")]
+
+    def test_partial_index_with_residual_filter(self):
+        t = make_table(auto_index=False)
+        t.create_index(("a",))
+        t.insert_many([(1, 2, "x"), (1, 3, "y")])
+        assert list(t.match_named(a=1, b=3)) == [(1, 3, "y")]
+
+    def test_auto_index_on_large_tables(self):
+        t = make_table(auto_index=True)
+        t.insert_many([(i % 5, i, "x") for i in range(200)])
+        list(t.match_named(a=2))
+        assert t.has_index(("a",))
+
+    def test_no_auto_index_below_threshold(self):
+        t = make_table(auto_index=True)
+        t.insert_many([(i, i, "x") for i in range(5)])
+        list(t.match_named(a=2))
+        assert not t.has_index(("a",))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+            max_size=60,
+        ),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    )
+    def test_index_lookup_equals_scan(self, rows, a, b):
+        indexed = make_table(auto_index=True)
+        plain = make_table(auto_index=False)
+        for row in rows:
+            indexed.insert(row)
+            plain.insert(row)
+        bound = {0: a, 1: b}
+        assert sorted(indexed.match_columns(bound)) == sorted(
+            plain.match_columns(bound)
+        )
+
+    def test_match_empty_binding_returns_all(self):
+        t = make_table()
+        t.insert_many([(1, 2, 3), (4, 5, 6)])
+        assert len(list(t.match_columns({}))) == 2

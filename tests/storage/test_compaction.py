@@ -1,0 +1,110 @@
+"""Compaction: vacuuming orphan tuples and shedding hollow states."""
+
+from repro.storage.compaction import (
+    compact,
+    hollow_states,
+    referenced_tids,
+    vacuum_star,
+)
+from repro.storage.store import BeliefStore
+from repro.storage.updates import delete_statement, insert_statement
+from repro.workload.generator import WorkloadConfig, build_store
+from tests.conftest import ALICE, BOB, USER_NAMES
+from tests.strategies import TINY_SCHEMA, USERS
+
+from repro.core.statements import negative, positive
+
+
+def tiny_store() -> BeliefStore:
+    store = BeliefStore(TINY_SCHEMA)
+    for uid in USERS:
+        store.add_user(f"user{uid}", uid=uid)
+    return store
+
+
+class TestVacuum:
+    def test_orphans_removed_after_delete(self):
+        store = tiny_store()
+        stmt = positive([1], TINY_SCHEMA.tuple("R", "k0", "a"))
+        insert_statement(store, stmt)
+        delete_statement(store, stmt)
+        star = store.star_table("R")
+        assert len(star) == 1  # append-only tuple store keeps the orphan
+        stats = vacuum_star(store)
+        assert stats.removed_tuples == 1
+        assert stats.remaining_tuples == 0
+        assert len(star) == 0
+        # The registry forgets the tuple too (a fresh insert re-creates it).
+        assert insert_statement(store, stmt)
+        assert len(star) == 1
+
+    def test_referenced_tuples_survive(self):
+        store = tiny_store()
+        keep = positive([1], TINY_SCHEMA.tuple("R", "k0", "a"))
+        drop = positive([2], TINY_SCHEMA.tuple("R", "k1", "b"))
+        insert_statement(store, keep)
+        insert_statement(store, drop)
+        delete_statement(store, drop)
+        stats = vacuum_star(store)
+        assert stats.removed_tuples == 1
+        assert store.tid_for(keep.tuple) is not None
+        assert referenced_tids(store) == {store.tid_for(keep.tuple)}
+        store.check_invariants()
+
+    def test_vacuum_on_clean_store_is_noop(self):
+        store, _ = build_store(WorkloadConfig(60, 4, seed=1))
+        before = store.total_rows()
+        stats = vacuum_star(store)
+        assert stats.removed_tuples == 0
+        assert store.total_rows() == before
+
+
+class TestCompaction:
+    def test_hollow_states_detected(self):
+        store = tiny_store()
+        stmt = positive([1, 2], TINY_SCHEMA.tuple("R", "k0", "a"))
+        insert_statement(store, stmt)
+        assert hollow_states(store) == frozenset()
+        delete_statement(store, stmt)
+        # (1,) and (1,2) no longer shadow any support path.
+        assert hollow_states(store) == {(1,), (1, 2)}
+
+    def test_compact_drops_hollow_states_and_preserves_semantics(self):
+        store = tiny_store()
+        t = TINY_SCHEMA.tuple
+        keep = positive([1], t("R", "k0", "a"))
+        churn = [
+            positive([2, 1], t("R", "k1", "b")),
+            negative([3, 2], t("R", "k0", "a")),
+        ]
+        insert_statement(store, keep)
+        for stmt in churn:
+            insert_statement(store, stmt)
+            delete_statement(store, stmt)
+        stats = compact(store)
+        assert stats.removed_states == len(hollow_states(store))
+        assert stats.rows_after < stats.rows_before
+        assert stats.shrink_factor > 1
+        fresh = stats.store
+        assert fresh.states() == store.explicit_db.states()
+        for path in [(), (1,), (2, 1), (3, 2, 1)]:
+            assert fresh.entailed_world(path) == store.entailed_world(path)
+        fresh.check_invariants()
+
+    def test_compact_leaves_input_untouched(self):
+        store = tiny_store()
+        stmt = positive([1], TINY_SCHEMA.tuple("R", "k0", "a"))
+        insert_statement(store, stmt)
+        before = store.total_rows()
+        compact(store)
+        assert store.total_rows() == before
+
+    def test_compact_after_workload_churn(self):
+        store, _ = build_store(WorkloadConfig(120, 5, seed=7))
+        victims = sorted(store.explicit_db.statements(), key=str)[::2]
+        for stmt in victims:
+            delete_statement(store, stmt)
+        stats = compact(store)
+        assert stats.rows_after <= stats.rows_before
+        for path in stats.store.states():
+            assert stats.store.entailed_world(path) == store.entailed_world(path)

@@ -1,0 +1,111 @@
+"""Internal schema layout (Sect. 5.1)."""
+
+import pytest
+
+from repro.core.schema import sightings_schema
+from repro.relational.database import RelationalDatabase
+from repro.storage.internal_schema import (
+    EXPLICIT_NO,
+    EXPLICIT_YES,
+    ROOT_WID,
+    SIGN_NEG,
+    SIGN_POS,
+    create_internal_tables,
+    star_table_name,
+    v_table_name,
+)
+from repro.storage.store import BeliefStore
+
+
+class TestLayout:
+    def test_table_names(self):
+        assert star_table_name("Sightings") == "star_Sightings"
+        assert v_table_name("Sightings") == "v_Sightings"
+
+    def test_created_tables(self):
+        engine = RelationalDatabase()
+        create_internal_tables(engine, sightings_schema())
+        names = set(engine.table_names())
+        assert names == {
+            "U", "E", "D", "S",
+            "star_Sightings", "v_Sightings",
+            "star_Comments", "v_Comments",
+        }
+
+    def test_users_catalog_has_no_v_table(self):
+        engine = RelationalDatabase()
+        create_internal_tables(engine, sightings_schema())
+        assert not engine.has_table("v_Users")
+        assert not engine.has_table("star_Users")
+
+    def test_star_schema_columns(self):
+        engine = RelationalDatabase()
+        create_internal_tables(engine, sightings_schema())
+        star = engine.table("star_Sightings")
+        assert star.schema.columns == (
+            "tid", "sid", "uid", "species", "date", "location"
+        )
+        assert star.schema.key == ("tid",)
+
+    def test_v_schema_columns(self):
+        engine = RelationalDatabase()
+        create_internal_tables(engine, sightings_schema())
+        v = engine.table("v_Sightings")
+        assert v.schema.columns == ("wid", "tid", "key", "s", "e")
+
+    def test_hot_indexes_exist(self):
+        engine = RelationalDatabase()
+        create_internal_tables(engine, sightings_schema())
+        v = engine.table("v_Sightings")
+        assert v.has_index(("wid", "key"))
+        assert v.has_index(("wid",))
+        assert engine.table("E").has_index(("wid1", "uid"))
+
+    def test_literal_flags_match_paper(self):
+        assert (SIGN_POS, SIGN_NEG) == ("+", "-")
+        assert (EXPLICIT_YES, EXPLICIT_NO) == ("y", "n")
+        assert ROOT_WID == 0
+
+
+class TestStoreBasics:
+    def test_fresh_store_has_root_world_only(self):
+        store = BeliefStore(sightings_schema())
+        assert store.world_count() == 1
+        assert store.states() == {()}
+        assert store.total_rows() == 1  # the root's D row
+
+    def test_user_registration(self):
+        store = BeliefStore(sightings_schema())
+        uid = store.add_user("Alice")
+        assert store.user_name(uid) == "Alice"
+        assert store.uid_for_name("Alice") == uid
+        assert store.resolve_user("Alice") == uid
+        assert store.resolve_user(uid) == uid
+        # Root edge loops to the root for a fresh user.
+        assert store.edge_target(0, uid) == 0
+
+    def test_duplicate_names_rejected(self):
+        from repro.errors import SchemaError
+        store = BeliefStore(sightings_schema())
+        store.add_user("Alice")
+        with pytest.raises(SchemaError):
+            store.add_user("Alice")
+
+    def test_unknown_user_lookups(self):
+        from repro.errors import UnknownUserError
+        store = BeliefStore(sightings_schema())
+        with pytest.raises(UnknownUserError):
+            store.uid_for_name("Nobody")
+        with pytest.raises(UnknownUserError):
+            store.resolve_user("Nobody")
+
+    def test_tid_assignment_is_per_distinct_tuple(self):
+        store = BeliefStore(sightings_schema())
+        s = store.schema
+        t1 = s.tuple("Sightings", "s1", 1, "crow", "d", "l")
+        t2 = s.tuple("Sightings", "s1", 1, "raven", "d", "l")
+        tid1 = store.tid_for(t1, create=True)
+        assert store.tid_for(t1, create=True) == tid1
+        assert store.tid_for(t2, create=True) != tid1
+        assert store.tuple_for_tid(tid1) == t1
+        assert store.tid_for(s.tuple("Comments", "c", "x", "s")) is None

@@ -1,0 +1,130 @@
+"""Batch materialization: the running example must reproduce Fig. 5 exactly."""
+
+import pytest
+
+from repro.core.statements import positive
+from repro.storage.representation import materialize, rebuild
+from tests.conftest import ALICE, BOB, CAROL, USER_NAMES
+
+
+@pytest.fixture
+def batch(example):
+    return materialize(example.database(), user_names=USER_NAMES)
+
+
+class TestFig5:
+    def test_world_ids(self, batch):
+        # Fig. 5's numbering: 0 = ε, 1 = Alice, 2 = Bob, 3 = Bob·Alice.
+        assert batch.wid_for_path(()) == 0
+        assert batch.wid_for_path((ALICE,)) == 1
+        assert batch.wid_for_path((BOB,)) == 2
+        assert batch.wid_for_path((BOB, ALICE)) == 3
+
+    def test_users_table(self, batch):
+        rows = set(map(tuple, batch.engine.table("U")))
+        assert rows == {(1, "Alice"), (2, "Bob"), (3, "Carol")}
+
+    def test_e_table(self, batch):
+        rows = set(map(tuple, batch.engine.table("E")))
+        assert rows == {
+            (0, 1, 1), (0, 2, 2), (0, 3, 0),
+            (1, 2, 2), (1, 3, 0),
+            (2, 1, 3), (2, 3, 0),
+            (3, 2, 2), (3, 3, 0),
+        }
+
+    def test_d_table(self, batch):
+        rows = set(map(tuple, batch.engine.table("D")))
+        assert rows == {(0, 0), (1, 1), (2, 1), (3, 2)}
+
+    def test_s_table(self, batch):
+        # Errata form: S(wid(w), wid(dss(w[2,d]))).
+        rows = set(map(tuple, batch.engine.table("S")))
+        assert rows == {(1, 0), (2, 0), (3, 1)}
+
+    def test_v_sightings(self, batch):
+        rows = sorted(
+            (w, k, s, e) for (w, t, k, s, e) in batch.engine.table("v_Sightings")
+        )
+        assert rows == sorted(
+            [
+                (0, "s1", "+", "y"),
+                (1, "s1", "+", "n"), (1, "s2", "+", "y"),
+                (2, "s1", "-", "y"), (2, "s1", "-", "y"), (2, "s2", "+", "y"),
+                (3, "s1", "+", "n"), (3, "s2", "+", "n"),
+            ]
+        )
+
+    def test_v_comments(self, batch):
+        rows = sorted(
+            (w, k, s, e) for (w, t, k, s, e) in batch.engine.table("v_Comments")
+        )
+        assert rows == sorted(
+            [
+                (1, "c1", "+", "y"),
+                (2, "c2", "+", "y"),
+                (3, "c1", "+", "n"), (3, "c2", "+", "y"),
+            ]
+        )
+
+    def test_star_tables_hold_distinct_tuples(self, batch, example):
+        star = batch.engine.table("star_Sightings")
+        values = {row[1:] for row in star}
+        assert values == {
+            example.s11.values, example.s12.values,
+            example.s21.values, example.s22.values,
+        }
+        # tid is the unique internal key.
+        tids = [row[0] for row in star]
+        assert len(tids) == len(set(tids))
+
+    def test_invariants(self, batch):
+        batch.check_invariants()
+
+    def test_size_measure(self, batch):
+        # |R*| = U(3) + E(9) + D(4) + S(3) + star(4+3) + V(8+4) = 38.
+        assert batch.total_rows() == 38
+        assert batch.relative_overhead(8) == pytest.approx(38 / 8)
+
+
+class TestLazyMaterialization:
+    def test_lazy_v_holds_only_explicit_rows(self, example):
+        lazy = materialize(example.database(), eager=False,
+                           user_names=USER_NAMES)
+        for rel in ("v_Sightings", "v_Comments"):
+            flags = {e for (_, _, _, _, e) in lazy.engine.table(rel)}
+            assert flags <= {"y"}
+        # Entailed worlds still come out right through the closure.
+        eager = materialize(example.database(), user_names=USER_NAMES)
+        for path in [(), (ALICE,), (BOB,), (BOB, ALICE), (CAROL,)]:
+            assert lazy.entailed_world(path) == eager.entailed_world(path)
+
+    def test_lazy_is_smaller(self, example):
+        lazy = materialize(example.database(), eager=False)
+        eager = materialize(example.database())
+        assert lazy.total_rows() < eager.total_rows()
+
+
+class TestRebuild:
+    def test_rebuild_preserves_semantics(self, example_store):
+        rb = rebuild(example_store)
+        for path in rb.states():
+            assert rb.entailed_world(path) == example_store.entailed_world(path)
+
+    def test_rebuild_can_switch_modes(self, example_store):
+        lazy = rebuild(example_store, eager=False)
+        assert not lazy.eager
+        assert lazy.entailed_world((BOB,)) == example_store.entailed_world((BOB,))
+
+    def test_materialize_requires_schema(self):
+        from repro.core.database import BeliefDatabase
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            materialize(BeliefDatabase())
+
+    def test_materialize_rejects_inconsistent_input(self, example):
+        from repro.errors import InconsistencyError
+        db = example.database()
+        db.add(positive([BOB], example.s21), check=False)  # Γ1 clash with s22
+        with pytest.raises(InconsistencyError):
+            materialize(db)

@@ -1,0 +1,100 @@
+"""The benchmark-support library itself (harness, overhead, queries)."""
+
+import pytest
+
+from repro.bench.harness import (
+    Timing,
+    bench_n,
+    bench_repeats,
+    format_table,
+    time_call,
+)
+from repro.bench.overhead import (
+    FIGURE6_SERIES,
+    TABLE1_DEPTH_DISTS,
+    figure6_sweep,
+    measure_overhead,
+    table1_grid,
+    theoretic_bound,
+)
+from repro.bench.queries import (
+    build_experiment_store,
+    paper_queries,
+    run_query_suite,
+)
+
+
+class TestHarness:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("BELIEFDB_BENCH_N", "123")
+        assert bench_n() == 123
+        monkeypatch.delenv("BELIEFDB_BENCH_N")
+        assert bench_n() == 1000
+        monkeypatch.setenv("BELIEFDB_BENCH_REPEATS", "junk")
+        with pytest.raises(ValueError):
+            bench_repeats()
+
+    def test_time_call(self):
+        timing = time_call(lambda: sum(range(100)), repeats=3)
+        assert isinstance(timing, Timing)
+        assert timing.repeats == 3
+        assert timing.mean_ms >= 0
+        assert timing.last_result == 4950
+        assert "ms" in str(timing)
+
+    def test_format_table(self):
+        text = format_table(
+            ("name", "value"),
+            [("a", 1234), ("bb", 0.5)],
+            title="Title",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1]
+        assert "1,234" in text
+        assert "0.500" in text  # sub-10 floats keep precision
+
+
+class TestOverheadHelpers:
+    def test_measure_overhead(self):
+        r = measure_overhead(60, 4, "zipf", (0.6, 0.4), repeats=2)
+        assert r.overhead_mean > 1
+        assert r.n_annotations == 60 and r.participation == "zipf"
+
+    def test_table1_grid_shape(self):
+        grid = table1_grid(40, user_counts=(3,), repeats=1)
+        # 3 depth distributions × 1 user count × 2 participation models.
+        assert len(grid) == len(TABLE1_DEPTH_DISTS) * 2
+        labels = {r.depth_label for r in grid}
+        assert labels == set(TABLE1_DEPTH_DISTS)
+
+    def test_figure6_sweep_shape(self):
+        sweep = figure6_sweep([20, 40], n_users=4, repeats=1)
+        assert set(sweep) == set(FIGURE6_SERIES)
+        for series in sweep.values():
+            assert [r.n_annotations for r in series] == [20, 40]
+
+    def test_theoretic_bound(self):
+        assert theoretic_bound(100, 2) == 10_000  # the paper's example
+
+
+class TestQueryHelpers:
+    def test_paper_queries_cover_table2(self):
+        queries = paper_queries(max_depth=4)
+        assert list(queries) == ["q1,0", "q1,1", "q1,2", "q1,3", "q1,4",
+                                 "q2", "q3"]
+        assert queries["q1,3"].subgoals[0].path == (1, 2, 1)
+
+    def test_run_query_suite_backends_agree(self):
+        store = build_experiment_store(n_annotations=80, n_users=4, seed=6)
+        queries = paper_queries(max_depth=2)
+        engine = run_query_suite(store, queries, backend="engine", repeats=1)
+        lazy = run_query_suite(store, queries, backend="lazy", repeats=1)
+        sqlite = run_query_suite(store, queries, backend="sqlite", repeats=1)
+        for a, b, c in zip(engine, lazy, sqlite):
+            assert a.result_size == b.result_size == c.result_size, a.name
+
+    def test_unknown_backend_rejected(self):
+        store = build_experiment_store(n_annotations=20, n_users=3, seed=6)
+        with pytest.raises(ValueError):
+            run_query_suite(store, paper_queries(1), backend="voodoo")

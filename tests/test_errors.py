@@ -1,0 +1,59 @@
+"""The exception hierarchy: every error is catchable as BeliefDBError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.InvalidBeliefPath,
+    errors.InconsistencyError,
+    errors.UnknownUserError,
+    errors.UnknownWorldError,
+    errors.QueryError,
+    errors.UnsafeQueryError,
+    errors.BCQParseError,
+    errors.BeliefSQLError,
+    errors.BeliefSQLSyntaxError,
+    errors.BeliefSQLCompileError,
+    errors.EngineError,
+    errors.DuplicateKeyError,
+    errors.UnknownTableError,
+    errors.UnknownColumnError,
+    errors.RejectedUpdateError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_base(exc):
+    assert issubclass(exc, errors.BeliefDBError)
+    with pytest.raises(errors.BeliefDBError):
+        raise exc("boom")
+
+
+def test_query_error_family():
+    assert issubclass(errors.UnsafeQueryError, errors.QueryError)
+    assert issubclass(errors.BCQParseError, errors.QueryError)
+
+
+def test_beliefsql_error_family():
+    assert issubclass(errors.BeliefSQLSyntaxError, errors.BeliefSQLError)
+    assert issubclass(errors.BeliefSQLCompileError, errors.BeliefSQLError)
+
+
+def test_engine_error_family():
+    for exc in (
+        errors.DuplicateKeyError,
+        errors.UnknownTableError,
+        errors.UnknownColumnError,
+    ):
+        assert issubclass(exc, errors.EngineError)
+
+
+def test_public_reexports():
+    import repro
+
+    assert repro.BeliefDBError is errors.BeliefDBError
+    assert repro.InconsistencyError is errors.InconsistencyError
+    assert repro.UnsafeQueryError is errors.UnsafeQueryError

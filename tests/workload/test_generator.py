@@ -1,0 +1,152 @@
+"""The synthetic annotation generator (Sect. 6.1)."""
+
+import pytest
+
+from repro.core.paths import is_valid_path
+from repro.errors import BeliefDBError
+from repro.workload.generator import (
+    AnnotationGenerator,
+    WorkloadConfig,
+    build_store,
+    populate_store,
+)
+from repro.storage.store import BeliefStore
+from repro.core.schema import experiment_schema
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(BeliefDBError):
+            WorkloadConfig(n_annotations=-1, n_users=3)
+        with pytest.raises(BeliefDBError):
+            WorkloadConfig(n_annotations=1, n_users=0)
+        with pytest.raises(BeliefDBError):
+            WorkloadConfig(1, 3, depth_distribution=(0.5, 0.1))
+        with pytest.raises(BeliefDBError):
+            WorkloadConfig(1, 3, participation="powerlaw")
+
+    def test_key_models(self):
+        # Default: fresh keys for reports, existing keys for annotations.
+        gen = AnnotationGenerator(WorkloadConfig(0, 3, seed=1))
+        k1, k2 = gen.sample_key(0), gen.sample_key(0)
+        assert k1 != k2
+        assert gen.sample_key(1) in {k1, k2}
+        # Fixed pool: keys always come from s0..s{n_keys-1}.
+        fixed = AnnotationGenerator(WorkloadConfig(0, 3, n_keys=2, seed=1))
+        assert {fixed.sample_key(0) for _ in range(50)} <= {"s0", "s1"}
+
+
+class TestSampling:
+    def test_determinism(self):
+        a = AnnotationGenerator(WorkloadConfig(0, 5, seed=42))
+        b = AnnotationGenerator(WorkloadConfig(0, 5, seed=42))
+        sa = [a.sample_statement() for _ in range(50)]
+        sb = [b.sample_statement() for _ in range(50)]
+        assert sa == sb
+
+    def test_different_seeds_differ(self):
+        a = AnnotationGenerator(WorkloadConfig(0, 5, seed=1))
+        b = AnnotationGenerator(WorkloadConfig(0, 5, seed=2))
+        assert [a.sample_statement() for _ in range(20)] != [
+            b.sample_statement() for _ in range(20)
+        ]
+
+    def test_paths_are_valid_and_depth_bounded(self):
+        gen = AnnotationGenerator(
+            WorkloadConfig(0, 4, depth_distribution=(0.2, 0.4, 0.3, 0.1))
+        )
+        for _ in range(200):
+            stmt = gen.sample_statement()
+            assert is_valid_path(stmt.path)
+            assert stmt.depth <= 3
+
+    def test_depth_zero_statements_are_positive(self):
+        gen = AnnotationGenerator(WorkloadConfig(0, 3, seed=5))
+        for _ in range(200):
+            stmt = gen.sample_statement()
+            if stmt.depth == 0:
+                assert stmt.sign.value == "+"
+
+    def test_zipf_participation_is_skewed(self):
+        config = WorkloadConfig(
+            0, 10, participation="zipf", depth_distribution=(0.0, 1.0), seed=3
+        )
+        gen = AnnotationGenerator(config)
+        counts = {u: 0 for u in gen.users}
+        for _ in range(2000):
+            counts[gen.sample_user()] += 1
+        assert counts[1] > counts[5] > counts[10]
+
+    def test_geometric_participation_halves(self):
+        config = WorkloadConfig(0, 6, participation="geometric", seed=3)
+        gen = AnnotationGenerator(config)
+        counts = {u: 0 for u in gen.users}
+        for _ in range(4000):
+            counts[gen.sample_user()] += 1
+        # user 1 ≈ 2× user 2 (generously bounded).
+        assert 1.5 < counts[1] / max(1, counts[2]) < 2.7
+
+    def test_uniform_participation_is_flat(self):
+        gen = AnnotationGenerator(WorkloadConfig(0, 5, seed=3))
+        counts = {u: 0 for u in gen.users}
+        for _ in range(5000):
+            counts[gen.sample_user()] += 1
+        assert max(counts.values()) < 1.4 * min(counts.values())
+
+    def test_single_user_cannot_nest(self):
+        gen = AnnotationGenerator(
+            WorkloadConfig(0, 1, depth_distribution=(0.0, 0.0, 1.0))
+        )
+        stmt = gen.sample_statement()
+        assert stmt.depth <= 1
+
+
+class TestPopulation:
+    def test_accepted_count_is_exact(self):
+        store, stats = build_store(WorkloadConfig(200, 5, seed=9))
+        assert stats.accepted == 200
+        assert len(store.explicit_db) == 200
+        store.check_invariants()
+
+    def test_by_depth_histogram(self):
+        _, stats = build_store(
+            WorkloadConfig(150, 5, depth_distribution=(0.5, 0.5), seed=9)
+        )
+        assert sum(stats.by_depth.values()) == 150
+        assert set(stats.by_depth) <= {0, 1}
+
+    def test_skewed_depth_changes_world_count(self):
+        flat, _ = build_store(
+            WorkloadConfig(150, 8, depth_distribution=(1 / 3, 1 / 3, 1 / 3), seed=1)
+        )
+        shallow, _ = build_store(
+            WorkloadConfig(150, 8, depth_distribution=(0.98, 0.02, 0.0), seed=1)
+        )
+        assert flat.world_count() > shallow.world_count()
+        assert flat.total_rows() > shallow.total_rows()
+
+    def test_lazy_population_is_smaller(self):
+        eager, _ = build_store(WorkloadConfig(150, 8, seed=2), eager=True)
+        lazy, _ = build_store(WorkloadConfig(150, 8, seed=2), eager=False)
+        assert lazy.total_rows() < eager.total_rows()
+
+    def test_attempt_limit_guards_pathological_configs(self):
+        # A single user asserting positives on a single key: the first insert
+        # wins, every later one is a Γ1 conflict in the same world.
+        config = WorkloadConfig(
+            50, 1, depth_distribution=(0.0, 1.0), n_keys=1,
+            negative_fraction=0.0, seed=0,
+        )
+        store = BeliefStore(experiment_schema())
+        with pytest.raises(BeliefDBError):
+            populate_store(store, config, max_attempts_factor=2)
+
+    def test_fixed_key_pool_forces_conflicts(self):
+        config = WorkloadConfig(
+            60, 4, depth_distribution=(0.5, 0.5), n_keys=2, seed=0
+        )
+        store = BeliefStore(experiment_schema())
+        stats = populate_store(store, config)
+        assert stats.accepted == 60
+        assert stats.rejected > 0
+        store.check_invariants()

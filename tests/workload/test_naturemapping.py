@@ -1,0 +1,38 @@
+"""The NatureMapping demo scenario."""
+
+from repro.workload.naturemapping import (
+    Scenario,
+    build_scenario,
+    conflict_report,
+)
+
+
+class TestScenario:
+    def test_deterministic(self):
+        a = build_scenario(n_sightings=15, seed=4)
+        b = build_scenario(n_sightings=15, seed=4)
+        assert a.db.annotation_count() == b.db.annotation_count()
+        assert conflict_report(a) == conflict_report(b)
+
+    def test_population_shape(self):
+        sc = build_scenario(n_sightings=20, seed=4)
+        assert len(sc.sighting_ids) == 20
+        assert sc.db.annotation_count() >= 20  # reports + expert beliefs
+        assert len(sc.db.users()) == 6
+        sc.db.store.check_invariants()
+
+    def test_conflicts_surface_in_report(self):
+        sc = build_scenario(n_sightings=40, seed=4, disagreement_rate=0.9)
+        report = conflict_report(sc)
+        assert report, "a high disagreement rate must produce conflicts"
+        names = {row[0] for row in report}
+        assert names <= {"Alice", "Bob", "Carol", "Dave", "Erin", "Frank"}
+
+    def test_zero_disagreement_rate(self):
+        sc = build_scenario(n_sightings=10, seed=4, disagreement_rate=0.0)
+        assert conflict_report(sc) == []
+
+    def test_experts_inherit_unchallenged_reports(self):
+        sc = build_scenario(n_sightings=10, seed=4, disagreement_rate=0.0)
+        alice = sc.experts[0]
+        assert len(alice.world().positives) == 10

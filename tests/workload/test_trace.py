@@ -1,0 +1,139 @@
+"""Update traces: recording, serialization, replay."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import BeliefDBError
+from repro.storage.store import BeliefStore
+from repro.workload.trace import (
+    OP_INSERT,
+    ReplayResult,
+    TraceEntry,
+    TraceRecorder,
+    UpdateTrace,
+    replay,
+)
+from tests.strategies import TINY_SCHEMA, USERS, update_sequences
+
+from repro.core.statements import negative, positive
+
+
+def recorded_session() -> TraceRecorder:
+    recorder = TraceRecorder(BeliefStore(TINY_SCHEMA))
+    for uid in USERS:
+        recorder.add_user(f"user{uid}", uid=uid)
+    t = TINY_SCHEMA.tuple
+    recorder.insert(positive([1], t("R", "k0", "a")))
+    recorder.insert(negative([2], t("R", "k0", "a")))
+    recorder.insert(positive([1], t("R", "k0", "b")))  # rejected (Γ1)
+    recorder.delete(negative([2], t("R", "k0", "a")))
+    return recorder
+
+
+class TestRecording:
+    def test_outcomes_recorded(self):
+        recorder = recorded_session()
+        ops = [(e.op, e.outcome) for e in recorder.trace]
+        assert ops == [
+            ("add_user", True), ("add_user", True), ("add_user", True),
+            ("insert", True), ("insert", True), ("insert", False),
+            ("delete", True),
+        ]
+
+    def test_entry_round_trip(self):
+        entry = TraceEntry(
+            op=OP_INSERT, path=(1, 2), relation="R",
+            values=("k0", "a"), sign="-", outcome=True,
+        )
+        again = TraceEntry.from_json(entry.to_json())
+        assert again == entry
+        assert again.statement().tuple.values == ("k0", "a")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(BeliefDBError):
+            TraceEntry.from_json("{not json")
+
+    def test_user_entry_has_no_statement(self):
+        entry = TraceEntry(op="add_user", uid=1, name="x")
+        with pytest.raises(BeliefDBError):
+            entry.statement()
+
+
+class TestSerialization:
+    def test_dump_load_round_trip(self):
+        trace = recorded_session().trace
+        sink = io.StringIO()
+        trace.dump(sink)
+        again = UpdateTrace.load(io.StringIO(sink.getvalue()))
+        assert again.entries == trace.entries
+
+    def test_dumps_loads(self):
+        trace = recorded_session().trace
+        assert UpdateTrace.loads(trace.dumps()).entries == trace.entries
+
+    def test_blank_lines_ignored(self):
+        trace = recorded_session().trace
+        text = "\n" + trace.dumps() + "\n\n"
+        assert len(UpdateTrace.loads(text)) == len(trace)
+
+
+class TestReplay:
+    def test_faithful_replay_reproduces_state(self):
+        recorder = recorded_session()
+        fresh = BeliefStore(TINY_SCHEMA)
+        result = replay(recorder.trace, fresh, strict=True)
+        assert result.faithful and result.applied == len(recorder.trace)
+        assert (
+            fresh.explicit_db.statements()
+            == recorder.store.explicit_db.statements()
+        )
+        for path in recorder.store.states():
+            assert fresh.entailed_world(path) == recorder.store.entailed_world(path)
+
+    def test_divergence_detected(self):
+        from repro.storage.updates import insert_statement
+
+        def poisoned() -> BeliefStore:
+            # Pre-poison the store so the trace's first insert gets rejected.
+            store = BeliefStore(TINY_SCHEMA)
+            for uid in USERS:
+                store.add_user(f"user{uid}", uid=uid)
+            insert_statement(
+                store, positive([1], TINY_SCHEMA.tuple("R", "k0", "z"))
+            )
+            return store
+
+        recorder = recorded_session()
+        result = replay(recorder.trace, poisoned())
+        assert not result.faithful and result.mismatches
+        with pytest.raises(BeliefDBError):
+            replay(recorder.trace, poisoned(), strict=True)
+
+    def test_replay_into_lazy_store_matches_semantics(self):
+        recorder = recorded_session()
+        lazy = BeliefStore(TINY_SCHEMA, eager=False)
+        replay(recorder.trace, lazy, strict=True)
+        for path in recorder.store.states():
+            assert lazy.entailed_world(path) == recorder.store.entailed_world(path)
+
+    @given(update_sequences(max_operations=15))
+    @settings(max_examples=30)
+    def test_random_sessions_replay_faithfully(self, operations):
+        recorder = TraceRecorder(BeliefStore(TINY_SCHEMA))
+        for uid in USERS:
+            recorder.add_user(f"user{uid}", uid=uid)
+        for op, stmt in operations:
+            if op == "insert":
+                recorder.insert(stmt)
+            else:
+                recorder.delete(stmt)
+        fresh = BeliefStore(TINY_SCHEMA)
+        trace = UpdateTrace.loads(recorder.trace.dumps())  # through JSON
+        result = replay(trace, fresh, strict=True)
+        assert result.faithful
+        assert (
+            fresh.explicit_db.statements()
+            == recorder.store.explicit_db.statements()
+        )
