@@ -1,0 +1,104 @@
+"""Server throughput at 1, 4, and 16 concurrent clients.
+
+Each client runs its own deterministic per-user stream from
+``concurrent_trace`` over a private TCP connection (login + inserts into its
+own belief world + disputes on a shared key pool + selects), mimicking the
+paper's community-database scenario under concurrent curation.
+
+Scale knobs: ``BELIEFDB_BENCH_SERVER_OPS`` (ops per client, default 60).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import experiment_schema
+from repro.errors import BeliefDBError
+from repro.server import BeliefClient, BeliefServer
+from repro.workload.generator import ConcurrentOp, concurrent_trace
+
+CLIENT_COUNTS = (1, 4, 16)
+
+_RESULTS: dict[int, dict[str, float]] = {}
+
+
+def _ops_per_client() -> int:
+    return int(os.environ.get("BELIEFDB_BENCH_SERVER_OPS", "60"))
+
+
+def apply_op(client: BeliefClient, op: ConcurrentOp) -> None:
+    if op.kind == "insert":
+        client.insert(op.relation, list(op.values))
+    elif op.kind == "dispute":
+        client.dispute(op.relation, list(op.values))
+    elif op.kind == "select":
+        client.execute(op.sql)
+    else:
+        raise BeliefDBError(f"unknown op kind {op.kind!r}")
+
+
+def _drive(address, name: str, ops, barrier: threading.Barrier, errors: list):
+    try:
+        with BeliefClient(*address) as client:
+            client.login(name, create=True)
+            barrier.wait(timeout=30)
+            for op in ops:
+                apply_op(client, op)
+    except Exception as exc:  # noqa: BLE001
+        errors.append((name, exc))
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_server_throughput(n_clients):
+    ops_per_client = _ops_per_client()
+    streams = concurrent_trace(n_clients, ops_per_client, seed=11)
+    db = BeliefDBMS(experiment_schema(), strict=False)
+    with BeliefServer(db) as server:
+        barrier = threading.Barrier(n_clients + 1, timeout=30)
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=_drive,
+                args=(server.address, name, ops, barrier, errors),
+            )
+            for name, ops in streams.items()
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=30)  # every client connected and logged in
+        started = time.perf_counter()
+        for t in threads:
+            t.join(timeout=300)
+        elapsed = time.perf_counter() - started
+        assert not any(t.is_alive() for t in threads), "clients deadlocked"
+        assert not errors, errors
+
+    total_ops = n_clients * ops_per_client
+    _RESULTS[n_clients] = {
+        "ops": total_ops,
+        "seconds": elapsed,
+        "ops_per_s": total_ops / elapsed if elapsed else float("inf"),
+    }
+    assert db.annotation_count() > 0
+
+
+def test_throughput_report(emit):
+    if len(_RESULTS) < len(CLIENT_COUNTS):
+        pytest.skip("run the full client-count matrix first")
+    lines = [
+        "Server throughput (concurrent_trace, "
+        f"{_ops_per_client()} ops/client)",
+        f"{'clients':>8} {'total ops':>10} {'seconds':>9} {'ops/s':>9}",
+    ]
+    for n_clients in CLIENT_COUNTS:
+        r = _RESULTS[n_clients]
+        lines.append(
+            f"{n_clients:>8} {r['ops']:>10.0f} "
+            f"{r['seconds']:>9.3f} {r['ops_per_s']:>9.0f}"
+        )
+    emit("\n".join(lines))

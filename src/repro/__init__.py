@@ -15,7 +15,10 @@ The package implements the paper end to end:
   to Datalog/SQL, a naive reference evaluator, and a lazy evaluator;
 * :mod:`repro.beliefsql` — the BeliefSQL language of Fig. 1;
 * :mod:`repro.bdms` — the user-facing Belief DBMS facade;
-* :mod:`repro.workload` — the synthetic annotation generator of Sect. 6.
+* :mod:`repro.workload` — the synthetic annotation generator of Sect. 6;
+* :mod:`repro.server` — the multi-user network layer: wire protocol, threaded
+  socket server over one shared BDMS, per-connection sessions, and the
+  blocking :class:`~repro.server.client.BeliefClient` library.
 
 Quickstart::
 

@@ -5,7 +5,9 @@ Commands:
 * ``repl``     — interactive BeliefSQL shell on the running-example schema;
 * ``demo``     — replay the paper's Sect. 2 running example and print the
   worlds, queries, and Kripke structure (same as examples/quickstart.py);
-* ``overhead`` — a quick storage-overhead measurement (mini Table 1 cell).
+* ``overhead`` — a quick storage-overhead measurement (mini Table 1 cell);
+* ``serve``    — run the multi-user belief server on a TCP port;
+* ``connect``  — interactive shell against a running belief server.
 """
 
 from __future__ import annotations
@@ -57,6 +59,47 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bdms.bdms import BeliefDBMS
+    from repro.core.schema import experiment_schema, sightings_schema
+    from repro.server import BeliefServer
+
+    schema = (
+        experiment_schema() if args.schema == "experiment"
+        else sightings_schema()
+    )
+    db = BeliefDBMS(schema, backend=args.backend, strict=False)
+    server = BeliefServer(db, host=args.host, port=args.port)
+    server.start()
+    assert server.address is not None
+    print(
+        f"belief server listening on {server.address[0]}:{server.address[1]} "
+        f"(schema={args.schema}, backend={args.backend}; Ctrl-C to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from repro.bdms.repl import remote_main
+    from repro.server.client import ConnectionLost
+
+    try:
+        remote_main(args.host, args.port, user=args.user)
+    except ConnectionLost as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -74,11 +117,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     overhead.add_argument("--depths", default="0.334,0.333,0.333")
     overhead.add_argument("--repeats", type=int, default=2)
+    serve = sub.add_parser("serve", help="run the multi-user belief server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=5433)
+    serve.add_argument(
+        "--backend", choices=("engine", "sqlite", "naive", "lazy"),
+        default="engine",
+    )
+    serve.add_argument(
+        "--schema", choices=("sightings", "experiment"), default="sightings",
+    )
+    connect = sub.add_parser("connect", help="shell against a belief server")
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, default=5433)
+    connect.add_argument("--user", default=None,
+                         help="log in as this user on connect")
     args = parser.parse_args(argv)
     handler = {
         "repl": _cmd_repl,
         "demo": _cmd_demo,
         "overhead": _cmd_overhead,
+        "serve": _cmd_serve,
+        "connect": _cmd_connect,
     }[args.command]
     return handler(args)
 

@@ -14,6 +14,13 @@ backend:
 * ``"naive"`` — the Def. 14 reference evaluator (slow; for testing);
 * ``"lazy"`` — query-time default application on a lazy store (Sect. 6.3).
 
+Thread safety: a :class:`BeliefDBMS` is **not** internally synchronized.
+Concurrent callers must serialize access externally — the network layer in
+:mod:`repro.server` does so with a readers-writer lock. Note that on the
+``"sqlite"`` backend even queries mutate state (the mirror is resynced
+lazily inside the query path), so they need the *exclusive* side of any
+such lock.
+
 Example::
 
     db = BeliefDBMS(sightings_schema())
@@ -313,6 +320,24 @@ class BeliefDBMS:
     def relative_overhead(self) -> float:
         """``|R*| / n`` — Table 1 / Fig. 6's size measure."""
         return self.store.relative_overhead(max(1, self.annotation_count()))
+
+    def snapshot_stats(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of size/config counters.
+
+        This is the introspection hook the network server exposes as its
+        ``stats`` op; keep every value a plain str/int/float/bool/dict.
+        """
+        return {
+            "backend": self.backend,
+            "eager": self.store.eager,
+            "strict": self.strict,
+            "users": len(self.users()),
+            "worlds": self.store.world_count(),
+            "annotations": self.annotation_count(),
+            "total_rows": self.size(),
+            "relative_overhead": self.relative_overhead(),
+            "row_counts": dict(self.store.row_counts()),
+        }
 
     def describe(self) -> str:
         counts = self.store.row_counts()

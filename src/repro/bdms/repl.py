@@ -119,6 +119,168 @@ class BeliefShell:
         return outputs
 
 
+def _parse_path(argument: str) -> list:
+    """``u1.u2`` -> path list; numeric segments become uids, others names."""
+    return [
+        int(p) if p.isdigit() else p
+        for p in argument.split(".")
+        if p
+    ]
+
+
+REMOTE_HELP = """\
+ BeliefSQL statements plus meta-commands:
+
+    \\login <name>          authenticate (creates the user if missing)
+    \\logout                drop the session user
+    \\whoami                session state
+    \\path [u1[.u2...]]     show or set the default belief path (. = root)
+    \\users                 registered users
+    \\adduser <name>        register a user
+    \\worlds                belief worlds and their sizes
+    \\world <u1[.u2...]>    entailed content of one belief world
+    \\kripke                the canonical Kripke structure
+    \\stats                 database and server counters
+    \\help, \\quit"""
+
+
+class RemoteShell:
+    """The same shell experience against a network belief server.
+
+    Meta-commands mirror :class:`BeliefShell` where the server exposes the
+    equivalent introspection op (no remote ``\\explain``), plus the session
+    commands listed in :data:`REMOTE_HELP`.
+    """
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self.done = False
+
+    def feed(self, line: str) -> str:
+        from repro.server.client import ConnectionLost
+
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("\\"):
+                return self._meta(line)
+            return self._sql(line)
+        except ConnectionLost as exc:
+            self.done = True
+            return f"connection lost: {exc}"
+        except BeliefDBError as exc:
+            return f"error: {exc}"
+
+    def _sql(self, line: str) -> str:
+        result = self.client.execute(line)
+        if isinstance(result, list):
+            if not result:
+                return "(no rows)"
+            body = "\n".join("  " + " | ".join(map(str, row)) for row in result)
+            return f"{body}\n({len(result)} row{'s'[:len(result) != 1]})"
+        if isinstance(result, bool):
+            return "ok" if result else "rejected"
+        return f"{result} statement(s) affected"
+
+    def _meta(self, line: str) -> str:
+        command, _, argument = line[1:].partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        if command in ("quit", "q", "exit"):
+            self.done = True
+            return "bye"
+        if command == "help":
+            return REMOTE_HELP
+        if command == "login":
+            if not argument:
+                return "usage: \\login <name>"
+            info = self.client.login(argument, create=True)
+            return (
+                f"logged in as {info['user_name']!r} (uid {info['user']}), "
+                f"default path {info['default_path']}"
+            )
+        if command == "logout":
+            self.client.logout()
+            return "logged out"
+        if command == "whoami":
+            info = self.client.whoami()
+            if info["user"] is None:
+                return f"anonymous, default path {info['default_path']}"
+            return (
+                f"{info['user_name']!r} (uid {info['user']}), "
+                f"default path {info['default_path']}"
+            )
+        if command == "path":
+            if not argument:
+                info = self.client.whoami()
+                return f"default path {info['default_path']}"
+            # "." resets to the root world (plain content).
+            path = [] if argument == "." else _parse_path(argument)
+            info = self.client.set_path(path)
+            return f"default path {info['default_path']}"
+        if command == "users":
+            users = self.client.users()
+            return "\n".join(
+                f"  {uid}: {name}" for uid, name in users.items()
+            ) or "(no users)"
+        if command == "adduser":
+            if not argument:
+                return "usage: \\adduser <name>"
+            uid = self.client.add_user(argument)
+            return f"registered {argument!r} as uid {uid}"
+        if command == "worlds":
+            worlds = self.client.worlds()
+            return "\n".join(
+                f"  {w['label']}: {w['positives']}+ / {w['negatives']}-"
+                for w in worlds
+            )
+        if command == "world":
+            path = _parse_path(argument)
+            world = self.client.world(path if path else None)
+            pos = ", ".join(world["positives"]) or "∅"
+            neg = ", ".join(world["negatives"]) or "∅"
+            return f"  {world['label']}: +{{{pos}}} -{{{neg}}}"
+        if command == "kripke":
+            return self.client.kripke()
+        if command == "stats":
+            stats = self.client.stats()
+            server = stats.pop("server", {})
+            lines = [f"  {k}: {v}" for k, v in stats.items()]
+            lines += [f"  server.{k}: {v}" for k, v in server.items()]
+            return "\n".join(lines)
+        return f"unknown command \\{command} (try \\help)"
+
+    def run_script(self, lines: list[str]) -> list[str]:
+        """Feed many lines; returns the outputs (stops at \\quit)."""
+        outputs = []
+        for line in lines:
+            outputs.append(self.feed(line))
+            if self.done:
+                break
+        return outputs
+
+
+def remote_main(host: str, port: int, user: str | None = None) -> None:  # pragma: no cover
+    from repro.server.client import BeliefClient
+
+    with BeliefClient(host, port) as client:
+        shell = RemoteShell(client)
+        print(f"Belief DBMS shell — connected to {host}:{port} "
+              "(BeliefSQL plus \\help).")
+        if user:
+            print(shell.feed(f"\\login {user}"))
+        while not shell.done:
+            try:
+                line = input(PROMPT)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+            output = shell.feed(line)
+            if output:
+                print(output)
+
+
 def main(schema: ExternalSchema | None = None) -> None:  # pragma: no cover
     shell = BeliefShell(
         BeliefDBMS(schema if schema is not None else sightings_schema())

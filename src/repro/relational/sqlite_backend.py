@@ -27,7 +27,10 @@ class SqliteMirror:
     """A SQLite reflection of a :class:`RelationalDatabase`."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self.connection = sqlite3.connect(path)
+        # check_same_thread=False lets the mirror move between server worker
+        # threads; all cross-thread access must be externally serialized
+        # (repro.server holds its writer lock around every sqlite query).
+        self.connection = sqlite3.connect(path, check_same_thread=False)
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self._mirrored: set[str] = set()

@@ -1,0 +1,62 @@
+"""Network serving layer: many users, one shared belief database.
+
+The paper's motivating deployments (NatureMapping community databases,
+message boards) are multi-user: scientists concurrently report sightings,
+agree with, and dispute each other's tuples. This package turns the
+single-process :class:`~repro.bdms.bdms.BeliefDBMS` into a network service:
+
+* :mod:`repro.server.protocol` — a length-prefixed JSON wire protocol
+  (request / response / error frames) that fails closed on oversized or
+  malformed input;
+* :mod:`repro.server.session` — per-connection sessions tracking the
+  authenticated user and a default belief path, so a plain
+  ``insert into Sightings ...`` is implicitly annotated with the session
+  user (the paper's "users see their own belief world" model);
+* :mod:`repro.server.server` — a threaded socket server multiplexing many
+  clients over one shared BDMS behind a readers-writer lock;
+* :mod:`repro.server.client` — a blocking client library with connection
+  retry and context-manager lifecycle.
+
+Quickstart::
+
+    from repro import sightings_schema
+    from repro.bdms.bdms import BeliefDBMS
+    from repro.server import BeliefServer, BeliefClient
+
+    with BeliefServer(BeliefDBMS(sightings_schema())) as server:
+        with BeliefClient(*server.address) as carol:
+            carol.add_user("Carol")
+            carol.login("Carol")
+            carol.execute("insert into Sightings values "
+                          "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+"""
+
+from repro.server.client import BeliefClient, RemoteError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import BeliefServer, ReadWriteLock
+from repro.server.session import ClientSession
+
+__all__ = [
+    "BeliefClient",
+    "BeliefServer",
+    "ClientSession",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ReadWriteLock",
+    "RemoteError",
+    "Request",
+    "Response",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

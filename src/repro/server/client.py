@@ -1,0 +1,257 @@
+"""Blocking client for the belief server.
+
+:class:`BeliefClient` speaks the :mod:`repro.server.protocol` wire format over
+one TCP connection. Calls are synchronous (send request, wait for response)
+and thread-safe — a lock serializes frames so one client object can be shared,
+though the concurrency benchmarks give each worker thread its own connection,
+as a real deployment would.
+
+Errors raised by the server travel back as typed error frames; the client
+re-raises them as the matching :mod:`repro.errors` class when one exists
+(e.g. a rejected insert raises :class:`~repro.errors.RejectedUpdateError`
+client-side too), else as :class:`RemoteError`.
+
+Example::
+
+    with BeliefClient("127.0.0.1", 5433) as client:
+        client.login("Carol", create=True)
+        client.execute("insert into Sightings values "
+                       "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+        rows = client.execute("select S.sid, S.species from Sightings as S")
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Sequence
+
+import repro.errors as _errors
+from repro.errors import BeliefDBError
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Request, Response
+
+#: Error types the server may send that map back to local exception classes.
+_ERROR_TYPES: dict[str, type[BeliefDBError]] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, BeliefDBError)
+}
+
+
+class RemoteError(BeliefDBError):
+    """A server-side failure with no matching local exception class."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class ConnectionLost(BeliefDBError):
+    """The connection died mid-call or could not be established."""
+
+
+class BeliefClient:
+    """A synchronous connection to a :class:`~repro.server.server.BeliefServer`.
+
+    Parameters
+    ----------
+    host / port:
+        Server address.
+    connect_retries / retry_delay:
+        The initial connect is retried (helpful when the server is still
+        binding); call latency is not — a lost connection raises
+        :class:`ConnectionLost`.
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        connect_retries: int = 10,
+        retry_delay: float = 0.05,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self._sock: socket.socket | None = None
+        self._connect(connect_retries, retry_delay)
+
+    def _connect(self, retries: int, delay: float) -> None:
+        last: Exception | None = None
+        for attempt in range(max(1, retries)):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                return
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < retries:
+                    time.sleep(delay)
+        raise ConnectionLost(
+            f"could not connect to {self.host}:{self.port} "
+            f"after {max(1, retries)} attempts: {last}"
+        )
+
+    # -------------------------------------------------------------- plumbing
+
+    def call(self, op: str, **params: Any) -> Any:
+        """Send one request and return the server's result (or raise)."""
+        with self._lock:
+            if self._sock is None:
+                raise ConnectionLost("client is closed")
+            self._request_id += 1
+            request = Request(id=self._request_id, op=op, params=params)
+            try:
+                protocol.write_frame(self._sock, request.to_wire())
+                payload = protocol.read_frame(self._sock)
+            except (OSError, ProtocolError) as exc:
+                self.close()
+                raise ConnectionLost(f"connection to server lost: {exc}") from exc
+            if payload is None:
+                self.close()
+                raise ConnectionLost("server closed the connection")
+        try:
+            response = Response.from_wire(payload)
+        except ProtocolError:
+            self.close()  # malformed response: the stream cannot be trusted
+            raise
+        if response.id != request.id:
+            # The stream is desynchronized; keeping the socket would pair
+            # future responses with the wrong requests. Fail closed.
+            self.close()
+            raise ProtocolError(
+                f"response id {response.id} does not match request {request.id}"
+            )
+        if response.ok:
+            return response.result
+        assert response.error is not None
+        exc_type = _ERROR_TYPES.get(response.error["type"])
+        if exc_type is not None:
+            raise exc_type(response.error["message"])
+        raise RemoteError(response.error["type"], response.error["message"])
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "BeliefClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    # ------------------------------------------------------------------- ops
+
+    def ping(self) -> bool:
+        return self.call("ping") == "pong"
+
+    def login(self, user: Any, create: bool = False) -> dict[str, Any]:
+        """Authenticate as ``user`` (name or uid); sets the default path."""
+        return self.call("login", user=user, create=create)
+
+    def logout(self) -> dict[str, Any]:
+        return self.call("logout")
+
+    def whoami(self) -> dict[str, Any]:
+        return self.call("whoami")
+
+    def set_path(self, path: Sequence[Any]) -> dict[str, Any]:
+        return self.call("set_path", path=list(path))
+
+    def add_user(self, name: str | None = None) -> Any:
+        return self.call("add_user", name=name)
+
+    def users(self) -> dict[Any, str]:
+        return {uid: name for uid, name in self.call("users")}
+
+    def insert(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+        sign: str = "+",
+    ) -> bool:
+        """Insert a belief statement; ``path=None`` means the session world."""
+        return self.call(
+            "insert", relation=relation, values=list(values),
+            path=None if path is None else list(path), sign=sign,
+        )
+
+    def delete(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+        sign: str = "+",
+    ) -> bool:
+        return self.call(
+            "delete", relation=relation, values=list(values),
+            path=None if path is None else list(path), sign=sign,
+        )
+
+    def dispute(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+    ) -> bool:
+        """Insert a negative belief — "I do not believe this tuple"."""
+        return self.insert(relation, values, path=path, sign="-")
+
+    def execute(self, sql: str) -> list[list[Any]] | bool | int:
+        """Run one BeliefSQL statement (session default path applies)."""
+        return self.call("execute", sql=sql)
+
+    def query(self, bcq: str) -> list[list[Any]]:
+        return self.call("query", bcq=bcq)
+
+    def believes(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+        sign: str = "+",
+    ) -> bool:
+        return self.call(
+            "believes", relation=relation, values=list(values),
+            path=None if path is None else list(path), sign=sign,
+        )
+
+    def world(self, path: Sequence[Any] | None = None) -> dict[str, Any]:
+        return self.call("world", path=None if path is None else list(path))
+
+    def worlds(self) -> list[dict[str, Any]]:
+        return self.call("worlds")
+
+    def stats(self) -> dict[str, Any]:
+        return self.call("stats")
+
+    def kripke(self) -> str:
+        return self.call("kripke")
+
+    def describe(self) -> str:
+        return self.call("describe")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<BeliefClient {self.host}:{self.port} ({state})>"

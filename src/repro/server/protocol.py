@@ -1,0 +1,224 @@
+"""The belief-server wire protocol.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON. The format is deliberately boring — any
+language with sockets and a JSON parser can speak it.
+
+Two frame shapes travel the wire:
+
+* request  — ``{"id": <int>, "op": <str>, "params": {...}}``
+* response — ``{"id": <int>, "ok": true,  "result": <json>}`` or
+  ``{"id": <int>, "ok": false, "error": {"type": <str>, "message": <str>}}``
+
+The protocol **fails closed**: oversized lengths, truncated frames, invalid
+UTF-8/JSON, non-object payloads, and missing or mistyped fields all raise
+:class:`ProtocolError`. A server drops the connection on a protocol error (a
+malformed peer cannot be re-synchronized mid-stream); well-formed requests
+with *semantic* problems (unknown op, bad arguments) get an error *response*
+and the connection survives.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import BeliefDBError
+
+#: Hard ceiling on a frame's payload size. Large enough for any realistic
+#: result set here, small enough that a garbage length prefix cannot make the
+#: reader allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Every operation the server understands. The protocol layer validates that
+#: ``op`` is *a* string; membership is enforced by the server so that protocol
+#: and dispatch table cannot drift apart silently.
+OPS = frozenset({
+    # session
+    "ping", "login", "logout", "whoami", "set_path",
+    # user management
+    "add_user", "users",
+    # statements
+    "insert", "delete", "execute",
+    # queries
+    "query", "believes", "world", "worlds",
+    # introspection
+    "stats", "kripke", "describe",
+})
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(BeliefDBError):
+    """The byte stream or frame violates the wire protocol (fail closed)."""
+
+
+# --------------------------------------------------------------------- frames
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation: ``op`` with keyword ``params``."""
+
+    id: int
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"id": self.id, "op": self.op, "params": self.params}
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "Request":
+        _expect_keys(payload, {"id", "op", "params"}, optional={"params"})
+        rid = payload["id"]
+        op = payload["op"]
+        params = payload.get("params", {})
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            raise ProtocolError(f"request id must be an int, got {rid!r}")
+        if not isinstance(op, str):
+            raise ProtocolError(f"request op must be a string, got {op!r}")
+        if not isinstance(params, dict):
+            raise ProtocolError(f"request params must be an object, got {params!r}")
+        return cls(id=rid, op=op, params=params)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The server's answer to one request."""
+
+    id: int
+    ok: bool
+    result: Any = None
+    error: dict[str, str] | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        if self.ok:
+            return {"id": self.id, "ok": True, "result": self.result}
+        return {"id": self.id, "ok": False, "error": self.error}
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "Response":
+        _expect_keys(
+            payload, {"id", "ok", "result", "error"},
+            optional={"result", "error"},
+        )
+        rid = payload["id"]
+        ok = payload["ok"]
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            raise ProtocolError(f"response id must be an int, got {rid!r}")
+        if not isinstance(ok, bool):
+            raise ProtocolError(f"response ok must be a bool, got {ok!r}")
+        if ok:
+            return cls(id=rid, ok=True, result=payload.get("result"))
+        error = payload.get("error")
+        if (
+            not isinstance(error, dict)
+            or not isinstance(error.get("type"), str)
+            or not isinstance(error.get("message"), str)
+        ):
+            raise ProtocolError(f"malformed error payload: {error!r}")
+        return cls(id=rid, ok=False, error={"type": error["type"],
+                                            "message": error["message"]})
+
+    @classmethod
+    def success(cls, request_id: int, result: Any) -> "Response":
+        return cls(id=request_id, ok=True, result=result)
+
+    @classmethod
+    def failure(cls, request_id: int, exc: BaseException) -> "Response":
+        return cls(
+            id=request_id,
+            ok=False,
+            error={"type": type(exc).__name__, "message": str(exc)},
+        )
+
+
+def _expect_keys(
+    payload: dict[str, Any], allowed: set[str], optional: set[str] = frozenset()
+) -> None:
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame payload must be an object, got {payload!r}")
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ProtocolError(f"unknown frame fields {sorted(unknown)}")
+    missing = (allowed - optional) - set(payload)
+    if missing:
+        raise ProtocolError(f"missing frame fields {sorted(missing)}")
+
+
+# ------------------------------------------------------------------- encoding
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + JSON body."""
+    try:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-serializable: {exc}") from exc
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Parse a frame body (the bytes *after* the length prefix); fail closed."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------- socket I/O
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame from a socket; None when the peer closed cleanly."""
+    prefix = _read_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    body = _read_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between length prefix and body")
+    return decode_frame(body)
+
+
+def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Encode and send one frame."""
+    sock.sendall(encode_frame(payload))

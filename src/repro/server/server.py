@@ -1,0 +1,549 @@
+"""A threaded socket server multiplexing many clients over one shared BDMS.
+
+Concurrency model
+-----------------
+:class:`~repro.bdms.bdms.BeliefDBMS` is not internally synchronized, so the
+server guards it with a writer-preference :class:`ReadWriteLock`:
+
+* *reads* (``select``, ``query``, ``believes``, ``world``, ``stats``, ...)
+  share the lock — many clients can query concurrently;
+* *writes* (``insert``, ``delete``, ``update``, ``add_user``) are exclusive,
+  which makes every update atomic and the whole history linearizable: the
+  order in which writers acquire the lock *is* the serial order (the op log
+  records it, and tests replay it to check equivalence).
+
+One backend caveat, found by the thread-safety audit: the ``"sqlite"``
+backend resyncs its mirror lazily *inside the query path*, so its reads
+mutate state. The server therefore promotes reads to exclusive when the
+shared BDMS runs on that backend.
+
+Wire behavior
+-------------
+Each connection is served by its own daemon thread running a frame loop.
+Well-formed requests always get a response — semantic failures (unknown op,
+rejected update, parse error) travel back as error frames and the connection
+survives. Protocol violations (garbage bytes, oversized frames) kill the
+connection: after a framing error the stream cannot be trusted.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.beliefsql.ast import SelectStatement
+from repro.beliefsql.parser import parse_beliefsql
+from repro.core.paths import format_path
+from repro.errors import BeliefDBError
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, Request, Response
+from repro.server.session import ClientSession
+
+DEFAULT_PORT = 5433
+
+
+class ReadWriteLock:
+    """A writer-preference readers-writer lock.
+
+    Any number of readers may hold the lock together; writers are exclusive.
+    Waiting writers block *new* readers, so a steady stream of queries cannot
+    starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if not self._readers:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire: Callable[[], None], release: Callable[[], None]):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self) -> None:
+            self._acquire()
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._release()
+
+    def read(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+def _jsonify(value: Any) -> Any:
+    """Make query/statement results JSON-serializable (tuples -> lists)."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) \
+            else list(value)
+        return [_jsonify(v) for v in items]
+    return value
+
+
+class BeliefServer:
+    """Serve one shared :class:`BeliefDBMS` to many socket clients.
+
+    Parameters
+    ----------
+    db:
+        The shared database. The server takes ownership of synchronization;
+        do not mutate ``db`` from other threads while the server runs.
+    host / port:
+        Bind address. ``port=0`` picks an ephemeral port; the bound address
+        is available as :attr:`address` after :meth:`start`.
+    record_ops:
+        Keep an in-memory log of every accepted write in serial (lock) order,
+        for linearizability checks — see :meth:`oplog` and
+        :func:`replay_oplog`.
+    """
+
+    def __init__(
+        self,
+        db: BeliefDBMS,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        record_ops: bool = False,
+    ) -> None:
+        self.db = db
+        self.host = host
+        self.port = port
+        self.lock = ReadWriteLock()
+        self.record_ops = record_ops
+        self._oplog: list[dict[str, Any]] = []
+        self._oplog_seq = 0
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._state_lock = threading.Lock()
+        self._connections: dict[int, socket.socket] = {}
+        self._conn_counter = 0
+        self._handler_threads: dict[int, threading.Thread] = {}
+        self.stats = {
+            "connections_total": 0,
+            "connections_active": 0,
+            "ops_served": 0,
+            "op_errors": 0,
+            "protocol_errors": 0,
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "BeliefServer":
+        if self._listener is not None:
+            raise BeliefDBError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._stopping.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="belief-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, join handler threads."""
+        if self._listener is None:
+            return
+        self._stopping.set()
+        try:
+            # Wake the accept() call: close() alone does not interrupt a
+            # thread already blocked in accept on Linux.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            # Some platforms refuse shutdown on listening sockets; poke the
+            # port with a throwaway connection instead.
+            if self.address is not None:
+                try:
+                    socket.create_connection(self.address, timeout=1).close()
+                except OSError:
+                    pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._state_lock:
+            live = list(self._connections.values())
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        with self._state_lock:
+            live_threads = list(self._handler_threads.values())
+        for thread in live_threads:
+            thread.join(timeout=5)
+        self._listener = None
+        self._accept_thread = None
+        self._handler_threads.clear()
+
+    def __enter__(self) -> "BeliefServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._listener is not None
+
+    # ----------------------------------------------------------- accept loop
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._state_lock:
+                self._conn_counter += 1
+                conn_id = self._conn_counter
+                self._connections[conn_id] = conn
+                self.stats["connections_total"] += 1
+                self.stats["connections_active"] += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn_id, conn, f"{peer[0]}:{peer[1]}"),
+                name=f"belief-server-conn-{conn_id}",
+                daemon=True,
+            )
+            with self._state_lock:
+                self._handler_threads[conn_id] = thread
+            thread.start()
+
+    def _serve_connection(
+        self, conn_id: int, conn: socket.socket, peer: str
+    ) -> None:
+        session = ClientSession(peer)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    payload = protocol.read_frame(conn)
+                except (ProtocolError, OSError):
+                    with self._state_lock:
+                        self.stats["protocol_errors"] += 1
+                    break  # fail closed: drop the connection
+                if payload is None:
+                    break  # clean EOF
+                try:
+                    request = Request.from_wire(payload)
+                except ProtocolError:
+                    with self._state_lock:
+                        self.stats["protocol_errors"] += 1
+                    break
+                response = self._dispatch(session, request)
+                try:
+                    protocol.write_frame(conn, response.to_wire())
+                except (ProtocolError, OSError):
+                    break
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._state_lock:
+                self._connections.pop(conn_id, None)
+                if not self._stopping.is_set():
+                    # Self-prune so long-lived servers don't accumulate one
+                    # dead Thread per connection; stop() joins the rest.
+                    self._handler_threads.pop(conn_id, None)
+                self.stats["connections_active"] -= 1
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, session: ClientSession, request: Request) -> Response:
+        handler = _HANDLERS.get(request.op)
+        if handler is None or request.op not in protocol.OPS:
+            with self._state_lock:
+                self.stats["op_errors"] += 1
+            return Response.failure(
+                request.id,
+                BeliefDBError(f"unknown operation {request.op!r}"),
+            )
+        func, kind = handler
+        try:
+            if request.op == "execute":
+                # Parse outside the lock so selects can share the read lock.
+                statement = session.rewrite(
+                    parse_beliefsql(_require(request.params, "sql"))
+                )
+                if not isinstance(statement, SelectStatement):
+                    kind = "write"
+                func = BeliefServer._op_execute
+                params: dict[str, Any] = {"statement": statement}
+            else:
+                params = request.params
+            guard = (
+                self.lock.write() if self._exclusive(kind) else self.lock.read()
+            )
+            with guard:
+                result = func(self, session, params)
+            with self._state_lock:
+                self.stats["ops_served"] += 1
+            return Response.success(request.id, result)
+        except Exception as exc:  # noqa: BLE001 — every op error travels back
+            with self._state_lock:
+                self.stats["op_errors"] += 1
+            return Response.failure(request.id, exc)
+
+    def _exclusive(self, kind: str) -> bool:
+        # The sqlite backend resyncs its mirror inside the query path, so
+        # even reads mutate state there (thread-safety audit).
+        return kind == "write" or self.db.backend == "sqlite"
+
+    # ---------------------------------------------------------------- op log
+
+    def _record(self, entry: dict[str, Any]) -> None:
+        """Append one accepted write to the serial-order log.
+
+        Must be called while holding the write lock — the log order then
+        equals the serialization order of the writer lock.
+        """
+        if not self.record_ops:
+            return
+        self._oplog_seq += 1
+        self._oplog.append({"seq": self._oplog_seq, **entry})
+
+    def oplog(self) -> list[dict[str, Any]]:
+        with self.lock.read():
+            return [dict(entry) for entry in self._oplog]
+
+    # ------------------------------------------------------------- op bodies
+
+    def _op_ping(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return "pong"
+
+    def _op_login(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        user = _require(params, "user")
+        create = bool(params.get("create", False))
+        store = self.db.store
+        try:
+            uid = store.resolve_user(user)
+        except BeliefDBError:
+            if not create or not isinstance(user, str):
+                raise
+            uid = self.db.add_user(user)
+            self._record({"op": "add_user", "name": user, "uid": uid})
+        session.login(uid, store.user_name(uid))
+        return session.describe()
+
+    def _op_logout(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        session.logout()
+        return session.describe()
+
+    def _op_whoami(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return session.describe()
+
+    def _op_set_path(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        path = _require(params, "path")
+        if not isinstance(path, (list, tuple)):
+            raise BeliefDBError("set_path expects a list of users")
+        resolved = tuple(self.db.store.resolve_user(u) for u in path)
+        session.set_path(resolved)
+        return session.describe()
+
+    def _op_add_user(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        name = params.get("name")
+        uid = self.db.add_user(name)
+        self._record({"op": "add_user", "name": name, "uid": uid})
+        return uid
+
+    def _op_users(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return [[uid, name] for uid, name in sorted(self.db.users().items(),
+                                                    key=lambda kv: repr(kv[0]))]
+
+    def _op_insert(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        path, relation, values, sign = self._statement_params(session, params)
+        ok = self.db.insert(path, relation, values, sign)
+        self._record({"op": "insert", "path": list(path), "relation": relation,
+                      "values": list(values), "sign": sign, "ok": ok})
+        return ok
+
+    def _op_delete(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        path, relation, values, sign = self._statement_params(session, params)
+        ok = self.db.delete(path, relation, values, sign)
+        self._record({"op": "delete", "path": list(path), "relation": relation,
+                      "values": list(values), "sign": sign, "ok": ok})
+        return ok
+
+    def _statement_params(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> tuple[tuple[Any, ...], str, list[Any], str]:
+        relation = _require(params, "relation")
+        values = _require(params, "values")
+        if not isinstance(values, (list, tuple)):
+            raise BeliefDBError("values must be a list")
+        raw_path = params.get("path")
+        if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+            raise BeliefDBError("path must be a list of users (or null)")
+        path = session.effective_path(raw_path)
+        resolved = tuple(self.db.store.resolve_user(u) for u in path)
+        sign = params.get("sign", "+")
+        return resolved, relation, list(values), sign
+
+    def _op_execute(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        # ``statement`` was parsed and session-rewritten in _dispatch, outside
+        # the lock; DML arrives here under the write lock, selects under read.
+        statement = params["statement"]
+        result = self.db.execute_statement(statement)
+        if not isinstance(statement, SelectStatement):
+            self._record({"op": "execute", "sql": str(statement),
+                          "ok": _jsonify(result)})
+        return _jsonify(result)
+
+    def _op_query(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return _jsonify(self.db.query(_require(params, "bcq")))
+
+    def _op_believes(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        relation = _require(params, "relation")
+        values = _require(params, "values")
+        path = session.effective_path(params.get("path"))
+        sign = params.get("sign", "+")
+        return self.db.believes(path, relation, values, sign)
+
+    def _op_world(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        path = session.effective_path(params.get("path"))
+        resolved = tuple(self.db.store.resolve_user(u) for u in path)
+        world = self.db.store.entailed_world(resolved)
+        return {
+            "path": _jsonify(resolved),
+            "label": format_path(resolved),
+            "positives": sorted(str(t) for t in world.positives),
+            "negatives": sorted(str(t) for t in world.negatives),
+        }
+
+    def _op_worlds(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        out = []
+        for path in sorted(self.db.store.states(),
+                           key=lambda p: (len(p), repr(p))):
+            world = self.db.store.entailed_world(path)
+            out.append({
+                "path": _jsonify(path),
+                "label": format_path(path),
+                "positives": len(world.positives),
+                "negatives": len(world.negatives),
+            })
+        return out
+
+    def _op_stats(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        snapshot = self.db.snapshot_stats()
+        with self._state_lock:
+            snapshot["server"] = dict(self.stats)
+        return snapshot
+
+    def _op_kripke(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return self.db.kripke().describe()
+
+    def _op_describe(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        return self.db.describe()
+
+
+def _require(params: dict[str, Any], key: str) -> Any:
+    if key not in params:
+        raise BeliefDBError(f"missing required parameter {key!r}")
+    return params[key]
+
+
+#: op name -> (bound-method extractor, "read" | "write").
+_HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
+    "ping": (BeliefServer._op_ping, "read"),
+    "login": (BeliefServer._op_login, "write"),
+    "logout": (BeliefServer._op_logout, "read"),
+    "whoami": (BeliefServer._op_whoami, "read"),
+    "set_path": (BeliefServer._op_set_path, "read"),
+    "add_user": (BeliefServer._op_add_user, "write"),
+    "users": (BeliefServer._op_users, "read"),
+    "insert": (BeliefServer._op_insert, "write"),
+    "delete": (BeliefServer._op_delete, "write"),
+    "execute": (BeliefServer._op_execute, "read"),  # DML promoted in _dispatch
+    "query": (BeliefServer._op_query, "read"),
+    "believes": (BeliefServer._op_believes, "read"),
+    "world": (BeliefServer._op_world, "read"),
+    "worlds": (BeliefServer._op_worlds, "read"),
+    "stats": (BeliefServer._op_stats, "read"),
+    "kripke": (BeliefServer._op_kripke, "read"),
+    "describe": (BeliefServer._op_describe, "read"),
+}
+
+
+def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:
+    """Re-execute an op log serially against a fresh BDMS.
+
+    Used by the linearizability tests: a concurrent run recorded under the
+    writer lock, replayed here in log order, must produce the same database
+    *and* the same per-op outcomes.
+    """
+    for entry in entries:
+        op = entry["op"]
+        if op == "add_user":
+            uid = db.add_user(entry["name"], uid=entry.get("uid"))
+            if entry.get("uid") is not None and uid != entry["uid"]:
+                raise BeliefDBError(
+                    f"replay diverged: add_user gave {uid!r}, log has {entry['uid']!r}"
+                )
+        elif op in ("insert", "delete"):
+            func = db.insert if op == "insert" else db.delete
+            try:
+                ok = func(entry["path"], entry["relation"], entry["values"],
+                          entry["sign"])
+            except BeliefDBError:
+                ok = False
+            if ok != entry["ok"]:
+                raise BeliefDBError(
+                    f"replay diverged at seq {entry['seq']}: {op} gave {ok!r}, "
+                    f"log has {entry['ok']!r}"
+                )
+        elif op == "execute":
+            try:
+                result = _jsonify(db.execute(entry["sql"]))
+            except BeliefDBError:
+                result = False
+            if result != entry["ok"]:
+                raise BeliefDBError(
+                    f"replay diverged at seq {entry['seq']}: execute gave "
+                    f"{result!r}, log has {entry['ok']!r}"
+                )
+        else:
+            raise BeliefDBError(f"unknown oplog entry {entry!r}")

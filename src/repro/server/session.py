@@ -1,0 +1,104 @@
+"""Per-connection session state.
+
+Each connection to a :class:`~repro.server.server.BeliefServer` carries a
+:class:`ClientSession`: the authenticated user (if any) and a *default belief
+path*. After ``login``, the default path is ``(uid,)`` — the user's own belief
+world — so a plain ``insert into Sightings ...`` from that connection is
+implicitly annotated as that user's belief, matching the paper's model in
+which "each user sees their own belief world". An explicit ``BELIEF ...``
+prefix always wins over the default.
+
+The session only *rewrites* statements; all enforcement (path validity,
+consistency, Alg. 4 accept/reject) stays in the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+from repro.beliefsql.ast import (
+    BeliefSpec,
+    DeleteStatement,
+    InsertStatement,
+    Literal,
+    Statement,
+    UpdateStatement,
+)
+from repro.core.paths import User
+from repro.errors import BeliefDBError
+
+
+class ClientSession:
+    """Who is on the other end of one connection, and their default world."""
+
+    def __init__(self, peer: str = "?") -> None:
+        self.peer = peer
+        self.user: User | None = None
+        self.user_name: str | None = None
+        self.default_path: tuple[User, ...] = ()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def login(self, uid: User, name: str) -> None:
+        """Authenticate; the default path becomes the user's own world."""
+        self.user = uid
+        self.user_name = name
+        self.default_path = (uid,)
+
+    def logout(self) -> None:
+        self.user = None
+        self.user_name = None
+        self.default_path = ()
+
+    def set_path(self, path: Sequence[User]) -> None:
+        """Override the default belief path (``()`` = plain content)."""
+        self.default_path = tuple(path)
+
+    # ------------------------------------------------------------ rewriting
+
+    def effective_path(self, path: Sequence[Any] | None) -> tuple[Any, ...]:
+        """Resolve a programmatic path argument: None means "my world"."""
+        if path is None:
+            return self.default_path
+        return tuple(path)
+
+    def rewrite(self, statement: Statement) -> Statement:
+        """Prepend the default path to DML statements with no BELIEF prefix.
+
+        Selects are never rewritten: reading plain content is always allowed,
+        and the textual form stays the single source of truth for what a
+        query means regardless of who runs it.
+        """
+        if not self.default_path:
+            return statement
+        if not isinstance(
+            statement, (InsertStatement, DeleteStatement, UpdateStatement)
+        ):
+            return statement
+        if statement.belief.path:
+            return statement
+        spec = BeliefSpec(
+            path=tuple(Literal(uid) for uid in self.default_path),
+            negated=statement.belief.negated,
+        )
+        return dataclasses.replace(statement, belief=spec)
+
+    # ---------------------------------------------------------------- views
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "peer": self.peer,
+            "user": self.user,
+            "user_name": self.user_name,
+            "default_path": list(self.default_path),
+        }
+
+    def require_user(self) -> User:
+        if self.user is None:
+            raise BeliefDBError("no user logged in on this session")
+        return self.user
+
+    def __repr__(self) -> str:
+        who = self.user_name if self.user is not None else "<anonymous>"
+        return f"<ClientSession {who} @ {self.peer} path={self.default_path!r}>"

@@ -4,9 +4,11 @@ from repro.workload.generator import (
     LOCATIONS,
     SPECIES,
     AnnotationGenerator,
+    ConcurrentOp,
     WorkloadConfig,
     WorkloadStats,
     build_store,
+    concurrent_trace,
     populate_store,
 )
 from repro.workload.naturemapping import (
@@ -28,6 +30,8 @@ from repro.workload.trace import (
 __all__ = [
     "AnnotationGenerator",
     "CONFUSABLE",
+    "ConcurrentOp",
+    "concurrent_trace",
     "EXPERTS",
     "LOCATIONS",
     "ReplayResult",

@@ -213,6 +213,97 @@ def populate_store(
     return stats
 
 
+@dataclass(frozen=True)
+class ConcurrentOp:
+    """One operation in a per-user concurrent stream.
+
+    ``kind`` is ``"insert"`` (a positive belief in the acting user's world),
+    ``"dispute"`` (a negative belief about some tuple), or ``"select"`` (a
+    BeliefSQL query, carried in ``sql``). Streams are plain data so they can
+    be driven through the in-process BDMS *or* a
+    :class:`~repro.server.client.BeliefClient` unchanged.
+    """
+
+    kind: str
+    relation: str | None = None
+    values: tuple | None = None
+    sql: str | None = None
+
+
+def concurrent_trace(
+    n_users: int,
+    n_ops: int,
+    seed: int = 0,
+    schema: ExternalSchema | None = None,
+    dispute_fraction: float = 0.25,
+    select_fraction: float = 0.1,
+) -> dict[str, list[ConcurrentOp]]:
+    """Per-user operation streams for a concurrent curation workload.
+
+    Returns ``{user_name: [op, ...]}`` with ``n_ops`` operations per user.
+    Each user's stream is generated from an independent RNG derived from
+    ``seed``, so a stream does not depend on how the others are interleaved —
+    the property that makes these traces usable for throughput benchmarks at
+    any client count. Users report fresh sightings under their own keys and
+    dispute readings drawn from a *shared* key pool whose tuple values are a
+    pure function of the key, so concurrent streams genuinely contend on
+    identical tuples.
+    """
+    if n_users < 1 or n_ops < 0:
+        raise BeliefDBError("need n_users >= 1 and n_ops >= 0")
+    schema = schema if schema is not None else experiment_schema()
+    relation = schema.content_relations[0].name
+    # Sized from n_ops alone so a user's stream is identical at any client
+    # count (comparable work per client in the throughput benchmarks).
+    shared_keys = [f"s{k}" for k in range(max(1, n_ops // 2))]
+    streams: dict[str, list[ConcurrentOp]] = {}
+    for index in range(n_users):
+        name = f"user{index + 1}"
+        rng = random.Random(seed * 1_000_003 + index)
+        ops: list[ConcurrentOp] = []
+        for k in range(n_ops):
+            roll = rng.random()
+            if roll < dispute_fraction:
+                # The disputed reading is derived entirely from the shared
+                # key, so two users disputing the same key dispute the
+                # *identical* tuple (same internal tid) from their own
+                # worlds — genuine cross-client contention on shared data.
+                key_index = rng.randrange(len(shared_keys))
+                ops.append(ConcurrentOp(
+                    kind="dispute",
+                    relation=relation,
+                    values=(
+                        shared_keys[key_index],
+                        f"user{1 + key_index % 8}",
+                        SPECIES[key_index % len(SPECIES)],
+                        f"{1 + key_index % 12}-{1 + key_index % 28}-08",
+                        LOCATIONS[key_index % len(LOCATIONS)],
+                    ),
+                ))
+            elif roll < dispute_fraction + select_fraction:
+                ops.append(ConcurrentOp(
+                    kind="select",
+                    sql=(
+                        f"select S.sid, S.species from "
+                        f"BELIEF '{name}' {relation} as S"
+                    ),
+                ))
+            else:
+                ops.append(ConcurrentOp(
+                    kind="insert",
+                    relation=relation,
+                    values=(
+                        f"{name}-s{k}",
+                        name,
+                        rng.choice(SPECIES),
+                        f"{rng.randrange(1, 13)}-{rng.randrange(1, 29)}-08",
+                        rng.choice(LOCATIONS),
+                    ),
+                ))
+        streams[name] = ops
+    return streams
+
+
 def build_store(
     config: WorkloadConfig,
     eager: bool = True,

@@ -1,5 +1,6 @@
 """Every example script must run cleanly (they are living documentation)."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,12 +8,23 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC = EXAMPLES.parent / "src"
+
+
+def _env_with_src() -> dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not existing else str(SRC) + os.pathsep + existing
+    )
+    return env
 
 FAST_EXAMPLES = [
     "quickstart.py",
     "naturemapping_curation.py",
     "message_board.py",
     "beliefsql_tour.py",
+    "concurrent_curation.py",
 ]
 
 
@@ -23,6 +35,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=180,
+        env=_env_with_src(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples should print something"
@@ -34,6 +47,7 @@ def test_quickstart_output_contains_paper_answers():
         capture_output=True,
         text=True,
         timeout=180,
+        env=_env_with_src(),
     )
     assert "('s2', 'Alice', 'raven')" in result.stdout        # q1
     assert "('Bob', 'crow', 'raven')" in result.stdout        # q2
@@ -48,6 +62,7 @@ def test_cli_overhead_subcommand():
         capture_output=True,
         text=True,
         timeout=180,
+        env=_env_with_src(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert "|R*|/n" in result.stdout

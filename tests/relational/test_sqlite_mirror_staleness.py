@@ -1,0 +1,118 @@
+"""Regression guard for the lazy-resync contract of the sqlite backend.
+
+``BeliefDBMS(backend="sqlite")`` mirrors the internal tables into sqlite
+wholesale and marks the mirror dirty on every mutation; the *next query* must
+resync before reading. These tests pin that contract: a query issued right
+after an insert/delete/update/add_user must see the new state, and a clean
+mirror must not be rebuilt needlessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+
+S1 = ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+S2 = ("s2", "Alice", "crow", "6-14-08", "Lake Placid")
+
+Q_CAROL = "select S.sid, S.species from BELIEF 'Carol' Sightings as S"
+
+
+@pytest.fixture
+def db():
+    db = BeliefDBMS(sightings_schema(), backend="sqlite")
+    db.add_user("Carol")
+    db.add_user("Bob")
+    return db
+
+
+def test_query_after_insert_sees_new_tuple(db):
+    assert db.execute(Q_CAROL) == []
+    db.insert(["Carol"], "Sightings", S1)
+    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
+
+
+def test_query_after_delete_stops_seeing_tuple(db):
+    db.insert(["Carol"], "Sightings", S1)
+    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
+    db.delete(["Carol"], "Sightings", S1)
+    assert db.execute(Q_CAROL) == []
+
+
+def test_query_after_beliefsql_insert_and_delete(db):
+    db.execute("insert into BELIEF 'Carol' Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
+    count = db.execute("delete from BELIEF 'Carol' Sightings "
+                       "where sid = 's1'")
+    assert count == 1
+    assert db.execute(Q_CAROL) == []
+
+
+def test_query_after_update_sees_new_values(db):
+    db.insert(["Carol"], "Sightings", S1)
+    count = db.execute("update BELIEF 'Carol' Sightings "
+                       "set species = 'fish eagle' where sid = 's1'")
+    assert count == 1
+    assert db.execute(Q_CAROL) == [("s1", "fish eagle")]
+
+
+def test_query_after_add_user_sees_user_catalog(db):
+    rows = db.execute("select U.name from Users as U")
+    db.add_user("Dave")
+    rows_after = db.execute("select U.name from Users as U")
+    assert len(rows_after) == len(rows) + 1
+    assert ("Dave",) in rows_after
+
+
+def test_interleaved_updates_and_queries_never_stale(db):
+    """Each write is immediately visible to the very next query."""
+    for k in range(8):
+        values = (f"s{k}", "Carol", "crow", "6-14-08", "Union Bay")
+        db.insert(["Carol"], "Sightings", values)
+        rows = db.execute("select S.sid from BELIEF 'Carol' Sightings as S")
+        assert (f"s{k}",) in rows
+        assert len(rows) == k + 1
+
+
+def test_mirror_not_resynced_when_clean(db):
+    db.insert(["Carol"], "Sightings", S1)
+    db.execute(Q_CAROL)  # forces the sync
+    assert db._mirror is not None and not db._mirror_dirty
+    synced_with = []
+    original = db._mirror.sync
+    db._mirror.sync = lambda source: synced_with.append(source) or original(source)
+    db.execute(Q_CAROL)
+    assert synced_with == []  # clean mirror: no wholesale rebuild
+    db.insert(["Bob"], "Sightings", S2)
+    db.execute(Q_CAROL)
+    assert len(synced_with) == 1  # dirty again after the write
+
+
+def test_rejected_insert_does_not_dirty_mirror():
+    strict_free = BeliefDBMS(sightings_schema(), backend="sqlite", strict=False)
+    strict_free.add_user("Carol")
+    strict_free.insert(["Carol"], "Sightings", S1)
+    strict_free.execute(Q_CAROL)
+    assert not strict_free._mirror_dirty
+    assert strict_free.insert(["Carol"], "Sightings", S1) is False  # duplicate
+    assert not strict_free._mirror_dirty
+
+
+def test_sqlite_results_match_engine_backend(db):
+    engine = BeliefDBMS(sightings_schema())
+    engine.add_user("Carol")
+    engine.add_user("Bob")
+    for target in (db, engine):
+        target.insert(["Carol"], "Sightings", S1)
+        target.insert(["Bob"], "Sightings", S2)
+        target.insert(["Bob"], "Sightings", S1, sign="-")
+    queries = [
+        Q_CAROL,
+        "select S.sid, S.species from BELIEF 'Bob' Sightings as S",
+        "select U.name, S.sid from Users as U, BELIEF U.uid Sightings as S",
+    ]
+    for q in queries:
+        assert db.execute(q) == engine.execute(q), q

@@ -150,3 +150,57 @@ class TestPopulation:
         assert stats.accepted == 60
         assert stats.rejected > 0
         store.check_invariants()
+
+
+class TestConcurrentTrace:
+    def test_shape_and_determinism(self):
+        from repro.workload.generator import concurrent_trace
+
+        streams = concurrent_trace(4, 25, seed=7)
+        assert sorted(streams) == ["user1", "user2", "user3", "user4"]
+        assert all(len(ops) == 25 for ops in streams.values())
+        again = concurrent_trace(4, 25, seed=7)
+        assert streams == again
+        assert concurrent_trace(4, 25, seed=8) != streams
+
+    def test_streams_independent_of_user_count(self):
+        # user1's stream is identical whether 1 or 16 users are generated,
+        # so throughput runs at different client counts do comparable work.
+        from repro.workload.generator import concurrent_trace
+
+        solo = concurrent_trace(1, 30, seed=3)["user1"]
+        crowd = concurrent_trace(16, 30, seed=3)["user1"]
+        assert solo == crowd
+
+    def test_op_mix_and_validity(self):
+        from repro.workload.generator import concurrent_trace
+
+        streams = concurrent_trace(3, 80, seed=0)
+        kinds = {op.kind for ops in streams.values() for op in ops}
+        assert kinds == {"insert", "dispute", "select"}
+        for name, ops in streams.items():
+            for op in ops:
+                if op.kind == "select":
+                    assert op.sql and name in op.sql
+                else:
+                    assert op.relation and op.values is not None
+                    assert len(op.values) == 5
+
+    def test_inserts_use_per_user_keys_disputes_shared(self):
+        from repro.workload.generator import concurrent_trace
+
+        streams = concurrent_trace(2, 60, seed=1)
+        for name, ops in streams.items():
+            for op in ops:
+                if op.kind == "insert":
+                    assert op.values[0].startswith(f"{name}-s")
+                elif op.kind == "dispute":
+                    assert not op.values[0].startswith("user")
+
+    def test_validation(self):
+        from repro.workload.generator import concurrent_trace
+
+        with pytest.raises(BeliefDBError):
+            concurrent_trace(0, 5)
+        with pytest.raises(BeliefDBError):
+            concurrent_trace(2, -1)
