@@ -78,6 +78,23 @@ def main() -> None:
     print(f"  sqlite: {sqlite_rows}")
     assert engine_rows == sqlite_rows
 
+    print("\n== Parameter binding: ? placeholders, one compile, many binds ==")
+    prepared = db.prepare(
+        "select S.species from BELIEF ? Sightings as S where S.sid = ?"
+    )
+    for who, sid in (("Alice", "s2"), ("Bob", "s2"), ("Carol", "s1")):
+        result = db.execute_prepared(prepared, (who, sid))
+        print(f"  BELIEF {who}, sid={sid} -> {result.rows} "
+              f"[{result.status}, cols={result.columns}]")
+    # Values never touch the SQL text, so awkward strings need no escaping:
+    db.execute_sql("insert into BELIEF 'Carol' Comments values (?, ?, ?)",
+                   ("c9", "it was O'Brien's \"fish eagle\"", "s1"))
+    spiky = db.execute_sql(
+        "select C.comment from BELIEF 'Carol' Comments as C where C.cid = ?",
+        ("c9",),
+    )
+    print(f"  quoted-value round-trip: {spiky.scalar()!r}")
+
     print("\n== Peek under the hood: the generated SQL for a BCQ ==")
     query = parse_bcq(
         "q(x) :- [x] Sightings-(k, z, sp, u, v), "

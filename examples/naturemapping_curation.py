@@ -42,11 +42,15 @@ def main() -> None:
 
     print("\n== Expert workflow: Alice reviews a disputed sighting ==")
     disputed = rows[0][1] if rows else scenario.sighting_ids[0]
-    report = db.execute(
-        f"select S.sid, S.species, S.location from Sightings as S "
-        f"where S.sid = '{disputed}'"
+    # The sighting id is data, not SQL — bind it with a ? parameter instead
+    # of splicing it into the statement text (a value containing a quote
+    # would break the interpolated form).
+    report = db.execute_sql(
+        "select S.sid, S.species, S.location from Sightings as S "
+        "where S.sid = ?",
+        (disputed,),
     )
-    print(f"  ground record:   {report}")
+    print(f"  ground record:   {report.rows}")
     for expert in scenario.experts:
         view = [
             (t.values[2], str(sign))

@@ -18,21 +18,27 @@ The package implements the paper end to end:
 * :mod:`repro.workload` — the synthetic annotation generator of Sect. 6;
 * :mod:`repro.server` — the multi-user network layer: wire protocol, threaded
   socket server over one shared BDMS, per-connection sessions, and the
-  blocking :class:`~repro.server.client.BeliefClient` library.
+  blocking :class:`~repro.server.client.BeliefClient` library;
+* :mod:`repro.api` — the DB-API-style surface: ``connect()`` →
+  Connection → Cursor with ``?`` parameter binding and typed
+  :class:`~repro.api.result.Result` values, identical against an embedded
+  BDMS and a remote server.
 
 Quickstart::
 
-    from repro import BeliefDBMS, sightings_schema
+    from repro import connect, sightings_schema
 
-    db = BeliefDBMS(sightings_schema())
-    db.add_user("Carol"); db.add_user("Bob")
-    db.execute("insert into Sightings values "
-               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
-    db.execute("insert into BELIEF 'Bob' not Sightings values "
-               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
-    rows = db.execute(
-        "select S.sid, S.species from Users as U, "
-        "BELIEF U.uid not Sightings as S where U.name = 'Bob'")
+    conn = connect(sightings_schema())
+    conn.add_user("Carol"); conn.add_user("Bob")
+    cur = conn.cursor()
+    cur.execute("insert into Sightings values (?,?,?,?,?)",
+                ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"))
+    cur.execute("insert into BELIEF ? not Sightings values (?,?,?,?,?)",
+                ("Bob", "s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"))
+    result = cur.execute(
+        "select S.sid, S.species from BELIEF ? Sightings as S", ("Carol",))
+    result.columns          # ('sid', 'species')
+    result.rows             # what Carol believes (defaults included)
 """
 
 from repro.core import (
@@ -70,6 +76,8 @@ __all__ = [
     "BeliefSQLError",
     "BeliefStatement",
     "BeliefWorld",
+    "Connection",
+    "Cursor",
     "ExternalSchema",
     "GroundTuple",
     "InconsistencyError",
@@ -78,10 +86,12 @@ __all__ = [
     "QueryError",
     "RejectedUpdateError",
     "RelationDef",
+    "Result",
     "SchemaError",
     "Sign",
     "UnsafeQueryError",
     "canonical_kripke",
+    "connect",
     "entailed_world",
     "entails",
     "experiment_schema",
@@ -90,10 +100,14 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # BeliefDBMS pulls in the whole stack; import lazily to keep `import repro`
+    # These pull in the whole stack; import lazily to keep `import repro`
     # light for users who only need the core model.
     if name == "BeliefDBMS":
         from repro.bdms import BeliefDBMS
 
         return BeliefDBMS
+    if name in ("connect", "Connection", "Cursor", "Result"):
+        import repro.api
+
+        return getattr(repro.api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

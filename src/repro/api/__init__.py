@@ -1,0 +1,46 @@
+"""The DB-API-flavored public surface: ``connect()`` → Connection → Cursor.
+
+One programming model against both deployment shapes::
+
+    from repro.api import connect
+
+    conn = connect(db_or_address, user="Carol")
+    cur = conn.cursor()
+    cur.execute("select S.sid, S.species from Sightings as S where S.sid = ?",
+                ("s1",))
+    cur.fetchall()
+
+``connect`` accepts an embedded :class:`~repro.bdms.bdms.BeliefDBMS` (or a
+bare schema), a ``"host:port"`` string / ``(host, port)`` tuple for a running
+:class:`~repro.server.server.BeliefServer`, or an existing
+:class:`~repro.server.client.BeliefClient`. Cursors behave identically in
+both cases — same rows, same column metadata, same rowcounts — which the
+test suite asserts by running one workload against both.
+
+Module layout:
+
+* :mod:`repro.api.result` — the typed :class:`~repro.bdms.result.Result`
+  (defined down in the bdms layer, re-exported here);
+* :mod:`repro.api.connection` — ``connect`` plus the embedded/remote
+  :class:`~repro.api.connection.Connection` implementations;
+* :mod:`repro.api.cursor` — the DB-API-style cursor.
+"""
+
+from repro.api.connection import (
+    Connection,
+    EmbeddedConnection,
+    RemoteConnection,
+    connect,
+)
+from repro.api.cursor import Cursor
+from repro.api.result import Result, ResultKind
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "EmbeddedConnection",
+    "RemoteConnection",
+    "Result",
+    "ResultKind",
+    "connect",
+]

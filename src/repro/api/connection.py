@@ -1,0 +1,414 @@
+"""``connect()`` and the Connection implementations (embedded + remote).
+
+One call works against every deployment shape::
+
+    connect(BeliefDBMS(sightings_schema()), user="Carol")   # embedded engine
+    connect(sightings_schema(), user="Carol")               # builds the BDMS
+    connect("127.0.0.1:5433", user="Carol")                 # TCP server
+    connect(("127.0.0.1", 5433))                            # ditto
+    connect(existing_belief_client)                         # reuse a client
+
+A connection pins the *session's default belief path*: after ``user=`` (or
+:meth:`Connection.login`), plain DML with no ``BELIEF`` prefix is implicitly
+annotated with that user's belief world — exactly the server's session
+semantics, applied identically for embedded use so the two shapes stay
+interchangeable. An explicit ``BELIEF ...`` prefix always wins.
+
+Embedded connections are as thread-safe as the underlying
+:class:`~repro.bdms.bdms.BeliefDBMS` (i.e. not internally synchronized);
+remote connections serialize on the wire like their
+:class:`~repro.server.client.BeliefClient`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence, overload
+
+from repro.api.cursor import Cursor
+from repro.bdms.result import Result
+from repro.errors import BeliefDBError
+
+if TYPE_CHECKING:  # pragma: no cover — type-only imports
+    from repro.bdms.bdms import BeliefDBMS
+    from repro.core.schema import ExternalSchema
+    from repro.server.client import BeliefClient
+
+
+class Connection:
+    """Common cursor factory / lifecycle; subclasses supply the transport."""
+
+    def cursor(self) -> Cursor:
+        if self.closed:
+            raise BeliefDBError("connection is closed")
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """One-shot convenience: ``cursor().execute(...)``."""
+        return self.cursor().execute(sql, params)
+
+    def executemany(
+        self, sql: str, seq_of_params: Sequence[Sequence[Any]]
+    ) -> Result:
+        return self.cursor().executemany(sql, seq_of_params)
+
+    # -- transport interface (subclass responsibility) ---------------------
+
+    def _run(self, sql: str, params: tuple[Any, ...]) -> Result:
+        raise NotImplementedError
+
+    def _run_many(
+        self, sql: str, param_rows: list[tuple[Any, ...]]
+    ) -> Result:
+        raise NotImplementedError
+
+    def login(self, user: Any, create: bool = True) -> None:
+        raise NotImplementedError
+
+    def set_path(self, path: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def add_user(self, name: str | None = None) -> Any:
+        """Register a user without logging in as them; returns the uid."""
+        raise NotImplementedError
+
+    @property
+    def user(self) -> str | None:
+        raise NotImplementedError
+
+    @property
+    def default_path(self) -> tuple[Any, ...]:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _aggregate_dml(
+    kind: str, columns: tuple[str, ...], results: list[Result]
+) -> Result:
+    total = sum(r.rowcount for r in results)
+    return Result(
+        kind=kind,  # type: ignore[arg-type] — validated by the caller
+        rows=[],
+        columns=columns,
+        rowcount=total,
+        status=f"{kind.upper()} {total}",
+        elapsed_ms=sum(r.elapsed_ms for r in results),
+    )
+
+
+class EmbeddedConnection(Connection):
+    """A connection to an in-process :class:`BeliefDBMS`."""
+
+    def __init__(
+        self,
+        db: "BeliefDBMS",
+        user: Any | None = None,
+        create: bool = True,
+        path: Sequence[Any] | None = None,
+    ) -> None:
+        from repro.server.session import ClientSession
+
+        self.db = db
+        self._session = ClientSession(peer="embedded")
+        self._closed = False
+        if user is not None:
+            self.login(user, create=create)
+        if path is not None:
+            self.set_path(path)
+
+    # ------------------------------------------------------------- session
+
+    def login(self, user: Any, create: bool = True) -> None:
+        """Authenticate; the default belief path becomes ``(uid,)``."""
+        store = self.db.store
+        try:
+            uid = store.resolve_user(user)
+        except BeliefDBError:
+            if not create or not isinstance(user, str):
+                raise
+            uid = self.db.add_user(user)
+        self._session.login(uid, store.user_name(uid))
+
+    def set_path(self, path: Sequence[Any]) -> None:
+        """Override the default belief path (``()`` = plain content)."""
+        resolved = tuple(self.db.store.resolve_user(u) for u in path)
+        self._session.set_path(resolved)
+
+    def add_user(self, name: str | None = None) -> Any:
+        return self.db.add_user(name)
+
+    @property
+    def user(self) -> str | None:
+        return self._session.user_name
+
+    @property
+    def default_path(self) -> tuple[Any, ...]:
+        return self._session.default_path
+
+    # ------------------------------------------------------------ transport
+
+    def _prepared(self, sql: str):
+        """Prepare through the BDMS cache with the session rewrite applied."""
+        return self.db.prepare_for_session(sql, self._session)
+
+    def _run(self, sql: str, params: tuple[Any, ...]) -> Result:
+        if self._closed:
+            raise BeliefDBError("connection is closed")
+        return self.db.execute_prepared(self._prepared(sql), params)
+
+    def _run_many(
+        self, sql: str, param_rows: list[tuple[Any, ...]]
+    ) -> Result:
+        if self._closed:
+            raise BeliefDBError("connection is closed")
+        prepared = self._prepared(sql)
+        if prepared.kind == "select":
+            raise BeliefDBError("executemany is for DML, not select")
+        results = [
+            self.db.execute_prepared(prepared, params) for params in param_rows
+        ]
+        return _aggregate_dml(prepared.kind, prepared.columns, results)
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        who = self._session.user_name or "<anonymous>"
+        return f"<EmbeddedConnection {who} ({state})>"
+
+
+class RemoteConnection(Connection):
+    """A connection to a :class:`BeliefServer` over a ``BeliefClient``.
+
+    Large result sets page across the wire transparently: the server sends
+    the first chunk plus a cursor id, and the connection drains the rest
+    with ``fetch`` ops before handing the complete Result to the cursor —
+    so remote cursors look exactly like embedded ones.
+    """
+
+    def __init__(
+        self,
+        client: "BeliefClient",
+        user: Any | None = None,
+        create: bool = True,
+        path: Sequence[Any] | None = None,
+        owns_client: bool = True,
+    ) -> None:
+        self.client = client
+        self._owns_client = owns_client
+        self._user_name: str | None = None
+        self._default_path: tuple[Any, ...] = ()
+        if user is not None:
+            self.login(user, create=create)
+        if path is not None:
+            self.set_path(path)
+
+    # ------------------------------------------------------------- session
+
+    def login(self, user: Any, create: bool = True) -> None:
+        info = self.client.login(user, create=create)
+        self._user_name = info.get("user_name")
+        self._default_path = tuple(info.get("default_path", ()))
+
+    def set_path(self, path: Sequence[Any]) -> None:
+        info = self.client.set_path(list(path))
+        self._default_path = tuple(info.get("default_path", ()))
+
+    def add_user(self, name: str | None = None) -> Any:
+        return self.client.add_user(name)
+
+    @property
+    def user(self) -> str | None:
+        return self._user_name
+
+    @property
+    def default_path(self) -> tuple[Any, ...]:
+        return self._default_path
+
+    # ------------------------------------------------------------ transport
+
+    def _run(self, sql: str, params: tuple[Any, ...]) -> Result:
+        payload = self.client.execute_prepared(sql, params)
+        return self._finish(payload)
+
+    def _finish(self, payload: dict[str, Any]) -> Result:
+        return Result.from_wire(payload, self.client.drain(payload))
+
+    def _run_many(
+        self, sql: str, param_rows: list[tuple[Any, ...]]
+    ) -> Result:
+        statement = self.client.prepare(sql)
+        try:
+            if statement.kind == "select":
+                raise BeliefDBError("executemany is for DML, not select")
+            results = [
+                self._finish(self.client.execute_prepared(statement, params))
+                for params in param_rows
+            ]
+        finally:
+            # Always release the server-side handle — a rejected row mid-batch
+            # must not leak it into the session registry. Best-effort: never
+            # mask the in-flight exception with a cleanup failure.
+            try:
+                if not self.client.closed:
+                    self.client.close_statement(statement)
+            except BeliefDBError:
+                pass
+        return _aggregate_dml(statement.kind, statement.columns, results)
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self.client.closed
+
+    def close(self) -> None:
+        if self._owns_client:
+            self.client.close()
+
+    def __repr__(self) -> str:
+        who = self._user_name or "<anonymous>"
+        return f"<RemoteConnection {who} via {self.client!r}>"
+
+
+# --------------------------------------------------------------------- connect
+
+
+def _owned_remote(
+    client: "BeliefClient",
+    user: Any | None,
+    create: bool,
+    path: Sequence[Any] | None,
+) -> RemoteConnection:
+    """Build a client-owning RemoteConnection, closing the socket we just
+    opened if construction (login/set_path) fails."""
+    try:
+        return RemoteConnection(client, user=user, create=create, path=path)
+    except BaseException:
+        client.close()
+        raise
+
+
+def _parse_address(target: str, port: int | None) -> tuple[str, int]:
+    from repro.server.server import DEFAULT_PORT
+
+    default = DEFAULT_PORT if port is None else port
+    if target.startswith("["):
+        # Bracketed IPv6: "[::1]" or "[::1]:5433".
+        host, bracket, rest = target[1:].partition("]")
+        if not bracket or (rest and not rest.startswith(":")):
+            raise BeliefDBError(f"bad address {target!r}")
+        if not rest:
+            return host, default
+        try:
+            return host, int(rest[1:])
+        except ValueError as exc:
+            raise BeliefDBError(f"bad address {target!r}") from exc
+    if target.count(":") > 1:
+        raise BeliefDBError(
+            f"ambiguous address {target!r}: bracket IPv6 hosts as "
+            "'[host]:port'"
+        )
+    if ":" in target:
+        host, _, port_text = target.rpartition(":")
+        try:
+            return host, int(port_text)
+        except ValueError as exc:
+            raise BeliefDBError(f"bad address {target!r}") from exc
+    return target, default
+
+
+@overload
+def connect(
+    target: "BeliefDBMS | ExternalSchema",
+    *,
+    user: Any | None = None,
+    create: bool = True,
+    path: Sequence[Any] | None = None,
+    backend: str = "engine",
+    strict: bool = True,
+    stmt_cache_size: int = 128,
+) -> EmbeddedConnection: ...
+
+
+@overload
+def connect(
+    target: "str | tuple[str, int] | BeliefClient",
+    *,
+    user: Any | None = None,
+    create: bool = True,
+    path: Sequence[Any] | None = None,
+    port: int | None = None,
+    timeout: float = 30.0,
+) -> RemoteConnection: ...
+
+
+def connect(
+    target: Any,
+    *,
+    user: Any | None = None,
+    create: bool = True,
+    path: Sequence[Any] | None = None,
+    port: int | None = None,
+    timeout: float = 30.0,
+    backend: str = "engine",
+    strict: bool = True,
+    stmt_cache_size: int = 128,
+) -> Connection:
+    """Open a connection to an embedded or remote belief database.
+
+    ``target`` selects the deployment shape; ``user`` pins the session's
+    default belief path (created on first login when ``create``), and
+    ``path`` overrides it explicitly. Engine options (``backend``,
+    ``strict``, ``stmt_cache_size``) apply only when ``target`` is a bare
+    schema; address options (``port``, ``timeout``) only to remote targets.
+    """
+    from repro.bdms.bdms import BeliefDBMS
+    from repro.core.schema import ExternalSchema
+    from repro.server.client import BeliefClient
+
+    if isinstance(target, BeliefDBMS):
+        return EmbeddedConnection(target, user=user, create=create, path=path)
+    if isinstance(target, ExternalSchema):
+        db = BeliefDBMS(
+            target, backend=backend, strict=strict,
+            stmt_cache_size=stmt_cache_size,
+        )
+        return EmbeddedConnection(db, user=user, create=create, path=path)
+    if isinstance(target, BeliefClient):
+        return RemoteConnection(
+            target, user=user, create=create, path=path, owns_client=False
+        )
+    if isinstance(target, tuple) and len(target) == 2:
+        try:
+            target_port = int(target[1])
+        except (TypeError, ValueError) as exc:
+            raise BeliefDBError(f"bad address {target!r}") from exc
+        client = BeliefClient(target[0], target_port, timeout=timeout)
+        return _owned_remote(client, user, create, path)
+    if isinstance(target, str):
+        host, resolved_port = _parse_address(target, port)
+        client = BeliefClient(host, resolved_port, timeout=timeout)
+        return _owned_remote(client, user, create, path)
+    raise BeliefDBError(
+        f"cannot connect to {target!r}: expected a BeliefDBMS, a schema, "
+        "a BeliefClient, a (host, port) tuple, or a 'host:port' string"
+    )

@@ -1,0 +1,160 @@
+"""DB-API-2.0-style cursors over a belief connection.
+
+A :class:`Cursor` executes statements and manages fetch state. Per PEP 249
+conventions: ``execute(sql, params)`` with ``?`` placeholders,
+``fetchone``/``fetchmany``/``fetchall``, ``arraysize``, ``rowcount``,
+``description``, and iteration. Beyond PEP 249, ``execute`` also *returns*
+the typed :class:`~repro.api.result.Result`, so terse call sites can skip
+the fetch dance entirely::
+
+    n = cur.execute("delete from Sightings where sid = ?", ("s1",)).rowcount
+    species = cur.execute(
+        "select S.species from Sightings as S where S.sid = ?", ("s1",)
+    ).scalar()
+
+Cursors are deliberately thin: all engine/wire work happens in the owning
+:class:`~repro.api.connection.Connection`, so one cursor implementation
+serves both the embedded and the remote deployment shapes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+from repro.bdms.result import Result
+from repro.errors import BeliefDBError
+
+if TYPE_CHECKING:  # pragma: no cover — type-only import, avoids a cycle
+    from repro.api.connection import Connection
+
+
+class Cursor:
+    """Statement execution + fetch state over one connection."""
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection = connection
+        self.arraysize: int = 1
+        self._result: Result | None = None
+        self._position = 0
+        self._closed = False
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def connection(self) -> "Connection":
+        return self._connection
+
+    @property
+    def result(self) -> Result | None:
+        """The typed result of the last ``execute`` (None before any)."""
+        return self._result
+
+    @property
+    def rowcount(self) -> int:
+        """Rows returned / statements affected by the last execute; -1 before."""
+        return -1 if self._result is None else self._result.rowcount
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Column names of the last select (``()`` before any / for DML)."""
+        return () if self._result is None else self._result.columns
+
+    @property
+    def description(self) -> list[tuple[Any, ...]] | None:
+        """PEP 249 ``description``: one 7-tuple per result column."""
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BeliefDBError("cursor is closed")
+        if self._connection.closed:
+            raise BeliefDBError("connection is closed")
+
+    # -------------------------------------------------------------- execute
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Run one statement; ``?`` placeholders bind ``params`` in order."""
+        self._check_open()
+        result = self._connection._run(sql, tuple(params))
+        self._result = result
+        self._position = 0
+        return result
+
+    def executemany(
+        self, sql: str, seq_of_params: Iterable[Sequence[Any]]
+    ) -> Result:
+        """Run one DML statement once per parameter vector (prepared once).
+
+        Returns an aggregate Result whose ``rowcount`` sums the individual
+        executions. Selects are rejected, per DB-API convention.
+        """
+        self._check_open()
+        result = self._connection._run_many(
+            sql, [tuple(params) for params in seq_of_params]
+        )
+        self._result = result
+        self._position = 0
+        return result
+
+    # ---------------------------------------------------------------- fetch
+
+    def _rows(self) -> list[tuple[Any, ...]]:
+        if self._result is None:
+            raise BeliefDBError("no statement executed on this cursor yet")
+        return self._result.rows
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        self._check_open()
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple[Any, ...]]:
+        self._check_open()
+        rows = self._rows()
+        count = self.arraysize if size is None else size
+        batch = rows[self._position:self._position + max(0, count)]
+        self._position += len(batch)
+        return batch
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        self._check_open()
+        rows = self._rows()
+        batch = rows[self._position:]
+        self._position = len(rows)
+        return batch
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<Cursor ({state}) over {self._connection!r}>"

@@ -1,0 +1,11 @@
+"""Public re-export of the typed statement Result.
+
+The dataclass lives in :mod:`repro.bdms.result` (layer 6) because the BDMS
+facade constructs Results; this module is its public, layer-9 address so API
+users write ``from repro.api.result import Result`` without caring about the
+internal layering.
+"""
+
+from repro.bdms.result import RESULT_KINDS, Result, ResultKind
+
+__all__ = ["RESULT_KINDS", "Result", "ResultKind"]

@@ -16,27 +16,51 @@ backend:
 
 Thread safety: a :class:`BeliefDBMS` is **not** internally synchronized.
 Concurrent callers must serialize access externally — the network layer in
-:mod:`repro.server` does so with a readers-writer lock. Note that on the
+:mod:`repro.server` does so with a readers-writer lock. (The prepared-
+statement cache is the one exception: it has its own internal lock, so
+``prepare`` alone is safe to call concurrently.) Note that on the
 ``"sqlite"`` backend even queries mutate state (the mirror is resynced
 lazily inside the query path), so they need the *exclusive* side of any
 such lock.
 
-Example::
+Two styles of use. The classic facade, with literal SQL::
 
     db = BeliefDBMS(sightings_schema())
     carol = db.add_user("Carol"); bob = db.add_user("Bob")
     db.execute("insert into Sightings values "
                "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
-    db.execute("insert into BELIEF 'Bob' not Sightings values "
-               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
     rows = db.execute("select S.sid, S.species from "
-                      "BELIEF 'Bob' not Sightings as S")
+                      "BELIEF 'Bob' Sightings as S")
+
+And the DB-API-style surface of :mod:`repro.api`, with ``?`` parameter
+binding, typed :class:`~repro.api.result.Result` values, and an LRU
+prepared-statement cache underneath (parse+compile once, bind many)::
+
+    from repro.api import connect
+
+    with connect(db, user="Carol") as conn:
+        cur = conn.cursor()
+        cur.execute("insert into Sightings values (?,?,?,?,?)",
+                    ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"))
+        result = cur.execute(
+            "select S.sid, S.species from BELIEF ? Sightings as S",
+            ("Bob",))
+        result.columns   # ('sid', 'species')
+        cur.fetchall()
+
+``execute`` keeps its historical return shape as a thin shim over
+:meth:`~BeliefDBMS.execute_sql` / :meth:`~BeliefDBMS.execute_prepared`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Literal, Sequence, Union
 
+from repro.bdms.result import Result
 from repro.beliefsql.ast import (
     DeleteStatement,
     InsertStatement,
@@ -47,10 +71,11 @@ from repro.beliefsql.ast import (
 from repro.beliefsql.compiler import (
     CompiledDelete,
     CompiledInsert,
+    CompiledSelect,
     CompiledUpdate,
     compile_delete,
     compile_insert,
-    compile_select,
+    compile_select_prepared,
     compile_update,
 )
 from repro.beliefsql.parser import parse_beliefsql
@@ -73,6 +98,30 @@ from repro.storage.updates import delete_tuple, insert_tuple
 
 _BACKENDS = ("engine", "sqlite", "naive", "lazy")
 
+StatementKind = Literal["select", "insert", "delete", "update"]
+
+CompiledStatement = Union[
+    CompiledSelect, CompiledInsert, CompiledDelete, CompiledUpdate
+]
+
+
+@dataclass(frozen=True)
+class PreparedStatement:
+    """A parsed+compiled BeliefSQL statement, bindable to parameter vectors.
+
+    Obtained from :meth:`BeliefDBMS.prepare` (and cached there); execute with
+    :meth:`BeliefDBMS.execute_prepared`. ``statement`` is the raw AST before
+    any session rewriting — the server rewrites it per connection and
+    re-prepares the rewritten form through the same cache.
+    """
+
+    sql: str
+    statement: Statement
+    kind: StatementKind
+    param_count: int
+    columns: tuple[str, ...]
+    compiled: CompiledStatement
+
 
 class BeliefDBMS:
     """A complete belief database management system (prototype of Sect. 6).
@@ -90,6 +139,9 @@ class BeliefDBMS:
     strict:
         When True (default), rejected updates (Alg. 4 returning false) raise
         :class:`RejectedUpdateError`; otherwise they return False/0 silently.
+    stmt_cache_size:
+        Capacity of the LRU prepared-statement cache (parse+compile results
+        keyed on SQL text / statement AST). 0 disables caching.
     """
 
     def __init__(
@@ -98,6 +150,7 @@ class BeliefDBMS:
         backend: str = "engine",
         eager: bool = True,
         strict: bool = True,
+        stmt_cache_size: int = 128,
     ) -> None:
         if backend not in _BACKENDS:
             raise BeliefDBError(
@@ -111,12 +164,24 @@ class BeliefDBMS:
         self.store = BeliefStore(schema, eager=eager)
         self._mirror: SqliteMirror | None = None
         self._mirror_dirty = True
+        self._stmt_cache: OrderedDict[Any, PreparedStatement] = OrderedDict()
+        self._stmt_cache_size = max(0, stmt_cache_size)
+        self._stmt_lock = threading.Lock()
+        self._stmt_stats = {
+            "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
+        }
 
     # ------------------------------------------------------------------ users
 
     def add_user(self, name: str | None = None, uid: User | None = None) -> User:
-        """Register a user; returns the user id (auto-assigned int if absent)."""
+        """Register a user; returns the user id (auto-assigned int if absent).
+
+        Registering a user changes name→uid resolution, so the prepared-
+        statement cache is invalidated (cheap, and provably safe against
+        any compiled artifact that captured a stale resolution).
+        """
         self._mirror_dirty = True
+        self.invalidate_statements()
         return self.store.add_user(name=name, uid=uid)
 
     def users(self) -> dict[User, str]:
@@ -201,28 +266,159 @@ class BeliefDBMS:
 
     # ------------------------------------------------------------------ BeliefSQL
 
-    def execute(self, sql: str) -> list[tuple] | bool | int:
-        """Execute one BeliefSQL statement (Fig. 1).
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse and compile one BeliefSQL statement, through the LRU cache.
+
+        Repeated ``prepare`` of the same SQL text skips the parse *and* the
+        compile; ``?`` placeholders are bound per execution by
+        :meth:`execute_prepared`.
+        """
+        return self._cached_prepare(sql, lambda: parse_beliefsql(sql), sql)
+
+    def prepare_parsed(self, statement: Statement) -> PreparedStatement:
+        """Compile an already-parsed statement, through the same cache.
+
+        Keyed on the (hashable, frozen) AST itself — the server uses this for
+        session-rewritten statements so the rewrite costs no re-parse.
+        """
+        return self._cached_prepare(statement, lambda: statement, None)
+
+    def _cached_prepare(
+        self, key: Any, load: Any, sql_text: str | None
+    ) -> PreparedStatement:
+        with self._stmt_lock:
+            cached = self._stmt_cache.get(key)
+            if cached is not None:
+                self._stmt_cache.move_to_end(key)
+                self._stmt_stats["hits"] += 1
+                return cached
+            self._stmt_stats["misses"] += 1
+        prepared = self._compile(load(), sql_text)
+        if self._stmt_cache_size:
+            with self._stmt_lock:
+                if key not in self._stmt_cache:
+                    self._stmt_cache[key] = prepared
+                    while len(self._stmt_cache) > self._stmt_cache_size:
+                        self._stmt_cache.popitem(last=False)
+                        self._stmt_stats["evictions"] += 1
+        return prepared
+
+    def _compile(
+        self, statement: Statement, sql_text: str | None
+    ) -> PreparedStatement:
+        kind: StatementKind
+        compiled: CompiledStatement
+        columns: tuple[str, ...] = ()
+        if isinstance(statement, SelectStatement):
+            kind = "select"
+            compiled = compile_select_prepared(statement, self.schema)
+            columns = compiled.columns
+        elif isinstance(statement, InsertStatement):
+            kind = "insert"
+            compiled = compile_insert(statement, self.schema)
+        elif isinstance(statement, DeleteStatement):
+            kind = "delete"
+            compiled = compile_delete(statement, self.schema)
+        elif isinstance(statement, UpdateStatement):
+            kind = "update"
+            compiled = compile_update(statement, self.schema)
+        else:
+            raise BeliefDBError(f"unsupported statement {statement!r}")
+        return PreparedStatement(
+            sql=sql_text if sql_text is not None else str(statement),
+            statement=statement,
+            kind=kind,
+            param_count=compiled.param_count,
+            columns=columns,
+            compiled=compiled,
+        )
+
+    def prepare_for_session(
+        self, sql_or_prepared: str | PreparedStatement, session: Any
+    ) -> PreparedStatement:
+        """Prepare a statement with a session's default-path rewrite applied.
+
+        ``session`` is anything with a ``rewrite(statement) -> statement``
+        method (:class:`repro.server.session.ClientSession`). The rewrite
+        happens here — at prepare-for-execution time, not at ``prepare``
+        time — so one cached handle follows the session's *current* default
+        belief path; the rewritten AST is re-prepared through the same cache
+        keyed on the AST itself, so neither form is parsed or compiled twice.
+        """
+        if isinstance(sql_or_prepared, str):
+            prepared = self.prepare(sql_or_prepared)
+        else:
+            prepared = sql_or_prepared
+        statement = session.rewrite(prepared.statement)
+        if statement is not prepared.statement:
+            prepared = self.prepare_parsed(statement)
+        return prepared
+
+    def invalidate_statements(self) -> int:
+        """Drop every cached prepared statement; returns how many."""
+        with self._stmt_lock:
+            dropped = len(self._stmt_cache)
+            self._stmt_cache.clear()
+            self._stmt_stats["invalidations"] += dropped
+        return dropped
+
+    def execute_prepared(
+        self, prepared: PreparedStatement, params: Sequence[Value] = ()
+    ) -> Result:
+        """Bind ``params`` into a prepared statement and execute it.
+
+        This is the primitive everything else reduces to: binding is a cheap
+        structural substitution into the compiled artifact, so one
+        ``prepare`` serves many parameter vectors.
+        """
+        start = time.perf_counter()
+        compiled = prepared.compiled
+        rows: list[tuple] = []
+        if isinstance(compiled, CompiledSelect):
+            query = compiled.bind(params)
+            if query is not None:
+                rows = sorted(self.query(query), key=repr)
+            rowcount = len(rows)
+        elif isinstance(compiled, CompiledInsert):
+            rowcount = 1 if self._execute_insert(compiled.bind(params)) else 0
+        elif isinstance(compiled, CompiledDelete):
+            rowcount = self._execute_delete(compiled.bind(params))
+        else:
+            rowcount = self._execute_update(compiled.bind(params))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return Result(
+            kind=prepared.kind,
+            rows=rows,
+            columns=prepared.columns,
+            rowcount=rowcount,
+            status=f"{prepared.kind.upper()} {rowcount}",
+            elapsed_ms=elapsed_ms,
+        )
+
+    def execute_sql(self, sql: str, params: Sequence[Value] = ()) -> Result:
+        """Execute one BeliefSQL statement with ``?`` parameters; typed result."""
+        return self.execute_prepared(self.prepare(sql), params)
+
+    def execute(
+        self, sql: str, params: Sequence[Value] = ()
+    ) -> list[tuple] | bool | int:
+        """Execute one BeliefSQL statement (Fig. 1) — compatibility shim.
 
         Returns a sorted list of tuples for ``select``, True/False for
         ``insert``, and the affected-statement count for ``delete``/``update``.
+        This is :meth:`execute_sql` with the typed :class:`Result` collapsed
+        to the historical shape; new code should prefer :meth:`execute_sql`
+        or the cursors of :mod:`repro.api`.
         """
-        statement = parse_beliefsql(sql)
-        return self.execute_statement(statement)
+        return self.execute_sql(sql, params).legacy()
 
-    def execute_statement(self, statement: Statement) -> list[tuple] | bool | int:
-        if isinstance(statement, SelectStatement):
-            query = compile_select(statement, self.schema)
-            if query is None:
-                return []
-            return sorted(self.query(query), key=repr)
-        if isinstance(statement, InsertStatement):
-            return self._execute_insert(compile_insert(statement, self.schema))
-        if isinstance(statement, DeleteStatement):
-            return self._execute_delete(compile_delete(statement, self.schema))
-        if isinstance(statement, UpdateStatement):
-            return self._execute_update(compile_update(statement, self.schema))
-        raise BeliefDBError(f"unsupported statement {statement!r}")
+    def execute_statement(
+        self, statement: Statement, params: Sequence[Value] = ()
+    ) -> list[tuple] | bool | int:
+        """Execute a parsed statement — compatibility shim over the new path."""
+        return self.execute_prepared(
+            self.prepare_parsed(statement), params
+        ).legacy()
 
     def _execute_insert(self, op: CompiledInsert) -> bool:
         return self.insert(op.path, op.relation, op.values, op.sign)
@@ -327,6 +523,12 @@ class BeliefDBMS:
         This is the introspection hook the network server exposes as its
         ``stats`` op; keep every value a plain str/int/float/bool/dict.
         """
+        with self._stmt_lock:
+            cache_stats = {
+                "size": len(self._stmt_cache),
+                "capacity": self._stmt_cache_size,
+                **self._stmt_stats,
+            }
         return {
             "backend": self.backend,
             "eager": self.store.eager,
@@ -337,6 +539,7 @@ class BeliefDBMS:
             "total_rows": self.size(),
             "relative_overhead": self.relative_overhead(),
             "row_counts": dict(self.store.row_counts()),
+            "statement_cache": cache_stats,
         }
 
     def describe(self) -> str:

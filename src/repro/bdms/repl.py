@@ -18,6 +18,7 @@ to stdin.
 
 from __future__ import annotations
 
+from repro.bdms.result import Result
 from repro.beliefsql.compiler import compile_select
 from repro.beliefsql.parser import parse_beliefsql
 from repro.bdms.bdms import BeliefDBMS
@@ -26,6 +27,25 @@ from repro.core.schema import ExternalSchema, sightings_schema
 from repro.errors import BeliefDBError
 
 PROMPT = "beliefdb> "
+
+
+def format_result(result: Result) -> str:
+    """Render a typed Result for the shell: column headers, rows, status."""
+    if result.kind == "select":
+        if not result.rows:
+            return "(no rows)"
+        lines = []
+        if result.columns:
+            header = " | ".join(result.columns)
+            lines.append("  " + header)
+            lines.append("  " + "-" * len(header))
+        lines += ["  " + " | ".join(map(str, row)) for row in result.rows]
+        n = result.rowcount
+        lines.append(f"({n} row{'s'[:n != 1]})")
+        return "\n".join(lines)
+    if result.kind == "insert":
+        return "ok" if result.ok else "rejected"
+    return f"{result.rowcount} statement(s) affected"
 
 
 class BeliefShell:
@@ -49,15 +69,7 @@ class BeliefShell:
             return f"error: {exc}"
 
     def _sql(self, line: str) -> str:
-        result = self.db.execute(line)
-        if isinstance(result, list):
-            if not result:
-                return "(no rows)"
-            body = "\n".join("  " + " | ".join(map(str, row)) for row in result)
-            return f"{body}\n({len(result)} row{'s'[:len(result) != 1]})"
-        if isinstance(result, bool):
-            return "ok" if result else "rejected"
-        return f"{result} statement(s) affected"
+        return format_result(self.db.execute_sql(line))
 
     def _meta(self, line: str) -> str:
         command, _, argument = line[1:].partition(" ")
@@ -173,15 +185,10 @@ class RemoteShell:
             return f"error: {exc}"
 
     def _sql(self, line: str) -> str:
-        result = self.client.execute(line)
-        if isinstance(result, list):
-            if not result:
-                return "(no rows)"
-            body = "\n".join("  " + " | ".join(map(str, row)) for row in result)
-            return f"{body}\n({len(result)} row{'s'[:len(result) != 1]})"
-        if isinstance(result, bool):
-            return "ok" if result else "rejected"
-        return f"{result} statement(s) affected"
+        payload = self.client.execute_prepared(line)
+        return format_result(
+            Result.from_wire(payload, self.client.drain(payload))
+        )
 
     def _meta(self, line: str) -> str:
         command, _, argument = line[1:].partition(" ")

@@ -14,12 +14,22 @@ front of relation names::
 A ``BELIEF`` argument is either a literal (user name or id) or a correlated
 column reference like ``U.uid`` (only meaningful inside ``select``). ``not``
 flips the sign of the whole belief specification — "user w does *not* believe".
+
+Every value position (insert values, ``set`` assignments, condition operands,
+``BELIEF`` arguments) additionally accepts a ``?`` *placeholder*: the parser
+numbers them left to right and :func:`bind_statement` substitutes a parameter
+vector at execute time, so one parsed/compiled statement serves many
+parameter bindings (see :meth:`repro.bdms.bdms.BeliefDBMS.execute_prepared`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Union
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence, Union
+
+from repro.errors import ParameterBindingError
 
 
 @dataclass(frozen=True)
@@ -33,15 +43,43 @@ class ColumnRef:
         return f"{self.alias}.{self.column}" if self.alias else self.column
 
 
+def format_value(value: Any) -> str:
+    """Render a Python value as a BeliefSQL literal (``''`` quote escaping).
+
+    Unlike ``repr``, the result re-tokenizes: a string containing ``'`` comes
+    out single-quoted with the quote doubled, so ``str(statement)`` round-trips
+    through the parser for any string/number value.
+    """
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class Literal:
     value: Any
 
     def __str__(self) -> str:
-        return repr(self.value)
+        return format_value(self.value)
 
 
-Operand = Union[ColumnRef, Literal]
+@dataclass(frozen=True)
+class Placeholder:
+    """A ``?`` parameter marker; ``index`` is its 0-based position.
+
+    Placeholders flow through compilation as opaque constants and are
+    substituted by :func:`bind_statement` (AST level) or the compiled
+    artifacts' ``bind`` methods (execute time).
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+Operand = Union[ColumnRef, Literal, Placeholder]
 
 
 @dataclass(frozen=True)
@@ -107,7 +145,7 @@ class InsertStatement:
 
     def __str__(self) -> str:
         prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
-        vals = ", ".join(repr(v) for v in self.values)
+        vals = ", ".join(_value_str(v) for v in self.values)
         return f"insert into {prefix}{self.relation} values ({vals})"
 
 
@@ -134,7 +172,7 @@ class UpdateStatement:
 
     def __str__(self) -> str:
         prefix = f"{self.belief} " if self.belief.path or self.belief.negated else ""
-        sets = ", ".join(f"{a} = {v!r}" for a, v in self.assignments)
+        sets = ", ".join(f"{a} = {_value_str(v)}" for a, v in self.assignments)
         sql = f"update {prefix}{self.relation} set {sets}"
         if self.conditions:
             sql += " where " + " and ".join(map(str, self.conditions))
@@ -142,3 +180,146 @@ class UpdateStatement:
 
 
 Statement = Union[SelectStatement, InsertStatement, DeleteStatement, UpdateStatement]
+
+
+def _value_str(value: Any) -> str:
+    """Render a raw value slot that may hold a :class:`Placeholder`."""
+    if isinstance(value, Placeholder):
+        return "?"
+    return format_value(value)
+
+
+def _operand_placeholders(operand: Any) -> list[Placeholder]:
+    return [operand] if isinstance(operand, Placeholder) else []
+
+
+def statement_placeholders(statement: Statement) -> int:
+    """Number of ``?`` parameters a statement takes.
+
+    The parser numbers placeholders 0..n-1 left to right; this walk is the
+    single arity source everything (compiler, binder, server) uses, and it
+    verifies the indices it finds form exactly that contiguous range — a gap
+    would mean a placeholder sits in a position this walk does not visit,
+    which must fail loudly rather than silently shift bindings.
+    """
+    found: list[Placeholder] = []
+    if isinstance(statement, SelectStatement):
+        specs = [item.belief for item in statement.items]
+    else:
+        specs = [statement.belief]
+    for spec in specs:
+        for operand in spec.path:
+            found += _operand_placeholders(operand)
+    if isinstance(statement, InsertStatement):
+        for value in statement.values:
+            found += _operand_placeholders(value)
+    if isinstance(statement, UpdateStatement):
+        for _, value in statement.assignments:
+            found += _operand_placeholders(value)
+    for cond in getattr(statement, "conditions", ()):
+        found += _operand_placeholders(cond.left)
+        found += _operand_placeholders(cond.right)
+    indices = {p.index for p in found}
+    if indices != set(range(len(indices))):
+        raise ParameterBindingError(
+            f"placeholder indices {sorted(indices)} are not contiguous from "
+            "0 — a ? sits in a position the binder does not reach"
+        )
+    return len(indices)
+
+
+def check_parameters(expected: int, params: "Sequence[Any]") -> tuple[Any, ...]:
+    """Validate a parameter vector: right arity, SQL-representable values.
+
+    Only ``str``/``int``/``float`` may bind (the value domain of the external
+    schema). Anything else — ``None``, bools, containers — is rejected up
+    front: such values would execute but could not be rendered back as
+    parseable BeliefSQL, so the server's replayable op log (and any textual
+    round-trip) would silently break.
+    """
+    bound = tuple(params)
+    if len(bound) != expected:
+        raise ParameterBindingError(
+            f"statement takes {expected} parameter(s), got {len(bound)}"
+        )
+    for position, value in enumerate(bound):
+        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+            raise ParameterBindingError(
+                f"parameter {position} is {value!r}; only str/int/float "
+                "values can bind to ? placeholders"
+            )
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ParameterBindingError(
+                f"parameter {position} is {value!r}; non-finite floats have "
+                "no BeliefSQL literal form"
+            )
+    return bound
+
+
+def _bind_value(value: Any, params: tuple[Any, ...]) -> Any:
+    if isinstance(value, Placeholder):
+        return params[value.index]
+    return value
+
+
+def _bind_operand(operand: Operand, params: tuple[Any, ...]) -> Operand:
+    if isinstance(operand, Placeholder):
+        return Literal(params[operand.index])
+    return operand
+
+
+def _bind_spec(spec: BeliefSpec, params: tuple[Any, ...]) -> BeliefSpec:
+    if not any(isinstance(p, Placeholder) for p in spec.path):
+        return spec
+    return BeliefSpec(
+        tuple(_bind_operand(p, params) for p in spec.path), spec.negated
+    )
+
+
+def _bind_conditions(
+    conditions: tuple[Condition, ...], params: tuple[Any, ...]
+) -> tuple[Condition, ...]:
+    return tuple(
+        Condition(c.op, _bind_operand(c.left, params), _bind_operand(c.right, params))
+        for c in conditions
+    )
+
+
+def bind_statement(statement: Statement, params: Sequence[Any]) -> Statement:
+    """Substitute a parameter vector into a statement's placeholders.
+
+    Returns an equivalent placeholder-free statement (useful for logging an
+    executed statement as replayable SQL text). Raises
+    :class:`~repro.errors.ParameterBindingError` on a parameter-count
+    mismatch or a value that cannot be rendered as a BeliefSQL literal.
+    """
+    expected = statement_placeholders(statement)
+    bound = check_parameters(expected, params)
+    if not expected:
+        return statement
+    if isinstance(statement, SelectStatement):
+        items = tuple(
+            dataclasses.replace(item, belief=_bind_spec(item.belief, bound))
+            for item in statement.items
+        )
+        return SelectStatement(
+            statement.columns, items, _bind_conditions(statement.conditions, bound)
+        )
+    if isinstance(statement, InsertStatement):
+        return InsertStatement(
+            _bind_spec(statement.belief, bound),
+            statement.relation,
+            tuple(_bind_value(v, bound) for v in statement.values),
+        )
+    if isinstance(statement, DeleteStatement):
+        return DeleteStatement(
+            _bind_spec(statement.belief, bound),
+            statement.relation,
+            _bind_conditions(statement.conditions, bound),
+        )
+    return UpdateStatement(
+        _bind_spec(statement.belief, bound),
+        statement.relation,
+        tuple((a, _bind_value(v, bound)) for a, v in statement.assignments),
+        _bind_conditions(statement.conditions, bound),
+    )

@@ -6,12 +6,19 @@ conditions *unify* columns into shared query variables — exactly how the
 paper's Example 18 rewrites its BeliefSQL query — while other comparisons
 become arithmetic predicates. ``insert``/``delete``/``update`` compile to
 plain descriptors the BDMS executes against the store.
+
+``?`` placeholders flow through compilation as opaque constants, so a
+statement is parsed and compiled *once* and then bound to many parameter
+vectors: :func:`compile_select_prepared` returns a :class:`CompiledSelect`
+whose :meth:`~CompiledSelect.bind` substitutes parameters into the compiled
+query (plus deferred equality constraints the union-find could not decide
+without values); the DML descriptors each carry a ``bind`` of their own.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.beliefsql.ast import (
     BeliefSpec,
@@ -22,24 +29,41 @@ from repro.beliefsql.ast import (
     InsertStatement,
     Literal,
     Operand,
+    Placeholder,
     SelectStatement,
     UpdateStatement,
+    check_parameters,
+    statement_placeholders,
 )
 from repro.core.schema import ExternalSchema, GroundTuple
 from repro.core.statements import NEGATIVE, POSITIVE, Sign
-from repro.errors import BeliefSQLCompileError
+from repro.errors import BeliefSQLCompileError, ParameterBindingError
 from repro.query.bcq import Arith, BCQuery, ModalSubgoal, Term, UserAtom, Variable
 from repro.relational.expressions import compare
+
+
+def _bind_term(term: Any, params: tuple[Any, ...]) -> Any:
+    if isinstance(term, Placeholder):
+        return params[term.index]
+    return term
 
 
 # ----------------------------------------------------------------- union-find
 
 class _Classes:
-    """Union-find over column slots, with optional constants per class."""
+    """Union-find over column slots, with constants per class.
+
+    A class may collect several constants when placeholders are involved
+    (e.g. ``S.sid = ? and S.sid = 's1'``); whether they agree is only
+    decidable at bind time, so multi-constant classes surface as deferred
+    *constraints* on the compiled query. Two distinct non-placeholder
+    constants in one class remain an immediate (param-independent)
+    contradiction.
+    """
 
     def __init__(self) -> None:
         self._parent: dict[str, str] = {}
-        self._constant: dict[str, Any] = {}
+        self._constants: dict[str, list[Any]] = {}
         self.contradiction = False
 
     def slot(self, key: str) -> str:
@@ -60,30 +84,120 @@ class _Classes:
         if ra == rb:
             return
         self._parent[rb] = ra
-        if rb in self._constant:
-            self.bind_constant(ra, self._constant.pop(rb))
+        for value in self._constants.pop(rb, []):
+            self.bind_constant(ra, value)
 
     def bind_constant(self, key: str, value: Any) -> None:
         root = self.slot(key)
-        if root in self._constant and self._constant[root] != value:
+        constants = self._constants.setdefault(root, [])
+        if any(value == seen for seen in constants):
+            return
+        constants.append(value)
+        concrete = [c for c in constants if not isinstance(c, Placeholder)]
+        if len(concrete) > 1:
             self.contradiction = True
-        else:
-            self._constant[root] = value
 
     def constant_of(self, key: str) -> tuple[bool, Any]:
-        root = self.slot(key)
-        if root in self._constant:
-            return True, self._constant[root]
+        """Representative constant: a concrete value if any, else the first
+        placeholder (substituted at bind time)."""
+        constants = self._constants.get(self.slot(key), [])
+        for value in constants:
+            if not isinstance(value, Placeholder):
+                return True, value
+        if constants:
+            return True, constants[0]
         return False, None
+
+    def deferred_constraints(self) -> list[tuple[Any, ...]]:
+        """Classes whose constants must be checked for equality at bind time."""
+        return [
+            tuple(constants)
+            for constants in self._constants.values()
+            if len(constants) > 1
+        ]
 
 
 # ----------------------------------------------------------------- select
 
+def select_columns(stmt: SelectStatement) -> tuple[str, ...]:
+    """Result column names for a select list.
+
+    Bare attribute names, qualified as ``alias.column`` only where the bare
+    name would be ambiguous in this select list.
+    """
+    bare = [c.column for c in stmt.columns]
+    return tuple(
+        f"{c.alias}.{c.column}" if bare.count(c.column) > 1 else c.column
+        for c in stmt.columns
+    )
+
+
+def _substitute_query(query: BCQuery, params: tuple[Any, ...]) -> BCQuery:
+    """Replace placeholder terms with parameter values, rebuilding the BCQ."""
+    return BCQuery(
+        head=tuple(_bind_term(t, params) for t in query.head),
+        subgoals=tuple(
+            ModalSubgoal(
+                tuple(_bind_term(t, params) for t in sg.path),
+                sg.relation,
+                sg.sign,
+                tuple(_bind_term(t, params) for t in sg.args),
+            )
+            for sg in query.subgoals
+        ),
+        user_atoms=tuple(
+            UserAtom(_bind_term(ua.uid, params), _bind_term(ua.name, params))
+            for ua in query.user_atoms
+        ),
+        predicates=tuple(
+            Arith(p.op, _bind_term(p.left, params), _bind_term(p.right, params))
+            for p in query.predicates
+        ),
+        name=query.name,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledSelect:
+    """A select compiled once, bindable to many parameter vectors.
+
+    ``query is None`` means the statement is provably empty for *every*
+    binding (two distinct concrete constants equated). ``constraints`` are
+    equality classes the union-find could not decide at compile time because
+    a placeholder was involved; :meth:`bind` checks them and returns ``None``
+    (empty result) when a binding violates one.
+    """
+
+    query: BCQuery | None
+    columns: tuple[str, ...]
+    param_count: int = 0
+    constraints: tuple[tuple[Any, ...], ...] = ()
+
+    def bind(self, params: Sequence[Any] = ()) -> BCQuery | None:
+        bound = check_parameters(self.param_count, params)
+        if self.query is None:
+            return None
+        for group in self.constraints:
+            values = [_bind_term(term, bound) for term in group]
+            if any(v != values[0] for v in values[1:]):
+                return None
+        if not self.param_count:
+            return self.query
+        return _substitute_query(self.query, bound)
+
+
 def compile_select(
     stmt: SelectStatement, schema: ExternalSchema
 ) -> BCQuery | None:
-    """Compile a ``select`` into a safe BCQ; None when provably empty
-    (two different constants equated in the WHERE clause)."""
+    """Compile a placeholder-free ``select`` into a safe BCQ; None when
+    provably empty (two different constants equated in the WHERE clause)."""
+    return compile_select_prepared(stmt, schema).bind(())
+
+
+def compile_select_prepared(
+    stmt: SelectStatement, schema: ExternalSchema
+) -> CompiledSelect:
+    """Compile a ``select`` (placeholders allowed) into a bindable form."""
     aliases: dict[str, FromItem] = {}
     for item in stmt.items:
         if item.alias in aliases:
@@ -104,11 +218,25 @@ def compile_select(
             )
         return f"{ref.alias}.{ref.column}"
 
+    param_count = statement_placeholders(stmt)
+    columns = select_columns(stmt)
+
+    def empty() -> CompiledSelect:
+        return CompiledSelect(None, columns, param_count)
+
     def register(operand: Operand) -> str | None:
-        """Slot key for a column ref; None for literals."""
+        """Slot key for a column ref; None for literals/placeholders."""
         if isinstance(operand, ColumnRef):
             return slot_key(operand)
         return None
+
+    def const_of(operand: Operand) -> Any:
+        """The constant a non-column operand denotes (placeholders stay
+        opaque and are substituted at bind time)."""
+        if isinstance(operand, Placeholder):
+            return operand
+        assert isinstance(operand, Literal)
+        return operand.value
 
     # Seed every column slot so each gets a term.
     for alias, item in aliases.items():
@@ -116,26 +244,26 @@ def compile_select(
             classes.slot(f"{alias}.{column}")
 
     arith: list[tuple[str, Operand, Operand]] = []
+    extra_constraints: list[tuple[Any, ...]] = []
     for cond in stmt.conditions:
         if cond.op == "=":
             left, right = register(cond.left), register(cond.right)
             if left is not None and right is not None:
                 classes.union(left, right)
             elif left is not None:
-                assert isinstance(cond.right, Literal)
-                classes.bind_constant(left, cond.right.value)
+                classes.bind_constant(left, const_of(cond.right))
             elif right is not None:
-                assert isinstance(cond.left, Literal)
-                classes.bind_constant(right, cond.left.value)
+                classes.bind_constant(right, const_of(cond.left))
             else:
-                assert isinstance(cond.left, Literal)
-                assert isinstance(cond.right, Literal)
-                if cond.left.value != cond.right.value:
-                    return None
+                lv, rv = const_of(cond.left), const_of(cond.right)
+                if isinstance(lv, Placeholder) or isinstance(rv, Placeholder):
+                    extra_constraints.append((lv, rv))
+                elif lv != rv:
+                    return empty()
         else:
             arith.append((cond.op, cond.left, cond.right))
     if classes.contradiction:
-        return None
+        return empty()
 
     # One term per class: its constant, or a variable named after the root.
     term_cache: dict[str, Term] = {}
@@ -153,6 +281,8 @@ def compile_select(
     def operand_term(operand: Operand) -> Term:
         if isinstance(operand, ColumnRef):
             return term_for(slot_key(operand))
+        if isinstance(operand, Placeholder):
+            return operand
         return operand.value
 
     subgoals: list[ModalSubgoal] = []
@@ -188,10 +318,53 @@ def compile_select(
         user_atoms=tuple(user_atoms),
         predicates=predicates,
     )
-    return query.check_safe(schema)
+    query.check_safe(schema)
+    constraints = tuple(classes.deferred_constraints() + extra_constraints)
+    return CompiledSelect(query, columns, param_count, constraints)
 
 
 # ----------------------------------------------------------------- DML
+
+class DmlPredicate:
+    """A compiled DML WHERE clause, callable on ground tuples.
+
+    Holds ``(op, left_index, left_value, right_index, right_value)`` specs;
+    a value slot may hold a :class:`Placeholder`, in which case the predicate
+    must be :meth:`bind`-ed before evaluation.
+    """
+
+    __slots__ = ("_specs", "_unbound")
+
+    def __init__(
+        self, specs: Iterable[tuple[str, int | None, Any, int | None, Any]]
+    ) -> None:
+        self._specs = tuple(specs)
+        self._unbound = any(
+            isinstance(lv, Placeholder) or isinstance(rv, Placeholder)
+            for _, _, lv, _, rv in self._specs
+        )
+
+    def bind(self, params: tuple[Any, ...]) -> "DmlPredicate":
+        if not self._unbound:
+            return self
+        return DmlPredicate(
+            (op, li, _bind_term(lv, params), ri, _bind_term(rv, params))
+            for op, li, lv, ri, rv in self._specs
+        )
+
+    def __call__(self, t: GroundTuple) -> bool:
+        if self._unbound:
+            raise ParameterBindingError(
+                "predicate contains unbound ? parameters; bind() it first"
+            )
+        for op, li, lv, ri, rv in self._specs:
+            left = t.values[li] if li is not None else lv
+            right = t.values[ri] if ri is not None else rv
+            op = "!=" if op == "<>" else op
+            if not compare(op, left, right):
+                return False
+        return True
+
 
 @dataclass(frozen=True)
 class CompiledInsert:
@@ -199,6 +372,18 @@ class CompiledInsert:
     sign: Sign
     relation: str
     values: tuple[Any, ...]
+    param_count: int = 0
+
+    def bind(self, params: Sequence[Any] = ()) -> "CompiledInsert":
+        bound = check_parameters(self.param_count, params)
+        if not self.param_count:
+            return self
+        return CompiledInsert(
+            tuple(_bind_term(u, bound) for u in self.path),
+            self.sign,
+            self.relation,
+            tuple(_bind_term(v, bound) for v in self.values),
+        )
 
 
 @dataclass(frozen=True)
@@ -207,6 +392,21 @@ class CompiledDelete:
     sign: Sign
     relation: str
     predicate: Callable[[GroundTuple], bool]
+    param_count: int = 0
+
+    def bind(self, params: Sequence[Any] = ()) -> "CompiledDelete":
+        bound = check_parameters(self.param_count, params)
+        if not self.param_count:
+            return self
+        predicate = self.predicate
+        if isinstance(predicate, DmlPredicate):
+            predicate = predicate.bind(bound)
+        return CompiledDelete(
+            tuple(_bind_term(u, bound) for u in self.path),
+            self.sign,
+            self.relation,
+            predicate,
+        )
 
 
 @dataclass(frozen=True)
@@ -216,6 +416,22 @@ class CompiledUpdate:
     relation: str
     assignments: tuple[tuple[str, Any], ...]
     predicate: Callable[[GroundTuple], bool]
+    param_count: int = 0
+
+    def bind(self, params: Sequence[Any] = ()) -> "CompiledUpdate":
+        bound = check_parameters(self.param_count, params)
+        if not self.param_count:
+            return self
+        predicate = self.predicate
+        if isinstance(predicate, DmlPredicate):
+            predicate = predicate.bind(bound)
+        return CompiledUpdate(
+            tuple(_bind_term(u, bound) for u in self.path),
+            self.sign,
+            self.relation,
+            tuple((a, _bind_term(v, bound)) for a, v in self.assignments),
+            predicate,
+        )
 
 
 def _dml_path(belief: BeliefSpec) -> tuple[Any, ...]:
@@ -226,7 +442,10 @@ def _dml_path(belief: BeliefSpec) -> tuple[Any, ...]:
                 "BELIEF arguments in DML statements must be literals, "
                 f"not column references ({operand})"
             )
-        path.append(operand.value)
+        if isinstance(operand, Placeholder):
+            path.append(operand)
+        else:
+            path.append(operand.value)
     return tuple(path)
 
 
@@ -238,10 +457,11 @@ def _dml_predicate(
     relation_name: str,
     conditions: Iterable[Condition],
     schema: ExternalSchema,
-) -> Callable[[GroundTuple], bool]:
+) -> DmlPredicate:
     """Compile DML WHERE conditions into a tuple predicate.
 
-    Operands may be bare column names (or ``relation.column``) and literals.
+    Operands may be bare column names (or ``relation.column``), literals,
+    and ``?`` placeholders.
     """
     relation = schema.relation(relation_name)
 
@@ -259,24 +479,19 @@ def _dml_predicate(
             )
         return relation.attributes.index(operand.column)
 
+    def value_of(operand: Operand) -> Any:
+        if isinstance(operand, Placeholder):
+            return operand
+        return operand.value if isinstance(operand, Literal) else None
+
     compiled: list[tuple[str, int | None, Any, int | None, Any]] = []
     for cond in conditions:
-        left_idx = index_of(cond.left)
-        right_idx = index_of(cond.right)
-        left_val = cond.left.value if isinstance(cond.left, Literal) else None
-        right_val = cond.right.value if isinstance(cond.right, Literal) else None
-        compiled.append((cond.op, left_idx, left_val, right_idx, right_val))
-
-    def predicate(t: GroundTuple) -> bool:
-        for op, li, lv, ri, rv in compiled:
-            left = t.values[li] if li is not None else lv
-            right = t.values[ri] if ri is not None else rv
-            op = "!=" if op == "<>" else op
-            if not compare(op, left, right):
-                return False
-        return True
-
-    return predicate
+        compiled.append((
+            cond.op,
+            index_of(cond.left), value_of(cond.left),
+            index_of(cond.right), value_of(cond.right),
+        ))
+    return DmlPredicate(compiled)
 
 
 def compile_insert(stmt: InsertStatement, schema: ExternalSchema) -> CompiledInsert:
@@ -287,7 +502,8 @@ def compile_insert(stmt: InsertStatement, schema: ExternalSchema) -> CompiledIns
             f"got {len(stmt.values)}"
         )
     return CompiledInsert(
-        _dml_path(stmt.belief), _dml_sign(stmt.belief), stmt.relation, stmt.values
+        _dml_path(stmt.belief), _dml_sign(stmt.belief), stmt.relation,
+        stmt.values, statement_placeholders(stmt),
     )
 
 
@@ -297,6 +513,7 @@ def compile_delete(stmt: DeleteStatement, schema: ExternalSchema) -> CompiledDel
         _dml_sign(stmt.belief),
         stmt.relation,
         _dml_predicate(stmt.relation, stmt.conditions, schema),
+        statement_placeholders(stmt),
     )
 
 
@@ -313,4 +530,5 @@ def compile_update(stmt: UpdateStatement, schema: ExternalSchema) -> CompiledUpd
         stmt.relation,
         stmt.assignments,
         _dml_predicate(stmt.relation, stmt.conditions, schema),
+        statement_placeholders(stmt),
     )

@@ -1,9 +1,16 @@
 """Lexer and recursive-descent parser for BeliefSQL (Fig. 1).
 
 Keywords are case-insensitive (``SELECT``/``select``); identifiers keep their
-case. String literals use single quotes with ``''`` escaping; numbers are ints
-or floats. ``BELIEF`` arguments may be string literals, numbers, identifiers
-(user names), or correlated ``alias.column`` references.
+case. String literals use single quotes with ``''`` escaping; numbers are
+ints or floats (scientific notation accepted, so any finite float's ``repr``
+re-tokenizes). ``BELIEF`` arguments may be string literals, numbers,
+identifiers (user names), or correlated ``alias.column`` references.
+
+``?`` parameter markers are accepted wherever a literal is (insert values,
+``set`` values, condition operands, ``BELIEF`` arguments) and numbered left
+to right; a statement's parameter arity is derived from the AST by
+:func:`repro.beliefsql.ast.statement_placeholders`, which also verifies the
+indices form a contiguous ``0..n-1`` range.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from repro.beliefsql.ast import (
     InsertStatement,
     Literal,
     Operand,
+    Placeholder,
     SelectStatement,
     Statement,
     UpdateStatement,
@@ -37,7 +45,7 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<op><>|!=|<=|>=|=|<|>)
-  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
   | (?P<string>'(?:[^']|'')*')
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<dot>\.)
@@ -46,6 +54,7 @@ _TOKEN_RE = re.compile(
   | (?P<comma>,)
   | (?P<star>\*)
   | (?P<semicolon>;)
+  | (?P<qmark>\?)
     """,
     re.VERBOSE,
 )
@@ -88,6 +97,7 @@ class _Parser:
     def __init__(self, sql: str) -> None:
         self.tokens = tokenize(sql)
         self.index = 0
+        self.placeholders = 0
 
     # -- token plumbing ----------------------------------------------------
 
@@ -138,11 +148,28 @@ class _Parser:
             return token.text[1:-1].replace("''", "'")
         if token.kind == "number":
             self.advance()
-            return float(token.text) if "." in token.text else int(token.text)
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return float(text)
+            return int(text)
         raise self.error("a literal value")
+
+    def next_placeholder(self) -> Placeholder:
+        self.expect_kind("qmark")
+        placeholder = Placeholder(self.placeholders)
+        self.placeholders += 1
+        return placeholder
+
+    def parse_value(self) -> Any:
+        """A literal value or a ``?`` placeholder (insert/set positions)."""
+        if self.current.kind == "qmark":
+            return self.next_placeholder()
+        return self.parse_literal_value()
 
     def parse_operand(self, allow_bare_column: bool) -> Operand:
         token = self.current
+        if token.kind == "qmark":
+            return self.next_placeholder()
         if token.kind in ("string", "number"):
             return Literal(self.parse_literal_value())
         if token.kind == "ident" and token.keyword is None:
@@ -237,10 +264,10 @@ class _Parser:
         relation = self.expect_identifier()
         self.expect_keyword("values")
         self.expect_kind("lparen")
-        values = [self.parse_literal_value()]
+        values = [self.parse_value()]
         while self.current.kind == "comma":
             self.advance()
-            values.append(self.parse_literal_value())
+            values.append(self.parse_value())
         self.expect_kind("rparen")
         return InsertStatement(belief, relation, tuple(values))
 
@@ -271,7 +298,7 @@ class _Parser:
             raise BeliefSQLSyntaxError(
                 f"assignments use '=', found {op.text!r} at {op.pos}"
             )
-        return (column, self.parse_literal_value())
+        return (column, self.parse_value())
 
 
 def parse_beliefsql(sql: str) -> Statement:

@@ -59,6 +59,11 @@ class BeliefSQLCompileError(BeliefSQLError):
     """The BeliefSQL statement parsed but cannot be compiled (bad references)."""
 
 
+class ParameterBindingError(BeliefSQLError):
+    """A ``?``-parameterized statement was executed with the wrong number of
+    parameters, or evaluated before its placeholders were bound."""
+
+
 class EngineError(BeliefDBError):
     """Base class for relational-engine problems."""
 

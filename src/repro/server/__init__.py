@@ -13,9 +13,14 @@ single-process :class:`~repro.bdms.bdms.BeliefDBMS` into a network service:
   ``insert into Sightings ...`` is implicitly annotated with the session
   user (the paper's "users see their own belief world" model);
 * :mod:`repro.server.server` — a threaded socket server multiplexing many
-  clients over one shared BDMS behind a readers-writer lock;
+  clients over one shared BDMS behind a readers-writer lock, with
+  ``prepare``/``execute_prepared`` ops (``?`` parameters, structured result
+  payloads) and ``fetch`` paging for large result sets;
 * :mod:`repro.server.client` — a blocking client library with connection
   retry and context-manager lifecycle.
+
+Most applications should use :func:`repro.api.connect` instead of the raw
+client — it wraps this layer in DB-API-style connections and cursors.
 
 Quickstart::
 
@@ -31,7 +36,7 @@ Quickstart::
                           "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
 """
 
-from repro.server.client import BeliefClient, RemoteError
+from repro.server.client import BeliefClient, RemoteError, RemoteStatement
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -53,6 +58,7 @@ __all__ = [
     "ProtocolError",
     "ReadWriteLock",
     "RemoteError",
+    "RemoteStatement",
     "Request",
     "Response",
     "decode_frame",

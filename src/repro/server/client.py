@@ -25,12 +25,23 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import repro.errors as _errors
 from repro.errors import BeliefDBError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError, Request, Response
+
+
+@dataclass(frozen=True)
+class RemoteStatement:
+    """A server-side prepared-statement handle (from :meth:`BeliefClient.prepare`)."""
+
+    id: int
+    kind: str
+    param_count: int
+    columns: tuple[str, ...]
 
 #: Error types the server may send that map back to local exception classes.
 _ERROR_TYPES: dict[str, type[BeliefDBError]] = {
@@ -221,6 +232,64 @@ class BeliefClient:
     def execute(self, sql: str) -> list[list[Any]] | bool | int:
         """Run one BeliefSQL statement (session default path applies)."""
         return self.call("execute", sql=sql)
+
+    # ------------------------------------------------- prepared statements
+
+    def prepare(self, sql: str) -> RemoteStatement:
+        """Prepare a statement server-side; returns a reusable handle."""
+        info = self.call("prepare", sql=sql)
+        return RemoteStatement(
+            id=info["stmt"],
+            kind=info["kind"],
+            param_count=info["param_count"],
+            columns=tuple(info["columns"]),
+        )
+
+    def execute_prepared(
+        self,
+        statement: RemoteStatement | str,
+        params: Sequence[Any] = (),
+        max_rows: int | None = None,
+    ) -> dict[str, Any]:
+        """Execute a prepared handle (or one-shot SQL) with ``?`` parameters.
+
+        Returns the structured result payload: ``kind``, ``columns``,
+        ``rowcount``, ``status``, ``elapsed_ms``, the first page of ``rows``,
+        and — for large results — a ``cursor`` to :meth:`fetch` the rest.
+        """
+        call_params: dict[str, Any] = {"params": list(params)}
+        if isinstance(statement, RemoteStatement):
+            call_params["stmt"] = statement.id
+        else:
+            call_params["sql"] = statement
+        if max_rows is not None:
+            call_params["max_rows"] = max_rows
+        return self.call("execute_prepared", **call_params)
+
+    def close_statement(self, statement: RemoteStatement | int) -> bool:
+        stmt_id = statement.id if isinstance(statement, RemoteStatement) else statement
+        return bool(self.call("close_statement", stmt=stmt_id)["closed"])
+
+    def fetch(self, cursor_id: int, n: int | None = None) -> dict[str, Any]:
+        """Next page of a paged result: ``{"rows": [...], "has_more": bool}``."""
+        if n is None:
+            return self.call("fetch", cursor=cursor_id)
+        return self.call("fetch", cursor=cursor_id, n=n)
+
+    def drain(self, payload: dict[str, Any]) -> list[list[Any]]:
+        """All rows of an ``execute_prepared`` payload, fetching the paged
+        tail from the server's cursor when the first page was not the end."""
+        rows = list(payload["rows"])
+        cursor_id = payload.get("cursor")
+        has_more = bool(payload.get("has_more"))
+        while has_more and cursor_id is not None:
+            page = self.fetch(cursor_id)
+            rows.extend(page["rows"])
+            has_more = bool(page["has_more"])
+        return rows
+
+    def close_cursor(self, cursor_id: int) -> bool:
+        return bool(self.call("close_cursor", cursor=cursor_id)["closed"])
 
     def query(self, bcq: str) -> list[list[Any]]:
         return self.call("query", bcq=bcq)

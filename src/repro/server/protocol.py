@@ -43,6 +43,8 @@ OPS = frozenset({
     "add_user", "users",
     # statements
     "insert", "delete", "execute",
+    # prepared statements and result paging
+    "prepare", "execute_prepared", "close_statement", "fetch", "close_cursor",
     # queries
     "query", "believes", "world", "worlds",
     # introspection

@@ -32,8 +32,8 @@ import socket
 import threading
 from typing import Any, Callable, Sequence
 
-from repro.bdms.bdms import BeliefDBMS
-from repro.beliefsql.ast import SelectStatement
+from repro.bdms.bdms import BeliefDBMS, PreparedStatement
+from repro.beliefsql.ast import SelectStatement, bind_statement
 from repro.beliefsql.parser import parse_beliefsql
 from repro.core.paths import format_path
 from repro.errors import BeliefDBError
@@ -42,6 +42,10 @@ from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.session import ClientSession
 
 DEFAULT_PORT = 5433
+
+#: Rows sent in the first ``execute_prepared`` response / each ``fetch`` page
+#: unless the client asks for a different ``max_rows`` / ``n``.
+DEFAULT_PAGE_ROWS = 512
 
 
 class ReadWriteLock:
@@ -313,6 +317,18 @@ class BeliefServer:
                     kind = "write"
                 func = BeliefServer._op_execute
                 params: dict[str, Any] = {"statement": statement}
+            elif request.op == "execute_prepared":
+                # Resolve + session-rewrite the prepared statement outside the
+                # lock (the BDMS statement cache has its own internal lock),
+                # then classify read vs write by the statement kind.
+                prepared, bind = self._resolve_prepared(session, request.params)
+                if prepared.kind != "select":
+                    kind = "write"
+                params = {
+                    "prepared": prepared,
+                    "bind": bind,
+                    "max_rows": _page_size(request.params, "max_rows"),
+                }
             else:
                 params = request.params
             guard = (
@@ -433,6 +449,83 @@ class BeliefServer:
                           "ok": _jsonify(result)})
         return _jsonify(result)
 
+    # ------------------------------------------------- prepared statements
+
+    def _resolve_prepared(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> tuple[PreparedStatement, tuple[Any, ...]]:
+        """Resolve an ``execute_prepared`` request to a bindable statement.
+
+        Accepts either a server-side handle from a prior ``prepare`` op
+        (``stmt``) or one-shot SQL text (``sql``); both go through the BDMS
+        statement cache. The session's default belief path is applied here —
+        at execute time, not prepare time — so ``set_path``/``login`` between
+        executions of one handle behaves like re-issuing the statement.
+        """
+        if "stmt" in params:
+            prepared = session.statement(params["stmt"])
+        elif "sql" in params:
+            prepared = _require(params, "sql")
+        else:
+            raise BeliefDBError("execute_prepared needs 'stmt' or 'sql'")
+        bind = params.get("params", [])
+        if not isinstance(bind, (list, tuple)):
+            raise BeliefDBError("params must be a list")
+        return self.db.prepare_for_session(prepared, session), tuple(bind)
+
+    def _op_prepare(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        prepared = self.db.prepare(_require(params, "sql"))
+        stmt_id = session.register_statement(prepared)
+        return {
+            "stmt": stmt_id,
+            "kind": prepared.kind,
+            "param_count": prepared.param_count,
+            "columns": list(prepared.columns),
+        }
+
+    def _op_close_statement(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        return {"closed": session.close_statement(_require(params, "stmt"))}
+
+    def _op_execute_prepared(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        prepared: PreparedStatement = params["prepared"]
+        bind: tuple[Any, ...] = params["bind"]
+        result = self.db.execute_prepared(prepared, bind)
+        if prepared.kind != "select":
+            bound = bind_statement(prepared.statement, bind)
+            self._record({"op": "execute", "sql": str(bound),
+                          "ok": _jsonify(result.legacy())})
+        max_rows = params["max_rows"]
+        rows = result.rows
+        first, rest = rows[:max_rows], rows[max_rows:]
+        cursor_id = session.register_cursor(rest) if rest else None
+        # Metadata assembled by hand (not result.to_wire()): serializing the
+        # full row set just to overwrite it with the first page would be
+        # O(total rows) of waste under the db lock.
+        return {
+            "kind": result.kind,
+            "columns": list(result.columns),
+            "rowcount": result.rowcount,
+            "status": result.status,
+            "elapsed_ms": result.elapsed_ms,
+            "rows": _jsonify(first),
+            "cursor": cursor_id,
+            "has_more": bool(rest),
+        }
+
+    def _op_fetch(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        count = _page_size(params, "n")
+        rows, has_more = session.fetch_rows(_require(params, "cursor"), count)
+        return {"rows": _jsonify(rows), "has_more": has_more}
+
+    def _op_close_cursor(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        return {"closed": session.close_cursor(_require(params, "cursor"))}
+
     def _op_query(self, session: ClientSession, params: dict[str, Any]) -> Any:
         return _jsonify(self.db.query(_require(params, "bcq")))
 
@@ -486,6 +579,13 @@ def _require(params: dict[str, Any], key: str) -> Any:
     return params[key]
 
 
+def _page_size(params: dict[str, Any], key: str) -> int:
+    value = params.get(key, DEFAULT_PAGE_ROWS)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise BeliefDBError(f"{key} must be a positive int, got {value!r}")
+    return value
+
+
 #: op name -> (bound-method extractor, "read" | "write").
 _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "ping": (BeliefServer._op_ping, "read"),
@@ -498,6 +598,11 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "insert": (BeliefServer._op_insert, "write"),
     "delete": (BeliefServer._op_delete, "write"),
     "execute": (BeliefServer._op_execute, "read"),  # DML promoted in _dispatch
+    "prepare": (BeliefServer._op_prepare, "read"),
+    "execute_prepared": (BeliefServer._op_execute_prepared, "read"),  # ditto
+    "close_statement": (BeliefServer._op_close_statement, "read"),
+    "fetch": (BeliefServer._op_fetch, "read"),
+    "close_cursor": (BeliefServer._op_close_cursor, "read"),
     "query": (BeliefServer._op_query, "read"),
     "believes": (BeliefServer._op_believes, "read"),
     "world": (BeliefServer._op_world, "read"),

@@ -10,11 +10,19 @@ prefix always wins over the default.
 
 The session only *rewrites* statements; all enforcement (path validity,
 consistency, Alg. 4 accept/reject) stays in the store.
+
+Sessions also hold the connection's server-side *prepared statements*
+(``prepare`` op) and open *result cursors* (rows of a large select awaiting
+``fetch`` paging). Both registries are bounded — statements evict
+least-recently-*used*, cursors oldest-first — so a client hoarding handles
+cannot grow server memory; they are only ever touched by the connection's
+own handler thread, so they need no locking.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.beliefsql.ast import (
@@ -29,6 +37,11 @@ from repro.core.paths import User
 from repro.errors import BeliefDBError
 
 
+#: Bounds on per-connection handle registries (oldest evicted beyond these).
+MAX_STATEMENTS = 256
+MAX_CURSORS = 32
+
+
 class ClientSession:
     """Who is on the other end of one connection, and their default world."""
 
@@ -37,6 +50,12 @@ class ClientSession:
         self.user: User | None = None
         self.user_name: str | None = None
         self.default_path: tuple[User, ...] = ()
+        self._statements: OrderedDict[int, Any] = OrderedDict()
+        self._statement_seq = 0
+        #: cursor id -> (row list, offset of the next unsent row). The list
+        #: is never copied; paging advances the offset (O(page) per fetch).
+        self._cursors: OrderedDict[int, tuple[list, int]] = OrderedDict()
+        self._cursor_seq = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -84,6 +103,55 @@ class ClientSession:
         )
         return dataclasses.replace(statement, belief=spec)
 
+    # --------------------------------------------------- prepared statements
+
+    def register_statement(self, prepared: Any) -> int:
+        """Store a prepared statement; returns its per-connection handle."""
+        self._statement_seq += 1
+        self._statements[self._statement_seq] = prepared
+        while len(self._statements) > MAX_STATEMENTS:
+            self._statements.popitem(last=False)
+        return self._statement_seq
+
+    def statement(self, stmt_id: Any) -> Any:
+        prepared = self._statements.get(stmt_id)
+        if prepared is None:
+            raise BeliefDBError(f"unknown prepared statement {stmt_id!r}")
+        # Refresh recency so the capacity bound evicts idle handles, not the
+        # ones a long-lived connection executes constantly.
+        self._statements.move_to_end(stmt_id)
+        return prepared
+
+    def close_statement(self, stmt_id: Any) -> bool:
+        return self._statements.pop(stmt_id, None) is not None
+
+    # ----------------------------------------------------------- row cursors
+
+    def register_cursor(self, rows: list) -> int:
+        """Park the unsent tail of a large result for ``fetch`` paging."""
+        self._cursor_seq += 1
+        self._cursors[self._cursor_seq] = (rows, 0)
+        while len(self._cursors) > MAX_CURSORS:
+            self._cursors.popitem(last=False)
+        return self._cursor_seq
+
+    def fetch_rows(self, cursor_id: Any, count: int) -> tuple[list, bool]:
+        """Next ``count`` rows and whether more remain (auto-closes at end)."""
+        entry = self._cursors.get(cursor_id)
+        if entry is None:
+            raise BeliefDBError(f"unknown cursor {cursor_id!r}")
+        rows, offset = entry
+        end = offset + max(0, count)
+        batch = rows[offset:end]
+        if end < len(rows):
+            self._cursors[cursor_id] = (rows, end)
+            return batch, True
+        del self._cursors[cursor_id]
+        return batch, False
+
+    def close_cursor(self, cursor_id: Any) -> bool:
+        return self._cursors.pop(cursor_id, None) is not None
+
     # ---------------------------------------------------------------- views
 
     def describe(self) -> dict[str, Any]:
@@ -92,6 +160,8 @@ class ClientSession:
             "user": self.user,
             "user_name": self.user_name,
             "default_path": list(self.default_path),
+            "statements": len(self._statements),
+            "cursors": len(self._cursors),
         }
 
     def require_user(self) -> User:

@@ -1,0 +1,178 @@
+"""connect() dispatch and embedded Connection/Cursor behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.api.connection import EmbeddedConnection, RemoteConnection
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.errors import BeliefDBError
+from repro.server import BeliefClient, BeliefServer
+
+S1 = ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+
+
+@pytest.fixture
+def conn():
+    with connect(sightings_schema(), strict=False) as connection:
+        connection.add_user("Carol")
+        connection.add_user("Bob")
+        yield connection
+
+
+class TestConnectDispatch:
+    def test_bdms_target(self):
+        db = BeliefDBMS(sightings_schema())
+        assert isinstance(connect(db), EmbeddedConnection)
+
+    def test_schema_target_builds_bdms(self):
+        connection = connect(sightings_schema(), backend="lazy", strict=False)
+        assert isinstance(connection, EmbeddedConnection)
+        assert connection.db.backend == "lazy"
+        assert connection.db.strict is False
+
+    def test_client_and_address_targets(self):
+        with BeliefServer(BeliefDBMS(sightings_schema())) as server:
+            host, port = server.address
+            with BeliefClient(host, port) as client:
+                reused = connect(client)
+                assert isinstance(reused, RemoteConnection)
+                reused.close()
+                assert not client.closed  # not owned, so not closed
+            with connect(f"{host}:{port}") as by_string:
+                assert isinstance(by_string, RemoteConnection)
+            with connect((host, port)) as by_tuple:
+                assert isinstance(by_tuple, RemoteConnection)
+
+    def test_garbage_target_rejected(self):
+        with pytest.raises(BeliefDBError):
+            connect(42)
+        with pytest.raises(BeliefDBError):
+            connect("host:not-a-port")
+
+    def test_address_parsing(self):
+        from repro.api.connection import _parse_address
+        from repro.server.server import DEFAULT_PORT
+
+        assert _parse_address("db.example:5433", None) == ("db.example", 5433)
+        assert _parse_address("db.example", None) == ("db.example", DEFAULT_PORT)
+        assert _parse_address("db.example", 9000) == ("db.example", 9000)
+        assert _parse_address("[::1]:5433", None) == ("::1", 5433)
+        assert _parse_address("[2001:db8::5]", None) == ("2001:db8::5", DEFAULT_PORT)
+        # Unbracketed IPv6 is ambiguous, not silently mis-split:
+        with pytest.raises(BeliefDBError):
+            _parse_address("::1", None)
+        with pytest.raises(BeliefDBError):
+            _parse_address("[::1", None)
+
+    def test_failed_login_closes_owned_socket(self):
+        import time
+
+        with BeliefServer(BeliefDBMS(sightings_schema())) as server:
+            host, port = server.address
+            with pytest.raises(BeliefDBError):
+                connect(f"{host}:{port}", user="Nobody", create=False)
+            # The freshly opened socket was closed on failure; the server's
+            # handler notices the disconnect and prunes the connection.
+            for _ in range(100):
+                if server.stats["connections_active"] == 0:
+                    break
+                time.sleep(0.01)
+            assert server.stats["connections_active"] == 0
+
+
+class TestSessionSemantics:
+    def test_user_pins_default_path(self, conn):
+        conn.login("Carol")
+        assert conn.user == "Carol"
+        assert conn.default_path == (conn.db.uid("Carol"),)
+        conn.execute("insert into Sightings values (?,?,?,?,?)", S1)
+        # Implicitly annotated as Carol's belief, not plain content.
+        assert conn.db.believes(["Carol"], "Sightings", S1)
+        assert conn.execute("select S.sid from Sightings as S").rows == []
+
+    def test_explicit_belief_prefix_wins(self, conn):
+        conn.login("Carol")
+        conn.execute(
+            "insert into BELIEF ? Sightings values (?,?,?,?,?)", ("Bob",) + S1
+        )
+        assert conn.db.believes(["Bob"], "Sightings", S1)
+
+    def test_set_path_overrides(self, conn):
+        conn.login("Carol")
+        conn.set_path(())
+        conn.execute("insert into Sightings values (?,?,?,?,?)", S1)
+        assert conn.execute("select S.sid from Sightings as S").rows == [("s1",)]
+
+    def test_login_creates_user_by_default(self, conn):
+        conn.login("Dora")
+        assert conn.user == "Dora"
+
+    def test_login_create_false_raises_for_unknown(self, conn):
+        with pytest.raises(BeliefDBError):
+            conn.login("Nobody", create=False)
+
+
+class TestCursor:
+    def test_fetch_interface(self, conn):
+        cur = conn.cursor()
+        cur.executemany(
+            "insert into Sightings values (?,?,?,?,?)",
+            [(f"s{i}", "Carol", "crow", "d", "l") for i in range(5)],
+        )
+        cur.execute("select S.sid from Sightings as S")
+        assert cur.rowcount == 5
+        assert cur.fetchone() == ("s0",)
+        assert cur.fetchmany(2) == [("s1",), ("s2",)]
+        assert cur.fetchall() == [("s3",), ("s4",)]
+        assert cur.fetchone() is None
+
+    def test_iteration_and_arraysize(self, conn):
+        cur = conn.cursor()
+        cur.executemany(
+            "insert into Sightings values (?,?,?,?,?)",
+            [(f"s{i}", "Carol", "crow", "d", "l") for i in range(3)],
+        )
+        cur.execute("select S.sid from Sightings as S")
+        assert [row for row in cur] == [("s0",), ("s1",), ("s2",)]
+        cur.execute("select S.sid from Sightings as S")
+        cur.arraysize = 2
+        assert len(cur.fetchmany()) == 2
+
+    def test_description(self, conn):
+        cur = conn.cursor()
+        assert cur.description is None
+        cur.execute("select S.sid, S.species from Sightings as S")
+        assert [d[0] for d in cur.description] == ["sid", "species"]
+        assert all(len(d) == 7 for d in cur.description)
+        cur.execute("insert into Sightings values (?,?,?,?,?)", S1)
+        assert cur.description is None
+
+    def test_executemany_rejects_select(self, conn):
+        with pytest.raises(BeliefDBError):
+            conn.cursor().executemany(
+                "select S.sid from Sightings as S where S.sid = ?", [("s1",)]
+            )
+
+    def test_closed_cursor_and_connection(self, conn):
+        cur = conn.cursor()
+        cur.close()
+        with pytest.raises(BeliefDBError):
+            cur.execute("select S.sid from Sightings as S")
+        conn.close()
+        with pytest.raises(BeliefDBError):
+            conn.cursor()
+
+    def test_fetch_before_execute_raises(self, conn):
+        with pytest.raises(BeliefDBError):
+            conn.cursor().fetchall()
+
+    def test_execute_returns_typed_result(self, conn):
+        result = conn.cursor().execute(
+            "insert into Sightings values (?,?,?,?,?)", S1
+        )
+        assert result.ok
+        assert result.status == "INSERT 1"
+        assert result.kind == "insert"

@@ -1,0 +1,125 @@
+"""One Cursor workload, two deployment shapes — results must be identical.
+
+Acceptance test for the DB-API redesign: the same sequence of parameterized
+statements runs against an embedded :class:`BeliefDBMS` Connection and a
+remote one (through a live :class:`BeliefServer`), and every statement must
+produce the same rows, columns, and rowcount. Paging is forced small on the
+remote side so large selects cross the wire in several ``fetch`` frames yet
+still match the embedded rows exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.api.connection import Connection
+from repro.api.result import Result
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.server import BeliefServer
+
+#: (sql, params) pairs — one collaborative-curation session.
+WORKLOAD: list[tuple[str, tuple]] = [
+    ("insert into Sightings values (?,?,?,?,?)",
+     ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")),
+    ("insert into Sightings values (?,?,?,?,?)",
+     ("s2", "Carol", "crow", "6-15-08", "Lake Forest")),
+    ("insert into BELIEF ? not Sightings values (?,?,?,?,?)",
+     ("Bob", "s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")),
+    ("insert into BELIEF ? Sightings values (?,?,?,?,?)",
+     ("Bob", "s1", "Carol", "raven", "6-14-08", "Lake Forest")),
+    ("select S.sid, S.species from Sightings as S", ()),
+    ("select S.sid, S.species from BELIEF ? Sightings as S", ("Bob",)),
+    ("select S.sid, S.species from BELIEF ? Sightings as S where S.sid = ?",
+     ("Carol", "s1")),
+    ("select U.name, S.sid from Users as U, BELIEF U.uid Sightings as S "
+     "where S.species = ?", ("raven",)),
+    ("update BELIEF ? Sightings set location = ? where sid = ?",
+     ("Carol", "Lake Union", "s2")),
+    ("select S.sid, S.location from BELIEF ? Sightings as S", ("Carol",)),
+    ("delete from BELIEF ? Sightings where sid = ?", ("Bob", "s1")),
+    ("select S.sid, S.species from BELIEF ? Sightings as S", ("Bob",)),
+    ("select S.sid from Sightings as S where S.sid = ?", ("nope",)),
+]
+
+
+def run_workload(conn: Connection) -> list[Result]:
+    conn.add_user("Carol")
+    conn.add_user("Bob")
+    cur = conn.cursor()
+    return [cur.execute(sql, params) for sql, params in WORKLOAD]
+
+
+def test_embedded_and_remote_results_identical():
+    embedded_results = run_workload(
+        connect(BeliefDBMS(sightings_schema(), strict=False))
+    )
+    remote_db = BeliefDBMS(sightings_schema(), strict=False)
+    with BeliefServer(remote_db) as server:
+        host, port = server.address
+        with connect(f"{host}:{port}") as remote:
+            remote_results = run_workload(remote)
+
+    assert len(embedded_results) == len(remote_results)
+    for (sql, _), emb, rem in zip(WORKLOAD, embedded_results, remote_results):
+        assert emb.rows == rem.rows, sql
+        assert emb.columns == rem.columns, sql
+        assert emb.rowcount == rem.rowcount, sql
+        assert emb.status == rem.status, sql
+        assert emb.kind == rem.kind, sql
+        # Result equality ignores elapsed_ms, so this is the whole contract:
+        assert emb == rem, sql
+
+
+def test_uniform_with_session_default_path():
+    """login-pinned default paths behave identically in both shapes."""
+
+    def session_workload(conn: Connection) -> list[Result]:
+        conn.add_user("Carol")
+        conn.login("Carol")
+        cur = conn.cursor()
+        out = [cur.execute(
+            "insert into Sightings values (?,?,?,?,?)",
+            ("s9", "Carol", "heron", "d", "l"),
+        )]
+        out.append(cur.execute("select S.sid from Sightings as S", ()))
+        out.append(cur.execute(
+            "select S.sid from BELIEF ? Sightings as S", ("Carol",)
+        ))
+        return out
+
+    embedded = session_workload(connect(BeliefDBMS(sightings_schema())))
+    with BeliefServer(BeliefDBMS(sightings_schema())) as server:
+        host, port = server.address
+        with connect(f"{host}:{port}") as remote_conn:
+            remote = session_workload(remote_conn)
+    assert embedded == remote
+    # The insert landed in Carol's world, not plain content:
+    assert embedded[1].rows == []
+    assert embedded[2].rows == [("s9",)]
+
+
+@pytest.mark.parametrize("page", [1, 3, 1000])
+def test_remote_paging_matches_embedded(page, monkeypatch):
+    """Forcing tiny wire pages must not change what cursors see."""
+    import repro.server.server as server_mod
+
+    monkeypatch.setattr(server_mod, "DEFAULT_PAGE_ROWS", page)
+
+    def bulk(conn: Connection) -> Result:
+        conn.add_user("Carol")
+        cur = conn.cursor()
+        cur.executemany(
+            "insert into Sightings values (?,?,?,?,?)",
+            [(f"s{i:03d}", "Carol", "crow", "d", "l") for i in range(25)],
+        )
+        return cur.execute("select S.sid from Sightings as S", ())
+
+    embedded = bulk(connect(BeliefDBMS(sightings_schema(), strict=False)))
+    with BeliefServer(BeliefDBMS(sightings_schema(), strict=False)) as server:
+        host, port = server.address
+        with connect(f"{host}:{port}") as remote_conn:
+            remote = bulk(remote_conn)
+    assert remote == embedded
+    assert remote.rowcount == 25
