@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fail CI when smoke-benchmark numbers regress badly vs the baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--results benchmarks/results/bench_results.json] \
+        [--baseline benchmarks/baseline.json] [--factor 3.0]
+
+``baseline.json`` pins, for each tracked metric (a dotted path into the
+results JSON), the reference seconds measured at CI smoke scale — with a
+generous floor baked in, because sub-100ms measurements on shared runners
+are noise. A metric **fails** when ``current > factor × baseline`` (default
+factor from the baseline file), and a tracked metric that is *missing* from
+the results also fails — a silently-skipped benchmark must not pass the
+gate. Faster-than-baseline is always fine; this is a one-sided check for
+pathological slowdowns (the ISSUE's ">3x" contract), not a microbenchmark.
+
+Exit status: 0 all good, 1 regression/missing metric, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any
+
+HERE = pathlib.Path(__file__).parent
+
+
+def lookup(results: dict[str, Any], dotted: str) -> Any:
+    node: Any = results
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results", default=str(HERE / "results" / "bench_results.json")
+    )
+    parser.add_argument("--baseline", default=str(HERE / "baseline.json"))
+    parser.add_argument(
+        "--factor", type=float, default=None,
+        help="override the baseline file's max_regression_factor",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = json.loads(pathlib.Path(args.results).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read results {args.results}: {exc}", file=sys.stderr)
+        print("did the benchmark smoke run produce bench_results.json?",
+              file=sys.stderr)
+        return 1
+
+    factor = args.factor
+    if factor is None:
+        factor = float(baseline.get("max_regression_factor", 3.0))
+    metrics = baseline.get("metrics", {})
+    if not metrics:
+        print("baseline tracks no metrics — nothing to check", file=sys.stderr)
+        return 2
+
+    failures = 0
+    width = max(len(name) for name in metrics)
+    for name, reference in sorted(metrics.items()):
+        current = lookup(results, name)
+        if not isinstance(current, (int, float)):
+            print(f"FAIL {name:<{width}}  missing from results")
+            failures += 1
+            continue
+        limit = factor * float(reference)
+        verdict = "ok  " if current <= limit else "FAIL"
+        print(
+            f"{verdict} {name:<{width}}  current {current:8.3f}s  "
+            f"baseline {reference:8.3f}s  limit {limit:8.3f}s"
+        )
+        failures += current > limit
+    if failures:
+        print(
+            f"\n{failures} metric(s) regressed beyond {factor:.1f}x baseline "
+            f"(or went missing)", file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(metrics)} tracked metrics within {factor:.1f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

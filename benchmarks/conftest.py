@@ -14,12 +14,36 @@ to ``benchmarks/results/experiment_tables.txt`` for the record.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable benchmark numbers, merged across benchmark files. CI
+#: uploads this as a workflow artifact and feeds it to
+#: ``benchmarks/check_regression.py`` against the committed baseline.
+RESULTS_JSON = RESULTS_DIR / "bench_results.json"
+
+
+@pytest.fixture
+def record_json():
+    """Merge one section of benchmark numbers into ``bench_results.json``."""
+
+    def _record(section: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        data: dict = {}
+        if RESULTS_JSON.exists():
+            try:
+                data = json.loads(RESULTS_JSON.read_text())
+            except ValueError:
+                data = {}
+        data[section] = payload
+        RESULTS_JSON.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    return _record
 
 
 @pytest.fixture

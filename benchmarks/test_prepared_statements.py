@@ -159,11 +159,12 @@ def test_wire_insert_prepared_vs_literal():
     assert prepared > 0 and unprepared > 0
 
 
-def test_prepared_report(emit):
+def test_prepared_report(emit, record_json):
     import pytest
 
     if len(_RESULTS) < 3:
         pytest.skip("run the full prepared-statement matrix first")
+    record_json("prepared", {"ops": _ops(), **_RESULTS})
     ops = _ops()
     lines = [
         f"Prepared vs unprepared statement throughput ({ops} ops/arm)",

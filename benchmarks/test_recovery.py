@@ -1,0 +1,162 @@
+"""Recovery-time benchmarks: snapshot-interval ablation + bulk-restore path.
+
+Two questions a durable deployment cares about:
+
+* **How fast is restart?** Recovery = newest snapshot + WAL-tail replay, so
+  checkpoint cadence is the knob: the ablation loads the same workload with
+  different ``checkpoint_every`` settings and times a cold recovery of each
+  resulting data directory. More frequent snapshots → shorter tails →
+  faster restarts (at the cost of checkpoint work during the run).
+* **Does the bulk-restore fast path pay?** WAL ``execute`` records are
+  template + params, so replay rides the BDMS prepared-statement LRU —
+  parse/compile once per distinct statement. Timing the same pure-WAL
+  recovery with the statement cache disabled measures exactly that win.
+
+Scale knob: ``BELIEFDB_BENCH_RECOVERY_OPS`` (logged ops, default 2000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.durability import DurabilityManager
+
+_RESULTS: dict[str, object] = {}
+
+
+def _ops() -> int:
+    return int(os.environ.get("BELIEFDB_BENCH_RECOVERY_OPS", "2000"))
+
+
+def _assertions_meaningful() -> bool:
+    """Below ~500 ops both arms run in milliseconds; skip timing asserts."""
+    return _ops() >= 500
+
+
+def _load(data_dir: str, ops: int, checkpoint_every: int) -> int:
+    """Log ``ops`` statements (2/3 inserts, 1/3 deletes); returns net size.
+
+    The churn matters: a snapshot holds the *net* state while the WAL holds
+    the full history, which is exactly why checkpoints shorten recovery.
+    ``sync="off"`` keeps the load fast (we benchmark recovery, not fsync
+    latency); close() still flushes, so the WAL is complete.
+    """
+    db = BeliefDBMS(
+        sightings_schema(), strict=False,
+        durability=DurabilityManager(
+            data_dir, sync="off", checkpoint_every=checkpoint_every,
+        ),
+    )
+    db.add_user("Carol")
+    live: list[str] = []
+    inserted = 0
+    for i in range(ops):
+        if i % 3 == 2 and live:
+            db.execute_sql(
+                "delete from BELIEF ? Sightings where sid = ?",
+                ("Carol", live.pop(0)),
+            )
+        else:
+            sid = f"s{inserted}"
+            inserted += 1
+            db.execute_sql(
+                "insert into BELIEF ? Sightings values (?,?,?,?,?)",
+                ("Carol", sid, "Carol", "crow", "6-14-08", "Lake Forest"),
+            )
+            live.append(sid)
+    net = db.annotation_count()
+    db.close()
+    return net
+
+
+def _recover(data_dir: str, stmt_cache_size: int = 128) -> tuple[float, int]:
+    """Cold-recover a data dir; returns (seconds, annotations recovered)."""
+    started = time.perf_counter()
+    db = BeliefDBMS(
+        sightings_schema(), strict=False, stmt_cache_size=stmt_cache_size,
+        durability=DurabilityManager(data_dir, sync="off"),
+    )
+    elapsed = time.perf_counter() - started
+    recovered = db.annotation_count()
+    db.close()
+    return elapsed, recovered
+
+
+def test_snapshot_interval_ablation(tmp_path):
+    ops = _ops()
+    ablation: list[dict[str, float | int]] = []
+    for label, every in (
+        ("wal-only", 0),
+        ("sparse", max(1, ops // 4)),
+        ("frequent", max(1, ops // 16)),
+    ):
+        data_dir = str(tmp_path / f"ablate-{label}")
+        net = _load(data_dir, ops, checkpoint_every=every)
+        seconds, recovered = _recover(data_dir)
+        assert recovered == net, f"{label}: lost ops in recovery"
+        ablation.append({
+            "label": label,
+            "checkpoint_every": every,
+            "recovery_s": seconds,
+            "ops_per_s": ops / seconds if seconds else float("inf"),
+        })
+    _RESULTS["ablation"] = ablation
+    _RESULTS["ops"] = ops
+    by_label = {row["label"]: row["recovery_s"] for row in ablation}
+    _RESULTS["recovery_wal_only_s"] = by_label["wal-only"]
+    _RESULTS["recovery_frequent_snapshots_s"] = by_label["frequent"]
+    if _assertions_meaningful():
+        # Snapshots must beat full-log replay — that is their whole point.
+        assert by_label["frequent"] < by_label["wal-only"], ablation
+
+
+def test_bulk_restore_fast_path(tmp_path):
+    ops = _ops()
+    data_dir = str(tmp_path / "fastpath")
+    net = _load(data_dir, ops, checkpoint_every=0)
+
+    cached_s, recovered = _recover(data_dir, stmt_cache_size=128)
+    assert recovered == net
+    uncached_s, recovered = _recover(data_dir, stmt_cache_size=0)
+    assert recovered == net
+
+    _RESULTS["replay_cached_s"] = cached_s
+    _RESULTS["replay_uncached_s"] = uncached_s
+    _RESULTS["fast_path_speedup"] = (
+        uncached_s / cached_s if cached_s else float("inf")
+    )
+    if _assertions_meaningful():
+        # The acceptance claim: replay through the prepared-statement cache
+        # beats per-record parse+compile.
+        assert cached_s < uncached_s, (
+            f"cached replay {cached_s:.3f}s not faster than "
+            f"uncached {uncached_s:.3f}s"
+        )
+
+
+def test_recovery_report(emit, record_json):
+    import pytest
+
+    if "ablation" not in _RESULTS or "replay_cached_s" not in _RESULTS:
+        pytest.skip("run the recovery benchmarks first")
+    ops = _RESULTS["ops"]
+    lines = [
+        f"Recovery time vs snapshot interval ({ops} logged ops)",
+        f"{'configuration':>12} {'ckpt every':>11} {'recovery s':>11} "
+        f"{'ops/s':>10}",
+    ]
+    for row in _RESULTS["ablation"]:
+        lines.append(
+            f"{row['label']:>12} {row['checkpoint_every']:>11} "
+            f"{row['recovery_s']:>11.3f} {row['ops_per_s']:>10.0f}"
+        )
+    lines.append(
+        f"bulk-restore fast path: cached {_RESULTS['replay_cached_s']:.3f}s "
+        f"vs uncached {_RESULTS['replay_uncached_s']:.3f}s "
+        f"({_RESULTS['fast_path_speedup']:.2f}x)"
+    )
+    emit("\n".join(lines))
+    record_json("recovery", dict(_RESULTS))

@@ -22,7 +22,10 @@ The package implements the paper end to end:
 * :mod:`repro.api` — the DB-API-style surface: ``connect()`` →
   Connection → Cursor with ``?`` parameter binding and typed
   :class:`~repro.api.result.Result` values, identical against an embedded
-  BDMS and a remote server.
+  BDMS and a remote server;
+* :mod:`repro.durability` — persistence: fsync'd write-ahead log, atomic
+  snapshots, and crash recovery (``connect(..., data_dir=...)`` /
+  ``python -m repro serve --data-dir ...``).
 
 Quickstart::
 
@@ -78,6 +81,7 @@ __all__ = [
     "BeliefWorld",
     "Connection",
     "Cursor",
+    "DurabilityManager",
     "ExternalSchema",
     "GroundTuple",
     "InconsistencyError",
@@ -110,4 +114,8 @@ def __getattr__(name: str):
         import repro.api
 
         return getattr(repro.api, name)
+    if name == "DurabilityManager":
+        from repro.durability import DurabilityManager
+
+        return DurabilityManager
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

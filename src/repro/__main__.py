@@ -64,19 +64,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.bdms.bdms import BeliefDBMS
     from repro.core.schema import experiment_schema, sightings_schema
+    from repro.errors import BeliefDBError
     from repro.server import BeliefServer
 
     schema = (
         experiment_schema() if args.schema == "experiment"
         else sightings_schema()
     )
-    db = BeliefDBMS(schema, backend=args.backend, strict=False)
-    server = BeliefServer(db, host=args.host, port=args.port)
+    durability = None
+    if args.data_dir is not None:
+        from repro.durability import DurabilityManager
+
+        durability = DurabilityManager(args.data_dir, sync=args.wal_sync)
+    db = BeliefDBMS(
+        schema, backend=args.backend, strict=False, durability=durability
+    )
+    if durability is not None:
+        report = durability.last_recovery
+        assert report is not None
+        print(
+            f"recovered {args.data_dir}: snapshot seq {report.snapshot_seq} "
+            f"({report.snapshot_statements} statements) + "
+            f"{report.wal_records} WAL records "
+            f"in {report.elapsed_ms:.0f} ms", flush=True,
+        )
+    server = BeliefServer(
+        db, host=args.host, port=args.port,
+        checkpoint_interval=(
+            args.checkpoint_interval if durability is not None else None
+        ),
+    )
     server.start()
     assert server.address is not None
     print(
         f"belief server listening on {server.address[0]}:{server.address[1]} "
-        f"(schema={args.schema}, backend={args.backend}; Ctrl-C to stop)"
+        f"(schema={args.schema}, backend={args.backend}; Ctrl-C to stop)",
+        flush=True,
     )
     try:
         while True:
@@ -85,6 +108,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.stop()
+        if durability is not None:
+            # A clean shutdown checkpoints so the next start replays
+            # nothing — but close() must run even when the checkpoint
+            # cannot (e.g. a failed-stop manager after a disk error).
+            try:
+                db.checkpoint()
+            except BeliefDBError as exc:
+                print(f"shutdown checkpoint failed: {exc}", file=sys.stderr)
+        db.close()
     return 0
 
 
@@ -126,6 +158,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--schema", choices=("sightings", "experiment"), default="sightings",
+    )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable mode: recover from DIR on start, WAL every write, "
+             "checkpoint in the background",
+    )
+    serve.add_argument(
+        "--wal-sync", choices=("always", "batch", "off"), default="always",
+        help="WAL fsync policy (default 'always': an acknowledged write "
+             "survives SIGKILL)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECS",
+        help="seconds between background checkpoints in durable mode",
     )
     connect = sub.add_parser("connect", help="shell against a belief server")
     connect.add_argument("--host", default="127.0.0.1")

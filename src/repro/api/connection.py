@@ -108,7 +108,13 @@ def _aggregate_dml(
 
 
 class EmbeddedConnection(Connection):
-    """A connection to an in-process :class:`BeliefDBMS`."""
+    """A connection to an in-process :class:`BeliefDBMS`.
+
+    With ``owns_db`` (set by :func:`connect` when it built the BDMS itself,
+    e.g. for a ``data_dir=`` durable database), closing the connection also
+    closes the database — flushing the WAL and releasing the data-directory
+    lock.
+    """
 
     def __init__(
         self,
@@ -116,10 +122,12 @@ class EmbeddedConnection(Connection):
         user: Any | None = None,
         create: bool = True,
         path: Sequence[Any] | None = None,
+        owns_db: bool = False,
     ) -> None:
         from repro.server.session import ClientSession
 
         self.db = db
+        self._owns_db = owns_db
         self._session = ClientSession(peer="embedded")
         self._closed = False
         if user is not None:
@@ -187,6 +195,8 @@ class EmbeddedConnection(Connection):
         return self._closed
 
     def close(self) -> None:
+        if not self._closed and self._owns_db:
+            self.db.close()
         self._closed = True
 
     def __repr__(self) -> str:
@@ -215,7 +225,13 @@ class RemoteConnection(Connection):
         self.client = client
         self._owns_client = owns_client
         self._user_name: str | None = None
+        self._create = create
         self._default_path: tuple[Any, ...] = ()
+        self._explicit_path: tuple[Any, ...] | None = None
+        # Server-side session state (login, default path) dies with the TCP
+        # connection; replay it after the client's bounded reconnect so a
+        # durable server restart is transparent to this connection.
+        client.on_reconnect = self._restore_session
         if user is not None:
             self.login(user, create=create)
         if path is not None:
@@ -226,11 +242,19 @@ class RemoteConnection(Connection):
     def login(self, user: Any, create: bool = True) -> None:
         info = self.client.login(user, create=create)
         self._user_name = info.get("user_name")
+        self._create = create
         self._default_path = tuple(info.get("default_path", ()))
 
     def set_path(self, path: Sequence[Any]) -> None:
         info = self.client.set_path(list(path))
         self._default_path = tuple(info.get("default_path", ()))
+        self._explicit_path = self._default_path
+
+    def _restore_session(self, client: "BeliefClient") -> None:
+        if self._user_name is not None:
+            self.login(self._user_name, create=self._create)
+        if self._explicit_path is not None:
+            self.set_path(self._explicit_path)
 
     def add_user(self, name: str | None = None) -> Any:
         return self.client.add_user(name)
@@ -346,6 +370,9 @@ def connect(
     backend: str = "engine",
     strict: bool = True,
     stmt_cache_size: int = 128,
+    data_dir: str | None = None,
+    wal_sync: str = "always",
+    checkpoint_every: int = 0,
 ) -> EmbeddedConnection: ...
 
 
@@ -358,6 +385,7 @@ def connect(
     path: Sequence[Any] | None = None,
     port: int | None = None,
     timeout: float = 30.0,
+    reconnect: bool = True,
 ) -> RemoteConnection: ...
 
 
@@ -369,9 +397,13 @@ def connect(
     path: Sequence[Any] | None = None,
     port: int | None = None,
     timeout: float = 30.0,
+    reconnect: bool = True,
     backend: str = "engine",
     strict: bool = True,
     stmt_cache_size: int = 128,
+    data_dir: str | None = None,
+    wal_sync: str = "always",
+    checkpoint_every: int = 0,
 ) -> Connection:
     """Open a connection to an embedded or remote belief database.
 
@@ -379,20 +411,54 @@ def connect(
     default belief path (created on first login when ``create``), and
     ``path`` overrides it explicitly. Engine options (``backend``,
     ``strict``, ``stmt_cache_size``) apply only when ``target`` is a bare
-    schema; address options (``port``, ``timeout``) only to remote targets.
+    schema; address options (``port``, ``timeout``, ``reconnect``) only to
+    remote targets.
+
+    ``data_dir`` (schema targets only) opens an **embedded durable**
+    database: state is recovered from the directory's newest snapshot plus
+    write-ahead-log tail, every accepted write is WAL-logged (fsync policy
+    ``wal_sync``), and a checkpoint is taken every ``checkpoint_every``
+    logged records (0 = only explicit ``conn.db.checkpoint()`` calls).
+    Closing the connection flushes the WAL and releases the directory.
+
+    ``reconnect`` (remote targets, default True) lets a call that finds the
+    connection dead make one bounded reconnect attempt, replaying this
+    connection's login/default path onto the fresh session — the companion
+    to a durable server that comes back after a restart.
     """
     from repro.bdms.bdms import BeliefDBMS
     from repro.core.schema import ExternalSchema
     from repro.server.client import BeliefClient
 
+    if data_dir is not None and not isinstance(target, ExternalSchema):
+        raise BeliefDBError(
+            "data_dir= requires a schema target (connect builds the durable "
+            "BDMS itself); attach a DurabilityManager at BeliefDBMS "
+            "construction for other shapes"
+        )
     if isinstance(target, BeliefDBMS):
         return EmbeddedConnection(target, user=user, create=create, path=path)
     if isinstance(target, ExternalSchema):
-        db = BeliefDBMS(
-            target, backend=backend, strict=strict,
-            stmt_cache_size=stmt_cache_size,
-        )
-        return EmbeddedConnection(db, user=user, create=create, path=path)
+        durability = None
+        if data_dir is not None:
+            from repro.durability import DurabilityManager
+
+            durability = DurabilityManager(
+                data_dir, sync=wal_sync, checkpoint_every=checkpoint_every
+            )
+        try:
+            db = BeliefDBMS(
+                target, backend=backend, strict=strict,
+                stmt_cache_size=stmt_cache_size, durability=durability,
+            )
+            return EmbeddedConnection(
+                db, user=user, create=create, path=path,
+                owns_db=durability is not None,
+            )
+        except BaseException:
+            if durability is not None:
+                durability.close()
+            raise
     if isinstance(target, BeliefClient):
         return RemoteConnection(
             target, user=user, create=create, path=path, owns_client=False
@@ -402,11 +468,15 @@ def connect(
             target_port = int(target[1])
         except (TypeError, ValueError) as exc:
             raise BeliefDBError(f"bad address {target!r}") from exc
-        client = BeliefClient(target[0], target_port, timeout=timeout)
+        client = BeliefClient(
+            target[0], target_port, timeout=timeout, auto_reconnect=reconnect
+        )
         return _owned_remote(client, user, create, path)
     if isinstance(target, str):
         host, resolved_port = _parse_address(target, port)
-        client = BeliefClient(host, resolved_port, timeout=timeout)
+        client = BeliefClient(
+            host, resolved_port, timeout=timeout, auto_reconnect=reconnect
+        )
         return _owned_remote(client, user, create, path)
     raise BeliefDBError(
         f"cannot connect to {target!r}: expected a BeliefDBMS, a schema, "

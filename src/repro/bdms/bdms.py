@@ -58,7 +58,10 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Literal, Sequence, Union
+from typing import TYPE_CHECKING, Any, Literal, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
+    from repro.durability.manager import DurabilityManager
 
 from repro.bdms.result import Result
 from repro.beliefsql.ast import (
@@ -142,6 +145,12 @@ class BeliefDBMS:
     stmt_cache_size:
         Capacity of the LRU prepared-statement cache (parse+compile results
         keyed on SQL text / statement AST). 0 disables caching.
+    durability:
+        An optional :class:`~repro.durability.manager.DurabilityManager`.
+        When given, the constructor first *recovers* (newest snapshot + WAL
+        tail replayed into this instance), then logs every subsequently
+        accepted write to the WAL before the call returns — see
+        :meth:`checkpoint`, :meth:`restore`, and :meth:`close`.
     """
 
     def __init__(
@@ -151,6 +160,7 @@ class BeliefDBMS:
         eager: bool = True,
         strict: bool = True,
         stmt_cache_size: int = 128,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise BeliefDBError(
@@ -170,6 +180,87 @@ class BeliefDBMS:
         self._stmt_stats = {
             "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
         }
+        self._durability: "DurabilityManager | None" = None
+        self._in_recovery = False
+        self._in_statement = False
+        if durability is not None:
+            self.attach_durability(durability)
+
+    # ------------------------------------------------------------- durability
+
+    @property
+    def durability(self) -> "DurabilityManager | None":
+        """The attached durability manager, or None for an ephemeral BDMS."""
+        return self._durability
+
+    def attach_durability(self, manager: "DurabilityManager") -> dict[str, Any]:
+        """Recover state from ``manager``'s data dir and start WAL logging.
+
+        The database must be empty (attach at construction time); returns
+        the recovery report as a plain dict.
+        """
+        if self._durability is not None:
+            raise BeliefDBError("a durability manager is already attached")
+        report = manager.recover(self)
+        self._durability = manager
+        return report.as_dict()
+
+    def checkpoint(self) -> int:
+        """Write a snapshot at the current WAL position; returns its seq.
+
+        Callers that share this BDMS across threads (the network server)
+        must hold their exclusive write lock — the snapshot must observe a
+        quiescent state.
+        """
+        if self._durability is None:
+            raise BeliefDBError("no durability manager attached")
+        return self._durability.checkpoint(self)
+
+    def restore(self) -> dict[str, Any]:
+        """Discard in-memory state and rebuild it from disk.
+
+        Round-trips the database through its own durable representation
+        (newest snapshot + WAL tail); with ``sync="always"`` this is a
+        no-op on content. Returns the recovery report.
+        """
+        if self._durability is None:
+            raise BeliefDBError("no durability manager attached")
+        self.store = BeliefStore(self.schema, eager=self.store.eager)
+        self._mirror = None
+        self._mirror_dirty = True
+        self.invalidate_statements()
+        return self._durability.recover(self).as_dict()
+
+    def close(self) -> None:
+        """Flush and release durable resources (no-op when ephemeral)."""
+        if self._durability is not None:
+            self._durability.close()
+
+    def _check_durable_writable(self) -> None:
+        """Refuse a write up front when it could never be made durable.
+
+        Checked *before* the in-memory mutation: once the manager is
+        failed-stop (or closed), applying further writes would serve
+        phantom never-durable state to readers while telling the writers
+        their operations failed.
+        """
+        if self._durability is not None and not self._in_recovery:
+            self._durability.ensure_writable()
+
+    def _log_durable(self, entry: dict[str, Any]) -> None:
+        """Append one accepted write to the WAL (fsync'd per policy).
+
+        Called *after* the in-memory mutation and *before* the operation
+        returns, so an acknowledgement implies the record is on disk. No-op
+        while recovering (replayed ops must not be re-logged) or while an
+        enclosing SQL statement is executing (the statement logs itself as
+        one replayable record).
+        """
+        if self._durability is None or self._in_recovery or self._in_statement:
+            return
+        self._durability.log(entry)
+        if self._durability.should_checkpoint():
+            self._durability.checkpoint(self)
 
     # ------------------------------------------------------------------ users
 
@@ -180,9 +271,16 @@ class BeliefDBMS:
         statement cache is invalidated (cheap, and provably safe against
         any compiled artifact that captured a stale resolution).
         """
+        self._check_durable_writable()
         self._mirror_dirty = True
         self.invalidate_statements()
-        return self.store.add_user(name=name, uid=uid)
+        assigned = self.store.add_user(name=name, uid=uid)
+        self._log_durable({
+            "op": "add_user",
+            "uid": assigned,
+            "name": self.store.user_name(assigned),
+        })
+        return assigned
 
     def users(self) -> dict[User, str]:
         """All registered users as ``{uid: name}``."""
@@ -207,11 +305,19 @@ class BeliefDBMS:
         inserts plain (root-world) content. Returns True on success; conflicts
         with explicit beliefs raise (strict) or return False.
         """
+        self._check_durable_writable()
         resolved = tuple(self.store.resolve_user(u) for u in path)
         t = self.schema.tuple(relation, *values)
         ok = insert_tuple(self.store, resolved, t, Sign.coerce(sign))
         if ok:
             self._mirror_dirty = True
+            self._log_durable({
+                "op": "insert",
+                "path": list(resolved),
+                "relation": relation,
+                "values": list(t.values),
+                "sign": str(Sign.coerce(sign)),
+            })
         elif self.strict:
             raise RejectedUpdateError(
                 f"insert rejected: {t} with sign {Sign.coerce(sign)} conflicts "
@@ -227,11 +333,19 @@ class BeliefDBMS:
         sign: Sign | str = POSITIVE,
     ) -> bool:
         """Delete one explicit belief statement (implicit ones cannot be)."""
+        self._check_durable_writable()
         resolved = tuple(self.store.resolve_user(u) for u in path)
         t = self.schema.tuple(relation, *values)
         ok = delete_tuple(self.store, resolved, t, Sign.coerce(sign))
         if ok:
             self._mirror_dirty = True
+            self._log_durable({
+                "op": "delete",
+                "path": list(resolved),
+                "relation": relation,
+                "values": list(t.values),
+                "sign": str(Sign.coerce(sign)),
+            })
         elif self.strict:
             raise RejectedUpdateError(
                 f"delete rejected: no explicit statement for {t} at {resolved!r}"
@@ -379,12 +493,29 @@ class BeliefDBMS:
             if query is not None:
                 rows = sorted(self.query(query), key=repr)
             rowcount = len(rows)
-        elif isinstance(compiled, CompiledInsert):
-            rowcount = 1 if self._execute_insert(compiled.bind(params)) else 0
-        elif isinstance(compiled, CompiledDelete):
-            rowcount = self._execute_delete(compiled.bind(params))
         else:
-            rowcount = self._execute_update(compiled.bind(params))
+            # DML: the statement is WAL-logged here as one replayable
+            # template + parameter record; suppress the per-tuple records
+            # the nested insert()/delete() calls would otherwise emit.
+            self._check_durable_writable()
+            self._in_statement = True
+            try:
+                if isinstance(compiled, CompiledInsert):
+                    rowcount = (
+                        1 if self._execute_insert(compiled.bind(params)) else 0
+                    )
+                elif isinstance(compiled, CompiledDelete):
+                    rowcount = self._execute_delete(compiled.bind(params))
+                else:
+                    rowcount = self._execute_update(compiled.bind(params))
+            finally:
+                self._in_statement = False
+            if rowcount:
+                self._log_durable({
+                    "op": "execute",
+                    "sql": prepared.sql,
+                    "params": list(params),
+                })
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         return Result(
             kind=prepared.kind,
@@ -540,6 +671,10 @@ class BeliefDBMS:
             "relative_overhead": self.relative_overhead(),
             "row_counts": dict(self.store.row_counts()),
             "statement_cache": cache_stats,
+            "durability": (
+                self._durability.stats()
+                if self._durability is not None else None
+            ),
         }
 
     def describe(self) -> str:

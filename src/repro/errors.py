@@ -80,6 +80,20 @@ class UnknownColumnError(EngineError):
     """A statement referenced a column that does not exist."""
 
 
+class DurabilityError(BeliefDBError):
+    """Base class for persistence-layer problems (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """The write-ahead log is damaged beyond the tolerated torn tail.
+
+    A truncated or CRC-corrupt *final* record is expected after a crash and
+    handled silently (the unacknowledged tail is discarded); corruption in
+    the middle of the log, a sequence-number gap, or a damaged non-final
+    segment means acknowledged history would be lost, so recovery refuses.
+    """
+
+
 class RejectedUpdateError(BeliefDBError):
     """An insert/delete on the belief store was rejected (Alg. 4 returned false).
 

@@ -64,6 +64,12 @@ class ConnectionLost(BeliefDBError):
     """The connection died mid-call or could not be established."""
 
 
+def _names_session_state(params: dict[str, Any]) -> bool:
+    """Does this request reference per-session server state (a prepared-
+    statement handle or cursor id) that cannot survive a reconnect?"""
+    return "stmt" in params or "cursor" in params
+
+
 class BeliefClient:
     """A synchronous connection to a :class:`~repro.server.server.BeliefServer`.
 
@@ -77,6 +83,18 @@ class BeliefClient:
         :class:`ConnectionLost`.
     timeout:
         Socket timeout in seconds for connect and each response.
+    auto_reconnect:
+        Recovery path for server restarts. When True, a call that finds the
+        connection gone makes **one bounded reconnect attempt** (a single
+        fresh TCP connect, after which :attr:`on_reconnect` — if set — may
+        re-establish session state) before the request is sent; a send
+        failure likewise retries once on a fresh connection. A call whose
+        request was already on the wire when the connection died is *never*
+        retried — the server may have applied it — so that call still
+        raises :class:`ConnectionLost`, and the *next* call reconnects.
+        Explicit :meth:`close` always wins: a client closed by its owner
+        stays closed. Default False (a lost connection is terminal, the
+        pre-durability behavior).
     """
 
     def __init__(
@@ -86,13 +104,23 @@ class BeliefClient:
         connect_retries: int = 10,
         retry_delay: float = 0.05,
         timeout: float = 30.0,
+        auto_reconnect: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._lock = threading.Lock()
+        self.auto_reconnect = auto_reconnect
+        #: Called with this client after a successful reconnect, before the
+        #: pending request is resent — the hook for session re-establishment
+        #: (login, default path); see :class:`repro.api.RemoteConnection`.
+        self.on_reconnect: Any = None
+        # Reentrant: on_reconnect callbacks issue their own calls while the
+        # frame lock is held by the reconnecting call.
+        self._lock = threading.RLock()
         self._request_id = 0
         self._sock: socket.socket | None = None
+        self._user_closed = False
+        self._reconnecting = False
         self._connect(connect_retries, retry_delay)
 
     def _connect(self, retries: int, delay: float) -> None:
@@ -121,27 +149,79 @@ class BeliefClient:
         """Send one request and return the server's result (or raise)."""
         with self._lock:
             if self._sock is None:
-                raise ConnectionLost("client is closed")
+                if self._user_closed:
+                    raise ConnectionLost("client is closed")
+                if not self.auto_reconnect or self._reconnecting:
+                    raise ConnectionLost(
+                        "connection to server lost "
+                        "(auto_reconnect disabled; create a new client)"
+                    )
+                if _names_session_state(params):
+                    # A fresh session cannot know the old connection's
+                    # prepared-statement/cursor handles; reconnecting just
+                    # to be told "unknown statement" would hide the truth.
+                    raise ConnectionLost(
+                        "connection to server lost and the request names "
+                        "per-session state (a prepared statement or cursor) "
+                        "that did not survive it; re-prepare after "
+                        "reconnecting"
+                    )
+                self._reconnect_locked()
+                reconnected = True
+            else:
+                reconnected = False
             self._request_id += 1
             request = Request(id=self._request_id, op=op, params=params)
             try:
                 protocol.write_frame(self._sock, request.to_wire())
+            except (OSError, ProtocolError) as exc:
+                # The connection died under the send. The server cannot have
+                # seen a complete frame, so resending once on a fresh
+                # connection is safe (unlike a lost *response*, below) —
+                # except for requests naming per-session server state
+                # (prepared-statement handles, cursor ids): those died with
+                # the old session, and resending would surface a misleading
+                # "unknown statement/cursor" error instead of the truth.
+                self._drop()
+                if (
+                    not self.auto_reconnect
+                    or self._reconnecting
+                    or reconnected  # this call already used its one attempt
+                    or _names_session_state(params)
+                ):
+                    raise ConnectionLost(
+                        f"connection to server lost: {exc}"
+                    ) from exc
+                self._reconnect_locked()
+                try:
+                    protocol.write_frame(self._sock, request.to_wire())
+                except (OSError, ProtocolError) as retry_exc:
+                    self._drop()
+                    raise ConnectionLost(
+                        "send failed again after one reconnect attempt: "
+                        f"{retry_exc}"
+                    ) from retry_exc
+            try:
                 payload = protocol.read_frame(self._sock)
             except (OSError, ProtocolError) as exc:
-                self.close()
-                raise ConnectionLost(f"connection to server lost: {exc}") from exc
+                self._drop()
+                raise ConnectionLost(
+                    self._response_lost(f"connection to server lost: {exc}")
+                ) from exc
             if payload is None:
-                self.close()
-                raise ConnectionLost("server closed the connection")
+                self._drop()
+                raise ConnectionLost(
+                    self._response_lost("server closed the connection")
+                )
         try:
             response = Response.from_wire(payload)
         except ProtocolError:
-            self.close()  # malformed response: the stream cannot be trusted
+            self._drop()  # malformed response: the stream cannot be trusted
             raise
         if response.id != request.id:
             # The stream is desynchronized; keeping the socket would pair
             # future responses with the wrong requests. Fail closed.
-            self.close()
+            self._drop()
             raise ProtocolError(
                 f"response id {response.id} does not match request {request.id}"
             )
@@ -153,13 +233,57 @@ class BeliefClient:
             raise exc_type(response.error["message"])
         raise RemoteError(response.error["type"], response.error["message"])
 
-    def close(self) -> None:
+    def _response_lost(self, detail: str) -> str:
+        """Error text for a request whose response never arrived."""
+        message = (
+            f"{detail}; the in-flight request may or may not have been "
+            "applied"
+        )
+        if self.auto_reconnect:
+            message += "; the next call will attempt to reconnect"
+        return message
+
+    def reconnect(self) -> None:
+        """Make one bounded reconnect attempt (then session re-establishment).
+
+        Raises :class:`ConnectionLost` when the single fresh connect fails,
+        or when this client was explicitly closed by its owner.
+        """
+        with self._lock:
+            if self._user_closed:
+                raise ConnectionLost("client is closed")
+            self._reconnect_locked()
+
+    def _reconnect_locked(self) -> None:
+        self._drop()
+        self._reconnecting = True
+        try:
+            try:
+                self._connect(retries=1, delay=0.0)
+            except ConnectionLost as exc:
+                raise ConnectionLost(
+                    f"one reconnect attempt to {self.host}:{self.port} "
+                    f"failed: {exc}"
+                ) from exc
+            if self.on_reconnect is not None:
+                # Let the owner restore session state (login/default path)
+                # before the interrupted workload resumes.
+                self.on_reconnect(self)
+        finally:
+            self._reconnecting = False
+
+    def _drop(self) -> None:
+        """Tear down the socket without marking the client user-closed."""
         if self._sock is not None:
             try:
                 self._sock.close()
             except OSError:
                 pass
             self._sock = None
+
+    def close(self) -> None:
+        self._user_closed = True
+        self._drop()
 
     def __enter__(self) -> "BeliefClient":
         return self
@@ -169,7 +293,15 @@ class BeliefClient:
 
     @property
     def closed(self) -> bool:
-        return self._sock is None
+        """No socket and no way to get one back.
+
+        An ``auto_reconnect`` client whose connection dropped is *not*
+        closed — the next call makes its bounded reconnect attempt — unless
+        the owner explicitly called :meth:`close`.
+        """
+        if self._sock is not None:
+            return False
+        return self._user_closed or not self.auto_reconnect
 
     # ------------------------------------------------------------------- ops
 

@@ -130,6 +130,11 @@ class BeliefServer:
         Keep an in-memory log of every accepted write in serial (lock) order,
         for linearizability checks — see :meth:`oplog` and
         :func:`replay_oplog`.
+    checkpoint_interval:
+        When the shared ``db`` has a durability manager attached, run a
+        background thread that checkpoints (snapshot + WAL prune, under the
+        exclusive writer lock) every this-many seconds — but only when new
+        WAL records have accumulated. None disables the thread.
     """
 
     def __init__(
@@ -138,12 +143,15 @@ class BeliefServer:
         host: str = "127.0.0.1",
         port: int = 0,
         record_ops: bool = False,
+        checkpoint_interval: float | None = None,
     ) -> None:
         self.db = db
         self.host = host
         self.port = port
         self.lock = ReadWriteLock()
         self.record_ops = record_ops
+        self.checkpoint_interval = checkpoint_interval
+        self._checkpoint_thread: threading.Thread | None = None
         self._oplog: list[dict[str, Any]] = []
         self._oplog_seq = 0
         self.address: tuple[str, int] | None = None
@@ -160,6 +168,8 @@ class BeliefServer:
             "ops_served": 0,
             "op_errors": 0,
             "protocol_errors": 0,
+            "checkpoints": 0,
+            "checkpoint_errors": 0,
         }
 
     # ------------------------------------------------------------- lifecycle
@@ -178,6 +188,13 @@ class BeliefServer:
             target=self._accept_loop, name="belief-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.checkpoint_interval and self.db.durability is not None:
+            self._checkpoint_thread = threading.Thread(
+                target=self._checkpoint_loop,
+                name="belief-server-checkpoint",
+                daemon=True,
+            )
+            self._checkpoint_thread.start()
         return self
 
     def stop(self) -> None:
@@ -214,6 +231,9 @@ class BeliefServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
+        if self._checkpoint_thread is not None:
+            self._checkpoint_thread.join(timeout=5)
+            self._checkpoint_thread = None
         with self._state_lock:
             live_threads = list(self._handler_threads.values())
         for thread in live_threads:
@@ -221,6 +241,31 @@ class BeliefServer:
         self._listener = None
         self._accept_thread = None
         self._handler_threads.clear()
+
+    def _checkpoint_loop(self) -> None:
+        """Periodically snapshot the shared database (durable servers only).
+
+        Runs under the exclusive writer lock so the snapshot observes a
+        quiescent, fully-logged state; skips quiet intervals so an idle
+        server does not rewrite identical snapshots forever.
+        """
+        while not self._stopping.wait(self.checkpoint_interval):
+            manager = self.db.durability
+            if manager is None or manager.closed or manager.failed:
+                # A failed-stop manager can never checkpoint again; keep
+                # serving reads instead of stalling everyone under the
+                # write lock every interval just to fail.
+                return
+            if not manager.records_since_checkpoint:
+                continue
+            try:
+                with self.lock.write():
+                    self.db.checkpoint()
+                with self._state_lock:
+                    self.stats["checkpoints"] += 1
+            except Exception:  # noqa: BLE001 — keep serving; surface in stats
+                with self._state_lock:
+                    self.stats["checkpoint_errors"] += 1
 
     def __enter__(self) -> "BeliefServer":
         return self.start()

@@ -1,0 +1,218 @@
+"""The acceptance test: SIGKILL a serving process mid-workload, restart
+from ``--data-dir``, and prove zero acknowledged writes were lost.
+
+Driver shape:
+
+1. spawn ``python -m repro serve --data-dir D`` as a subprocess;
+2. run ``concurrent_trace`` streams against it from several client threads,
+   recording every *acknowledged* write (the server responded) per client;
+3. ``SIGKILL`` the process mid-workload — no warning, no flush;
+4. restart the server on the same data dir; every acknowledged accepted
+   write must be entailed in the recovered database;
+5. kill the restarted server too, recover the directory *in-process*, and
+   check the two independent recoveries agree world-by-world — the
+   recovered state equals the serial replay of the log the acknowledged
+   ops went into (plus, possibly, ops that were applied+logged but whose
+   acknowledgement never reached a client).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import experiment_schema
+from repro.durability import DurabilityManager
+from repro.server import BeliefClient
+from repro.workload.generator import concurrent_trace
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+N_USERS = 4
+OPS_PER_USER = 400
+KILL_AFTER_ACKS = 80
+
+
+def _spawn_server(data_dir: Path) -> tuple[subprocess.Popen, tuple[str, int]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--port", "0", "--schema", "experiment",
+            "--data-dir", str(data_dir),
+            "--checkpoint-interval", "0.3",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    address = None
+    assert proc.stdout is not None
+    for line in proc.stdout:
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            address = (match.group(1), int(match.group(2)))
+            break
+    if address is None:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise AssertionError("server subprocess never reported its address")
+    # Keep draining stdout so the subprocess never blocks on a full pipe.
+    threading.Thread(target=proc.stdout.read, daemon=True).start()
+    return proc, address
+
+
+def _kill(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=10)
+
+
+def _worker(
+    address: tuple[str, int],
+    name: str,
+    ops,
+    acked: list,
+    lock: threading.Lock,
+) -> None:
+    """Apply one user's stream; record acknowledged writes only."""
+    try:
+        with BeliefClient(*address) as client:
+            client.login(name, create=True)
+            for op in ops:
+                if op.kind == "select":
+                    client.execute(op.sql)
+                    continue
+                sign = "+" if op.kind == "insert" else "-"
+                ok = client.insert(op.relation, list(op.values), sign=sign)
+                # Only now — after the server's response arrived — is this
+                # write acknowledged.
+                with lock:
+                    acked.append((name, op.relation, tuple(op.values),
+                                  sign, bool(ok)))
+    except Exception:  # noqa: BLE001 — the SIGKILL severs every connection
+        return
+
+
+@pytest.mark.slow
+def test_sigkill_mid_workload_loses_no_acknowledged_write(tmp_path):
+    data_dir = tmp_path / "data"
+    proc, address = _spawn_server(data_dir)
+    acked: list = []
+    ack_lock = threading.Lock()
+    try:
+        streams = concurrent_trace(N_USERS, OPS_PER_USER, seed=17)
+        threads = [
+            threading.Thread(
+                target=_worker, args=(address, name, ops, acked, ack_lock)
+            )
+            for name, ops in streams.items()
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            with ack_lock:
+                if len(acked) >= KILL_AFTER_ACKS:
+                    break
+            time.sleep(0.005)
+        with ack_lock:
+            reached = len(acked)
+        assert reached >= KILL_AFTER_ACKS, (
+            f"workload too slow: only {reached} acknowledged writes"
+        )
+        _kill(proc)  # SIGKILL mid-workload: no flush, no goodbye
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "workers hung"
+    finally:
+        _kill(proc)
+
+    accepted = [entry for entry in acked if entry[4]]
+    assert accepted, "no accepted writes before the kill"
+
+    # ---- restart from the data dir; zero lost acknowledged writes --------
+    proc2, address2 = _spawn_server(data_dir)
+    try:
+        with BeliefClient(*address2) as client:
+            stats = client.stats()
+            assert stats["durability"]["last_seq"] > 0
+            for name, relation, values, sign, _ in accepted:
+                assert client.believes(
+                    relation, list(values), path=[name], sign=sign
+                ), (
+                    f"acknowledged write lost after crash recovery: "
+                    f"{name} {sign} {values}"
+                )
+            remote_worlds = {
+                tuple(w["path"]): client.world(w["path"])
+                for w in client.worlds()
+            }
+    finally:
+        _kill(proc2)
+
+    # ---- independent in-process recovery agrees world-by-world -----------
+    db = BeliefDBMS(
+        experiment_schema(), strict=False,
+        durability=DurabilityManager(str(data_dir)),
+    )
+    try:
+        assert db.annotation_count() == stats["annotations"]
+        assert db.size() == stats["total_rows"]
+        assert len(db.users()) == stats["users"]
+        assert set(remote_worlds) == set(db.store.states())
+        for path, remote in remote_worlds.items():
+            local = db.store.entailed_world(path)
+            assert remote["positives"] == sorted(
+                str(t) for t in local.positives
+            ), f"positives diverge at {path!r}"
+            assert remote["negatives"] == sorted(
+                str(t) for t in local.negatives
+            ), f"negatives diverge at {path!r}"
+        for name, relation, values, sign, _ in accepted:
+            assert db.believes([name], relation, values, sign)
+        # Deep consistency: the recovered representation is exactly the
+        # closure of the recovered explicit statements (serial replay).
+        db.store.check_invariants()
+    finally:
+        db.close()
+
+
+def test_restart_after_clean_shutdown_replays_nothing(tmp_path):
+    """Ctrl-C shutdown checkpoints, so the next start's WAL tail is empty."""
+    data_dir = tmp_path / "data"
+    proc, address = _spawn_server(data_dir)
+    try:
+        with BeliefClient(*address) as client:
+            client.login("Carol", create=True)
+            for i in range(5):
+                assert client.insert(
+                    "Sightings", [f"s{i}", "Carol", "crow", "6-14-08", "loc"]
+                )
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=15)
+    finally:
+        _kill(proc)
+
+    db = BeliefDBMS(
+        experiment_schema(), strict=False,
+        durability=DurabilityManager(str(data_dir)),
+    )
+    try:
+        report = db.durability.last_recovery
+        assert report.snapshot_seq > 0
+        assert report.wal_records == 0
+        assert db.annotation_count() == 5
+    finally:
+        db.close()
