@@ -16,9 +16,10 @@ The package implements the paper end to end:
 * :mod:`repro.beliefsql` — the BeliefSQL language of Fig. 1;
 * :mod:`repro.bdms` — the user-facing Belief DBMS facade;
 * :mod:`repro.workload` — the synthetic annotation generator of Sect. 6;
-* :mod:`repro.server` — the multi-user network layer: wire protocol, threaded
-  socket server over one shared BDMS, per-connection sessions, and the
-  blocking :class:`~repro.server.client.BeliefClient` library;
+* :mod:`repro.server` — the multi-user network layer: wire protocol with
+  request-id pipelining, two server cores (threaded and pipelined asyncio)
+  over one shared BDMS, per-connection sessions, batched ``execute_batch``
+  writes, and blocking/pipelined/asyncio client libraries;
 * :mod:`repro.api` — the DB-API-style surface: ``connect()`` →
   Connection → Cursor with ``?`` parameter binding and typed
   :class:`~repro.api.result.Result` values, identical against an embedded

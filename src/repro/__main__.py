@@ -88,17 +88,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{report.wal_records} WAL records "
             f"in {report.elapsed_ms:.0f} ms", flush=True,
         )
-    server = BeliefServer(
-        db, host=args.host, port=args.port,
-        checkpoint_interval=(
-            args.checkpoint_interval if durability is not None else None
-        ),
+    checkpoint_interval = (
+        args.checkpoint_interval if durability is not None else None
     )
+    if args.use_async:
+        from repro.server.async_server import AsyncBeliefServer
+
+        server: BeliefServer = AsyncBeliefServer(
+            db, host=args.host, port=args.port,
+            checkpoint_interval=checkpoint_interval,
+            max_inflight=args.max_inflight,
+        )
+        core = f"asyncio pipelined, max-inflight={args.max_inflight}"
+    else:
+        server = BeliefServer(
+            db, host=args.host, port=args.port,
+            checkpoint_interval=checkpoint_interval,
+        )
+        core = "threaded"
     server.start()
     assert server.address is not None
     print(
         f"belief server listening on {server.address[0]}:{server.address[1]} "
-        f"(schema={args.schema}, backend={args.backend}; Ctrl-C to stop)",
+        f"(schema={args.schema}, backend={args.backend}, {core}; "
+        "Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -158,6 +171,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--schema", choices=("sightings", "experiment"), default="sightings",
+    )
+    serve.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="run the pipelined asyncio server core instead of the "
+             "threaded one (same protocol and semantics; in-flight "
+             "requests of one connection execute concurrently)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="per-connection cap on concurrently executing pipelined "
+             "requests (asyncio core only; default 32)",
     )
     serve.add_argument(
         "--data-dir", default=None, metavar="DIR",

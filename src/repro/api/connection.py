@@ -93,20 +93,6 @@ class Connection:
         self.close()
 
 
-def _aggregate_dml(
-    kind: str, columns: tuple[str, ...], results: list[Result]
-) -> Result:
-    total = sum(r.rowcount for r in results)
-    return Result(
-        kind=kind,  # type: ignore[arg-type] — validated by the caller
-        rows=[],
-        columns=columns,
-        rowcount=total,
-        status=f"{kind.upper()} {total}",
-        elapsed_ms=sum(r.elapsed_ms for r in results),
-    )
-
-
 class EmbeddedConnection(Connection):
     """A connection to an in-process :class:`BeliefDBMS`.
 
@@ -183,10 +169,9 @@ class EmbeddedConnection(Connection):
         prepared = self._prepared(sql)
         if prepared.kind == "select":
             raise BeliefDBError("executemany is for DML, not select")
-        results = [
-            self.db.execute_prepared(prepared, params) for params in param_rows
-        ]
-        return _aggregate_dml(prepared.kind, prepared.columns, results)
+        # One batch: one pass over the rows and — on a durable database —
+        # one WAL batch append with a single fsync instead of one per row.
+        return self.db.execute_batch(prepared, param_rows)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -279,24 +264,13 @@ class RemoteConnection(Connection):
     def _run_many(
         self, sql: str, param_rows: list[tuple[Any, ...]]
     ) -> Result:
-        statement = self.client.prepare(sql)
-        try:
-            if statement.kind == "select":
-                raise BeliefDBError("executemany is for DML, not select")
-            results = [
-                self._finish(self.client.execute_prepared(statement, params))
-                for params in param_rows
-            ]
-        finally:
-            # Always release the server-side handle — a rejected row mid-batch
-            # must not leak it into the session registry. Best-effort: never
-            # mask the in-flight exception with a cleanup failure.
-            try:
-                if not self.client.closed:
-                    self.client.close_statement(statement)
-            except BeliefDBError:
-                pass
-        return _aggregate_dml(statement.kind, statement.columns, results)
+        # One execute_batch op (chunked near the frame ceiling): the server
+        # binds the prepared statement N times under a single write-lock
+        # acquisition and a single WAL batch append, and the whole batch
+        # costs one round trip instead of N. Selects are rejected
+        # server-side before anything executes.
+        payload = self.client.execute_batch(sql, param_rows)
+        return Result.from_wire(payload, [])
 
     # ------------------------------------------------------------ lifecycle
 

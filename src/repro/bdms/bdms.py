@@ -498,18 +498,7 @@ class BeliefDBMS:
             # template + parameter record; suppress the per-tuple records
             # the nested insert()/delete() calls would otherwise emit.
             self._check_durable_writable()
-            self._in_statement = True
-            try:
-                if isinstance(compiled, CompiledInsert):
-                    rowcount = (
-                        1 if self._execute_insert(compiled.bind(params)) else 0
-                    )
-                elif isinstance(compiled, CompiledDelete):
-                    rowcount = self._execute_delete(compiled.bind(params))
-                else:
-                    rowcount = self._execute_update(compiled.bind(params))
-            finally:
-                self._in_statement = False
+            rowcount = self._execute_dml_row(compiled, params)
             if rowcount:
                 self._log_durable({
                     "op": "execute",
@@ -525,6 +514,74 @@ class BeliefDBMS:
             status=f"{prepared.kind.upper()} {rowcount}",
             elapsed_ms=elapsed_ms,
         )
+
+    def execute_batch(
+        self,
+        prepared: PreparedStatement | str,
+        param_rows: Sequence[Sequence[Value]],
+    ) -> Result:
+        """Bind one prepared DML statement N times as a single batch.
+
+        The cheap path for many-small-writes workloads: one parse+compile
+        (via the statement cache), one pass over ``param_rows``, and — on a
+        durable database — **one** WAL batch append with a single fsync
+        instead of N (see :meth:`DurabilityManager.log_batch`). The network
+        server additionally runs the whole batch under a single write-lock
+        acquisition, so a batch costs one lock handoff rather than N.
+
+        Returns an aggregate :class:`Result` (``rows=[]``, ``columns=()``,
+        ``rowcount`` summing the individual executions) — the same shape
+        ``Cursor.executemany`` has always produced. Selects are rejected.
+        In strict mode a rejected row raises mid-batch; rows already
+        applied stay applied (and logged) — the same semantics as issuing
+        the statements one by one.
+        """
+        if isinstance(prepared, str):
+            prepared = self.prepare(prepared)
+        if prepared.kind == "select":
+            raise BeliefDBError("execute_batch is for DML, not select")
+        start = time.perf_counter()
+        self._check_durable_writable()
+        compiled = prepared.compiled
+        rowcounts: list[int] = []
+        entries: list[dict[str, Any]] = []
+        try:
+            for params in param_rows:
+                rowcount = self._execute_dml_row(compiled, params)
+                if rowcount:
+                    entries.append({
+                        "op": "execute",
+                        "sql": prepared.sql,
+                        "params": list(params),
+                    })
+                rowcounts.append(rowcount)
+        except BeliefDBError as exc:
+            # Strict mode stops at the first rejected row. Callers (the
+            # server's op log) need to know how much of the batch landed.
+            exc.partial_rowcounts = rowcounts  # type: ignore[attr-defined]
+            raise
+        finally:
+            # Log whatever was applied even when a later row raised (strict
+            # mode): memory and log must agree on the applied prefix.
+            self._log_durable_batch(entries)
+        total = sum(rowcounts)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return Result(
+            kind=prepared.kind,
+            rows=[],
+            columns=(),
+            rowcount=total,
+            status=f"{prepared.kind.upper()} {total}",
+            elapsed_ms=elapsed_ms,
+        )
+
+    def _log_durable_batch(self, entries: list[dict[str, Any]]) -> None:
+        """Batch analogue of :meth:`_log_durable` (one fsync for N records)."""
+        if not entries or self._durability is None or self._in_recovery:
+            return
+        self._durability.log_batch(entries)
+        if self._durability.should_checkpoint():
+            self._durability.checkpoint(self)
 
     def execute_sql(self, sql: str, params: Sequence[Value] = ()) -> Result:
         """Execute one BeliefSQL statement with ``?`` parameters; typed result."""
@@ -550,6 +607,26 @@ class BeliefDBMS:
         return self.execute_prepared(
             self.prepare_parsed(statement), params
         ).legacy()
+
+    def _execute_dml_row(
+        self, compiled: CompiledStatement, params: Sequence[Value]
+    ) -> int:
+        """Bind and apply one DML parameter vector; rows affected.
+
+        The ``_in_statement`` guard suppresses the per-tuple WAL records
+        the nested insert()/delete() calls would otherwise emit — the
+        caller logs the statement-level record (or batch) itself.
+        """
+        self._in_statement = True
+        try:
+            if isinstance(compiled, CompiledInsert):
+                return 1 if self._execute_insert(compiled.bind(params)) else 0
+            if isinstance(compiled, CompiledDelete):
+                return self._execute_delete(compiled.bind(params))
+            assert isinstance(compiled, CompiledUpdate)
+            return self._execute_update(compiled.bind(params))
+        finally:
+            self._in_statement = False
 
     def _execute_insert(self, op: CompiledInsert) -> bool:
         return self.insert(op.path, op.relation, op.values, op.sign)

@@ -224,30 +224,48 @@ class DurabilityManager:
         single-threaded embedded caller); the internal lock only protects
         the manager's own counters against checkpoint threads.
         """
+        return self.log_batch([entry])[0]
+
+    def log_batch(self, entries: "list[dict[str, Any]]") -> list[int]:
+        """Append records with consecutive seqs and **one** sync decision.
+
+        The durable half of the batched execution path
+        (:meth:`BeliefDBMS.execute_batch`) — and, via :meth:`log`, the
+        single-record path too. On an append failure the manager goes
+        **fail-stop**: the caller already applied these operations in
+        memory, so memory is now ahead of the log, and accepting any
+        further write would let *logged* history depend on an *unlogged*
+        op and brick recovery with a replay divergence. Refusing all
+        future writes keeps the disk state a consistent (if older)
+        prefix; the failed records were never acknowledged — the
+        exception propagates — so the durability contract holds: restart
+        and recover from disk. Returns the assigned seqs.
+        """
+        if not entries:
+            return []
         with self._lock:
             self._ensure_open()
-            seq = self.last_seq + 1
+            first = self.last_seq + 1
+            last = first + len(entries) - 1
+            records = [
+                ({"seq": first + i, **entry}, first + i)
+                for i, entry in enumerate(entries)
+            ]
             try:
-                self._writer.append({"seq": seq, **entry}, seq)
+                self._writer.append_batch(records)
             except Exception as exc:
-                # Fail-stop: the caller already applied this operation in
-                # memory, so memory is now ahead of the log. Accepting any
-                # further write would let *logged* history depend on an
-                # *unlogged* op and brick recovery with a replay
-                # divergence; refusing all future writes keeps the disk
-                # state a consistent (if older) prefix. The failed op was
-                # never acknowledged — the exception propagates to its
-                # caller — so the durability contract holds: restart and
-                # recover from disk.
-                self._failed = f"WAL append for seq {seq} failed: {exc}"
+                seq_desc = (
+                    f"seq {first}" if first == last else f"seqs {first}..{last}"
+                )
+                self._failed = f"WAL append for {seq_desc} failed: {exc}"
                 try:
                     self._writer.close()
                 except Exception:  # noqa: BLE001 — same broken disk
                     pass
                 raise DurabilityError(self._failed) from exc
-            self.last_seq = seq
-            self.records_since_checkpoint += 1
-            return seq
+            self.last_seq = last
+            self.records_since_checkpoint += len(entries)
+            return [seq for _, seq in records]
 
     def should_checkpoint(self) -> bool:
         """Has ``checkpoint_every`` elapsed since the last checkpoint?"""

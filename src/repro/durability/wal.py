@@ -202,23 +202,47 @@ class WalWriter:
 
     def append(self, payload: dict[str, Any], seq: int) -> int:
         """Encode and append one record; returns its size in bytes."""
-        frame = encode_record(payload)
-        if self._file is None or self._segment_size >= self.segment_bytes:
-            self._open_segment(seq)
-        self._file.write(frame)
-        self._segment_size += len(frame)
-        self.records_written += 1
-        self.bytes_written += len(frame)
+        return self.append_batch([(payload, seq)])
+
+    def append_batch(
+        self, records: "list[tuple[dict[str, Any], int]]"
+    ) -> int:
+        """Append ``(payload, seq)`` records with **one** sync decision.
+
+        All frames are written (rotating segments as needed), then the sync
+        policy is applied once: ``"always"`` fsyncs once per *batch* rather
+        than once per record — the whole point of the batched write path.
+        A crash mid-batch leaves a torn tail of frames that were never
+        acknowledged (the batch's caller had not returned), so recovery's
+        truncate-the-tail rule still holds. Returns total bytes appended.
+        """
+        if not records:
+            return 0
+        # Encode everything first: a non-serializable payload must fail the
+        # whole batch before any sibling frame reaches the file.
+        frames = [(encode_record(payload), seq) for payload, seq in records]
+        total = 0
+        for frame, seq in frames:
+            if self._file is None or self._segment_size >= self.segment_bytes:
+                # Rotation fsyncs and closes the previous segment (unless
+                # sync="off"), so a batch spanning a rotation still ends
+                # with every written byte covered by an fsync.
+                self._open_segment(seq)
+            self._file.write(frame)
+            self._segment_size += len(frame)
+            self.records_written += 1
+            self.bytes_written += len(frame)
+            total += len(frame)
         if self.sync == "always":
             self._file.flush()
             os.fsync(self._file.fileno())
         else:
             self._file.flush()
-            self._unsynced += 1
+            self._unsynced += len(frames)
             if self.sync == "batch" and self._unsynced >= self.batch_every:
                 os.fsync(self._file.fileno())
                 self._unsynced = 0
-        return len(frame)
+        return total
 
     def _open_segment(self, first_seq: int) -> None:
         self._sync_and_close()

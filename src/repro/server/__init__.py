@@ -14,10 +14,16 @@ single-process :class:`~repro.bdms.bdms.BeliefDBMS` into a network service:
   user (the paper's "users see their own belief world" model);
 * :mod:`repro.server.server` — a threaded socket server multiplexing many
   clients over one shared BDMS behind a readers-writer lock, with
-  ``prepare``/``execute_prepared`` ops (``?`` parameters, structured result
-  payloads) and ``fetch`` paging for large result sets;
-* :mod:`repro.server.client` — a blocking client library with connection
-  retry and context-manager lifecycle.
+  ``prepare``/``execute_prepared``/``execute_batch`` ops (``?`` parameters,
+  structured result payloads) and ``fetch`` paging for large result sets;
+* :mod:`repro.server.async_server` — the pipelined asyncio server core:
+  same ops, same lock, same sessions, but each connection keeps up to
+  ``max_inflight`` requests executing concurrently and responses return
+  out of order, correlated by request id;
+* :mod:`repro.server.client` — the blocking client library, now with
+  :meth:`~repro.server.client.BeliefClient.submit` pipelining and batched
+  :meth:`~repro.server.client.BeliefClient.execute_batch`;
+* :mod:`repro.server.async_client` — a natively pipelined asyncio client.
 
 Most applications should use :func:`repro.api.connect` instead of the raw
 client — it wraps this layer in DB-API-style connections and cursors.
@@ -36,7 +42,14 @@ Quickstart::
                           "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
 """
 
-from repro.server.client import BeliefClient, RemoteError, RemoteStatement
+from repro.server.async_client import AsyncBeliefClient
+from repro.server.async_server import AsyncBeliefServer
+from repro.server.client import (
+    BeliefClient,
+    PendingReply,
+    RemoteError,
+    RemoteStatement,
+)
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -45,16 +58,21 @@ from repro.server.protocol import (
     decode_frame,
     encode_frame,
     read_frame,
+    read_frame_async,
     write_frame,
+    write_frame_async,
 )
 from repro.server.server import BeliefServer, ReadWriteLock
 from repro.server.session import ClientSession
 
 __all__ = [
+    "AsyncBeliefClient",
+    "AsyncBeliefServer",
     "BeliefClient",
     "BeliefServer",
     "ClientSession",
     "MAX_FRAME_BYTES",
+    "PendingReply",
     "ProtocolError",
     "ReadWriteLock",
     "RemoteError",
@@ -64,5 +82,7 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "read_frame",
+    "read_frame_async",
     "write_frame",
+    "write_frame_async",
 ]

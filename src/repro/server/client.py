@@ -1,15 +1,22 @@
-"""Blocking client for the belief server.
+"""Blocking (and pipelined) client for the belief server.
 
 :class:`BeliefClient` speaks the :mod:`repro.server.protocol` wire format over
-one TCP connection. Calls are synchronous (send request, wait for response)
-and thread-safe — a lock serializes frames so one client object can be shared,
-though the concurrency benchmarks give each worker thread its own connection,
-as a real deployment would.
+one TCP connection. :meth:`BeliefClient.call` is synchronous (send request,
+wait for response); :meth:`BeliefClient.submit` *pipelines* — it sends the
+request and returns a :class:`PendingReply` immediately, so many requests can
+be in flight on one connection. Responses are correlated strictly by request
+id, so they may arrive out of order (the async server completes in-flight
+requests concurrently) and still resolve the right pending reply. The client
+is thread-safe — a lock serializes frame I/O — though pipelining pays off
+when one thread issues a window of submits before resolving results.
 
 Errors raised by the server travel back as typed error frames; the client
 re-raises them as the matching :mod:`repro.errors` class when one exists
 (e.g. a rejected insert raises :class:`~repro.errors.RejectedUpdateError`
-client-side too), else as :class:`RemoteError`.
+client-side too), else as :class:`RemoteError`. A connection that dies with
+requests in flight fails **all** of them with :class:`ConnectionLost` — a
+lost response is never retried, and a reconnect always drains the pipeline
+first.
 
 Example::
 
@@ -18,6 +25,14 @@ Example::
         client.execute("insert into Sightings values "
                        "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
         rows = client.execute("select S.sid, S.species from Sightings as S")
+
+        # pipelined: one round-trip wait for a whole window of requests
+        pending = [client.submit("believes", relation="Sightings",
+                                 values=["s1", "Carol", "bald eagle",
+                                         "6-14-08", "Lake Forest"],
+                                 path=["Carol"], sign="+")
+                   for _ in range(16)]
+        answers = [p.result() for p in pending]
 """
 
 from __future__ import annotations
@@ -60,6 +75,92 @@ class RemoteError(BeliefDBError):
         self.remote_message = message
 
 
+def unwrap_response(response: "Response") -> Any:
+    """A response's result, or the travelled error re-raised typed."""
+    if response.ok:
+        return response.result
+    assert response.error is not None
+    exc_type = _ERROR_TYPES.get(response.error["type"])
+    if exc_type is not None:
+        raise exc_type(response.error["message"])
+    raise RemoteError(response.error["type"], response.error["message"])
+
+
+def batch_statement_params(statement: "RemoteStatement | str") -> dict[str, Any]:
+    """The ``stmt``/``sql`` addressing half of an ``execute_batch`` call."""
+    if isinstance(statement, RemoteStatement):
+        return {"stmt": statement.id}
+    return {"sql": statement}
+
+
+#: Byte budget per execute_batch chunk — a third of the frame ceiling.
+#: :func:`_estimated_row_bytes` can undercount an all-escapes ASCII string
+#: by 2x (every ``"`` / ``\\`` doubles when JSON-escaped), so a third —
+#: not half — keeps even that pathological chunk under the 1 MiB ceiling
+#: with room for the op envelope.
+MAX_BATCH_CHUNK_BYTES = protocol.MAX_FRAME_BYTES // 3
+
+
+def _estimated_row_bytes(row: "list[Any]") -> int:
+    """A cheap upper-leaning estimate of one row's JSON-encoded size.
+
+    Deliberately NOT ``len(json.dumps(row))`` — that would serialize every
+    batch twice (once here, once in ``encode_frame``) on the hot bulk-write
+    path. ASCII strings count their length (escaping may double it — the
+    budget's 3x headroom absorbs that); non-ASCII strings count 6 bytes per
+    char, the ``\\uXXXX`` worst case, so they can only be overcounted.
+    """
+    total = 2  # brackets
+    for value in row:
+        if isinstance(value, str):
+            total += (len(value) if value.isascii() else 6 * len(value)) + 3
+        else:
+            total += 24  # numbers; anything else fails validation later
+    return total
+
+
+def iter_batch_chunks(
+    param_rows: Sequence[Sequence[Any]], chunk_rows: int
+) -> "list[list[list[Any]]]":
+    """Split a batch into wire-sized chunks (an empty batch is one chunk,
+    so the statement still gets validated server-side).
+
+    Chunks are bounded by ``chunk_rows`` AND by estimated encoded size
+    (:data:`MAX_BATCH_CHUNK_BYTES`), so wide rows cannot push a chunk past
+    the frame ceiling. A single row larger than the budget still travels
+    alone — if it alone cannot be framed, the send raises a local
+    :class:`ProtocolError` without touching the connection.
+    """
+    chunks: list[list[list[Any]]] = []
+    current: list[list[Any]] = []
+    current_bytes = 0
+    for raw in param_rows:
+        row = list(raw)
+        row_bytes = _estimated_row_bytes(row)
+        if current and (
+            len(current) >= max(1, chunk_rows)
+            or current_bytes + row_bytes > MAX_BATCH_CHUNK_BYTES
+        ):
+            chunks.append(current)
+            current, current_bytes = [], 0
+        current.append(row)
+        current_bytes += row_bytes
+    chunks.append(current)
+    return chunks
+
+
+def merge_batch_payload(
+    payload: dict[str, Any] | None, part: dict[str, Any]
+) -> dict[str, Any]:
+    """Fold one chunk's result payload into the running aggregate."""
+    if payload is None:
+        return part
+    payload["rowcount"] += part["rowcount"]
+    payload["elapsed_ms"] += part["elapsed_ms"]
+    payload["status"] = f"{part['kind'].upper()} {payload['rowcount']}"
+    return payload
+
+
 class ConnectionLost(BeliefDBError):
     """The connection died mid-call or could not be established."""
 
@@ -68,6 +169,38 @@ def _names_session_state(params: dict[str, Any]) -> bool:
     """Does this request reference per-session server state (a prepared-
     statement handle or cursor id) that cannot survive a reconnect?"""
     return "stmt" in params or "cursor" in params
+
+
+#: In-flight marker: the request is on the wire, its response not yet read.
+_UNRESOLVED = object()
+
+
+class PendingReply:
+    """A handle for one pipelined request (from :meth:`BeliefClient.submit`).
+
+    :meth:`result` blocks until *this* request's response arrives — frames
+    for other in-flight requests read along the way are buffered and resolve
+    their own pendings. A reply can be resolved exactly once; a connection
+    failure resolves every in-flight reply with :class:`ConnectionLost`.
+    """
+
+    __slots__ = ("_client", "id")
+
+    def __init__(self, client: "BeliefClient", request_id: int) -> None:
+        self._client = client
+        self.id = request_id
+
+    def result(self) -> Any:
+        """Block until the response arrives; return its result (or raise)."""
+        return self._client._resolve(self.id)
+
+    def done(self) -> bool:
+        """True when the response (or a connection failure) has arrived."""
+        return self._client._peek_done(self.id)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "in flight"
+        return f"<PendingReply #{self.id} ({state})>"
 
 
 class BeliefClient:
@@ -95,6 +228,14 @@ class BeliefClient:
         Explicit :meth:`close` always wins: a client closed by its owner
         stays closed. Default False (a lost connection is terminal, the
         pre-durability behavior).
+    max_inflight:
+        Cap on responses outstanding on the wire. At the cap,
+        :meth:`submit` first *reads* (buffering responses for their
+        pending replies) before sending — without this, a large enough
+        un-resolved window fills both sockets' buffers: the server blocks
+        sending responses nobody reads, stops reading requests, and the
+        client's blocked send would misread a healthy connection as dead
+        after the socket timeout.
     """
 
     def __init__(
@@ -105,11 +246,13 @@ class BeliefClient:
         retry_delay: float = 0.05,
         timeout: float = 30.0,
         auto_reconnect: bool = False,
+        max_inflight: int = 64,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.auto_reconnect = auto_reconnect
+        self.max_inflight = max(1, max_inflight)
         #: Called with this client after a successful reconnect, before the
         #: pending request is resent — the hook for session re-establishment
         #: (login, default path); see :class:`repro.api.RemoteConnection`.
@@ -118,6 +261,9 @@ class BeliefClient:
         # frame lock is held by the reconnecting call.
         self._lock = threading.RLock()
         self._request_id = 0
+        #: request id -> _UNRESOLVED | Response | Exception. Insertion order
+        #: is submission order; a dead connection fails every entry.
+        self._inflight: dict[int, Any] = {}
         self._sock: socket.socket | None = None
         self._user_closed = False
         self._reconnecting = False
@@ -147,7 +293,22 @@ class BeliefClient:
 
     def call(self, op: str, **params: Any) -> Any:
         """Send one request and return the server's result (or raise)."""
+        return self.submit(op, **params).result()
+
+    def submit(self, op: str, **params: Any) -> PendingReply:
+        """Pipeline one request: send it and return without waiting.
+
+        The returned :class:`PendingReply` resolves to the server's result
+        (or raises the travelled error). Up to ``max_inflight`` responses
+        may be outstanding on the wire (past that, submit drains responses
+        into the reply buffer first); responses correlate by request id,
+        so out-of-order arrival (the async server) resolves the right
+        replies. Do not pipeline a request that depends on the *effect* of
+        an earlier in-flight one — resolve the earlier reply first (see
+        the protocol module docstring).
+        """
         with self._lock:
+            reconnected = False
             if self._sock is None:
                 if self._user_closed:
                     raise ConnectionLost("client is closed")
@@ -168,25 +329,51 @@ class BeliefClient:
                     )
                 self._reconnect_locked()
                 reconnected = True
-            else:
-                reconnected = False
+            # Window bound: past max_inflight unread responses, drain the
+            # socket into the reply buffer before sending more — keeping
+            # both sides' buffers shallow so a big pipeline cannot wedge
+            # the connection (see the max_inflight parameter docs).
+            while (
+                self._sock is not None
+                and sum(
+                    1 for state in self._inflight.values()
+                    if state is _UNRESOLVED
+                ) >= self.max_inflight
+            ):
+                self._read_one_locked()
+            if self._sock is None:
+                # The drain hit a dead connection; every pending reply has
+                # been failed already — this request was never sent.
+                raise ConnectionLost(
+                    "connection to server lost while draining the "
+                    "pipeline; this request was not sent"
+                )
             self._request_id += 1
             request = Request(id=self._request_id, op=op, params=params)
             try:
                 protocol.write_frame(self._sock, request.to_wire())
-            except (OSError, ProtocolError) as exc:
+            except ProtocolError:
+                # A LOCAL encoding failure (unserializable parameter, frame
+                # over the 1 MiB ceiling): encode_frame raised before a
+                # single byte reached the wire, so the connection — and any
+                # pipelined requests on it — are untouched. Surface the
+                # real error instead of tearing the session down.
+                raise
+            except OSError as exc:
                 # The connection died under the send. The server cannot have
                 # seen a complete frame, so resending once on a fresh
-                # connection is safe (unlike a lost *response*, below) —
-                # except for requests naming per-session server state
-                # (prepared-statement handles, cursor ids): those died with
-                # the old session, and resending would surface a misleading
-                # "unknown statement/cursor" error instead of the truth.
+                # connection is safe (unlike a lost *response*) — except
+                # when the request names per-session server state (handles
+                # died with the session), or when other requests were in
+                # flight (their responses are gone; the pipeline must fail
+                # as a unit, not resend its tail behind their backs).
+                had_inflight = bool(self._inflight)
                 self._drop()
                 if (
                     not self.auto_reconnect
                     or self._reconnecting
                     or reconnected  # this call already used its one attempt
+                    or had_inflight
                     or _names_session_state(params)
                 ):
                     raise ConnectionLost(
@@ -201,37 +388,93 @@ class BeliefClient:
                         "send failed again after one reconnect attempt: "
                         f"{retry_exc}"
                     ) from retry_exc
-            try:
-                payload = protocol.read_frame(self._sock)
-            except (OSError, ProtocolError) as exc:
-                self._drop()
-                raise ConnectionLost(
-                    self._response_lost(f"connection to server lost: {exc}")
-                ) from exc
-            if payload is None:
-                self._drop()
-                raise ConnectionLost(
-                    self._response_lost("server closed the connection")
-                )
+            self._inflight[request.id] = _UNRESOLVED
+            return PendingReply(self, request.id)
+
+    @property
+    def inflight(self) -> int:
+        """How many submitted requests have not been resolved yet."""
+        with self._lock:
+            return len(self._inflight)
+
+    def _peek_done(self, request_id: int) -> bool:
+        with self._lock:
+            return self._inflight.get(request_id) is not _UNRESOLVED
+
+    def _resolve(self, request_id: int) -> Any:
+        """Block until ``request_id``'s response arrives; consume it."""
+        with self._lock:
+            while True:
+                if request_id not in self._inflight:
+                    raise BeliefDBError(
+                        f"request {request_id} is not in flight "
+                        "(already resolved, or never submitted here)"
+                    )
+                state = self._inflight[request_id]
+                if state is not _UNRESOLVED:
+                    del self._inflight[request_id]
+                    break
+                self._read_one_locked()
+        if isinstance(state, BaseException):
+            raise state
+        return self._unwrap(state)
+
+    def _read_one_locked(self) -> None:
+        """Read one frame and route it to its pending request.
+
+        Must hold the lock. Any failure — I/O error, clean EOF with
+        requests outstanding, malformed frame, or an id that matches no
+        in-flight request — drains **every** pending request with the
+        failure and drops the socket: after any of those the stream cannot
+        be trusted to pair responses with requests.
+        """
+        if self._sock is None:
+            # A racing resolver already tore the connection down but our
+            # request predates the drain (defensive; _drop marks all).
+            self._fail_inflight(
+                ConnectionLost(self._response_lost("connection is gone"))
+            )
+            return
+        try:
+            payload = protocol.read_frame(self._sock)
+        except (OSError, ProtocolError) as exc:
+            self._drop(ConnectionLost(
+                self._response_lost(f"connection to server lost: {exc}")
+            ))
+            return
+        if payload is None:
+            self._drop(ConnectionLost(
+                self._response_lost("server closed the connection")
+            ))
+            return
         try:
             response = Response.from_wire(payload)
-        except ProtocolError:
-            self._drop()  # malformed response: the stream cannot be trusted
-            raise
-        if response.id != request.id:
-            # The stream is desynchronized; keeping the socket would pair
-            # future responses with the wrong requests. Fail closed.
-            self._drop()
-            raise ProtocolError(
-                f"response id {response.id} does not match request {request.id}"
-            )
-        if response.ok:
-            return response.result
-        assert response.error is not None
-        exc_type = _ERROR_TYPES.get(response.error["type"])
-        if exc_type is not None:
-            raise exc_type(response.error["message"])
-        raise RemoteError(response.error["type"], response.error["message"])
+        except ProtocolError as exc:
+            self._drop(exc)  # malformed response: stream cannot be trusted
+            return
+        if self._inflight.get(response.id) is not _UNRESOLVED:
+            # Unknown or already-resolved id: the stream is desynchronized;
+            # keeping the socket would pair future responses with the wrong
+            # requests. Fail closed.
+            self._drop(ProtocolError(
+                f"response id {response.id} does not match any in-flight "
+                "request"
+            ))
+            return
+        self._inflight[response.id] = response
+
+    _unwrap = staticmethod(unwrap_response)
+
+    def _fail_inflight(self, exc: BaseException) -> None:
+        """Resolve every in-flight request with ``exc`` (the pipeline drain).
+
+        Must hold the lock. Called whenever the connection dies or is torn
+        down on purpose: a response that never arrived is *never* silently
+        retried, so every pending reply surfaces the loss explicitly.
+        """
+        for request_id, state in self._inflight.items():
+            if state is _UNRESOLVED:
+                self._inflight[request_id] = exc
 
     def _response_lost(self, detail: str) -> str:
         """Error text for a request whose response never arrived."""
@@ -246,6 +489,9 @@ class BeliefClient:
     def reconnect(self) -> None:
         """Make one bounded reconnect attempt (then session re-establishment).
 
+        Any requests still in flight are **drained first** — each pending
+        reply resolves to :class:`ConnectionLost` — because their responses
+        belong to the old connection and can never arrive on the new one.
         Raises :class:`ConnectionLost` when the single fresh connect fails,
         or when this client was explicitly closed by its owner.
         """
@@ -255,7 +501,13 @@ class BeliefClient:
             self._reconnect_locked()
 
     def _reconnect_locked(self) -> None:
-        self._drop()
+        # Explicit in-flight drain: a reconnect must never leave pendings
+        # waiting for responses the old connection took with it, and the
+        # fresh connection must start with an empty pipeline (its response
+        # ids would otherwise collide with orphaned ones).
+        self._drop(ConnectionLost(self._response_lost(
+            "connection was re-established underneath this request"
+        )))
         self._reconnecting = True
         try:
             try:
@@ -272,8 +524,17 @@ class BeliefClient:
         finally:
             self._reconnecting = False
 
-    def _drop(self) -> None:
-        """Tear down the socket without marking the client user-closed."""
+    def _drop(self, cause: BaseException | None = None) -> None:
+        """Tear down the socket without marking the client user-closed.
+
+        Every in-flight request is drained with ``cause`` (or a generic
+        :class:`ConnectionLost`) — nothing may stay parked waiting for a
+        response that can no longer arrive.
+        """
+        if self._inflight:
+            self._fail_inflight(cause if cause is not None else ConnectionLost(
+                self._response_lost("connection to server lost")
+            ))
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -283,7 +544,27 @@ class BeliefClient:
 
     def close(self) -> None:
         self._user_closed = True
-        self._drop()
+        # Close the socket BEFORE taking the lock: another thread may hold
+        # the lock blocked in a read, and closing the socket underneath it
+        # is what unblocks that read (it then drains the pipeline itself).
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        with self._lock:
+            # A concurrent reconnect may have swapped in a fresh socket.
+            if self._sock is not None and self._sock is not sock:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+            self._sock = None
+            self._fail_inflight(ConnectionLost(
+                "client was closed with this request still in flight; its "
+                "outcome is unknown"
+            ))
 
     def __enter__(self) -> "BeliefClient":
         return self
@@ -397,6 +678,33 @@ class BeliefClient:
         if max_rows is not None:
             call_params["max_rows"] = max_rows
         return self.call("execute_prepared", **call_params)
+
+    def execute_batch(
+        self,
+        statement: RemoteStatement | str,
+        param_rows: Sequence[Sequence[Any]],
+        chunk_rows: int = 256,
+    ) -> dict[str, Any]:
+        """Bind one prepared DML statement to many parameter vectors at once.
+
+        The whole batch costs one round trip, one server write-lock
+        acquisition, and (on durable servers) one WAL fsync — the fast path
+        for bulk curation. Batches larger than ``chunk_rows`` are split into
+        sequential chunks so no single frame approaches the 1 MiB wire
+        ceiling; a strict-mode rejection stops at the failing chunk (earlier
+        chunks stay applied, exactly like earlier statements would).
+
+        Returns the aggregate result payload: ``kind``, ``columns``,
+        ``rowcount`` (summed), ``status``, ``elapsed_ms``.
+        """
+        call_params = batch_statement_params(statement)
+        payload: dict[str, Any] | None = None
+        for chunk in iter_batch_chunks(param_rows, chunk_rows):
+            payload = merge_batch_payload(payload, self.call(
+                "execute_batch", param_rows=chunk, **call_params,
+            ))
+        assert payload is not None
+        return payload
 
     def close_statement(self, statement: RemoteStatement | int) -> bool:
         stmt_id = statement.id if isinstance(statement, RemoteStatement) else statement

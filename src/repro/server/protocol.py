@@ -16,10 +16,34 @@ UTF-8/JSON, non-object payloads, and missing or mistyped fields all raise
 malformed peer cannot be re-synchronized mid-stream); well-formed requests
 with *semantic* problems (unknown op, bad arguments) get an error *response*
 and the connection survives.
+
+Pipelining contract
+-------------------
+Every request carries a client-chosen ``id`` and the matching response echoes
+it back; that id — not arrival order — is the unit of correlation. A client
+may therefore keep any number of requests in flight on one connection
+without waiting for responses. Two server implementations honor the same
+frames with different ordering guarantees:
+
+* the threaded :class:`~repro.server.server.BeliefServer` executes one
+  request per connection at a time, so responses happen to arrive in
+  request order;
+* the pipelined :class:`~repro.server.async_server.AsyncBeliefServer`
+  executes in-flight requests **concurrently** (bounded by its
+  ``max_inflight``) and writes each response as it completes, so responses
+  may arrive **out of order**.
+
+Clients must correlate strictly by id and must not pipeline a request that
+depends on the *effect* of an earlier one (``login`` then a default-path
+``insert``, ``prepare`` then ``execute_prepared`` on the new handle) without
+awaiting the earlier response first. A response id that was never issued —
+or one already consumed — desynchronizes the stream and fails closed.
+See ``docs/wire-protocol.md`` for the full contract.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -43,8 +67,9 @@ OPS = frozenset({
     "add_user", "users",
     # statements
     "insert", "delete", "execute",
-    # prepared statements and result paging
-    "prepare", "execute_prepared", "close_statement", "fetch", "close_cursor",
+    # prepared statements, batched execution, and result paging
+    "prepare", "execute_prepared", "execute_batch", "close_statement",
+    "fetch", "close_cursor",
     # queries
     "query", "believes", "world", "worlds",
     # introspection
@@ -224,3 +249,47 @@ def read_frame(sock: socket.socket) -> dict[str, Any] | None:
 def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
     """Encode and send one frame."""
     sock.sendall(encode_frame(payload))
+
+
+# --------------------------------------------------------------- asyncio I/O
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream; None on clean EOF.
+
+    Same fail-closed semantics as :func:`read_frame`: EOF is only clean at a
+    frame boundary; mid-frame truncation, oversized lengths, and malformed
+    bodies raise :class:`ProtocolError`.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/"
+            f"{_LENGTH.size} bytes of length prefix)"
+        ) from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "connection closed between length prefix and body"
+        ) from exc
+    return decode_frame(body)
+
+
+async def write_frame_async(
+    writer: asyncio.StreamWriter, payload: dict[str, Any]
+) -> None:
+    """Encode and send one frame on an asyncio stream (drains the buffer)."""
+    writer.write(encode_frame(payload))
+    await writer.drain()

@@ -188,6 +188,16 @@ class BeliefServer:
             target=self._accept_loop, name="belief-server-accept", daemon=True
         )
         self._accept_thread.start()
+        self._start_checkpoint_thread()
+        return self
+
+    def _start_checkpoint_thread(self) -> None:
+        """Launch the background checkpoint thread when configured.
+
+        Shared with :class:`~repro.server.async_server.AsyncBeliefServer`:
+        the loop body only touches threading primitives (the RW lock and the
+        stopping event), so the same thread serves both server cores.
+        """
         if self.checkpoint_interval and self.db.durability is not None:
             self._checkpoint_thread = threading.Thread(
                 target=self._checkpoint_loop,
@@ -195,7 +205,6 @@ class BeliefServer:
                 daemon=True,
             )
             self._checkpoint_thread.start()
-        return self
 
     def stop(self) -> None:
         """Stop accepting, close every connection, join handler threads."""
@@ -374,6 +383,14 @@ class BeliefServer:
                     "bind": bind,
                     "max_rows": _page_size(request.params, "max_rows"),
                 }
+            elif request.op == "execute_batch":
+                # DML-only: the whole batch runs under ONE write-lock
+                # acquisition and (on durable servers) one WAL batch append.
+                prepared, param_rows = self._resolve_batch(
+                    session, request.params
+                )
+                kind = "write"
+                params = {"prepared": prepared, "param_rows": param_rows}
             else:
                 params = request.params
             guard = (
@@ -561,6 +578,59 @@ class BeliefServer:
             "has_more": bool(rest),
         }
 
+    def _resolve_batch(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> tuple[PreparedStatement, list[tuple[Any, ...]]]:
+        """Resolve an ``execute_batch`` request: prepared DML + param rows."""
+        prepared, _ = self._resolve_prepared(
+            session, {k: v for k, v in params.items() if k != "param_rows"}
+        )
+        if prepared.kind == "select":
+            raise BeliefDBError("execute_batch is for DML, not select")
+        rows = _require(params, "param_rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, (list, tuple)) for row in rows
+        ):
+            raise BeliefDBError("param_rows must be a list of lists")
+        return prepared, [tuple(row) for row in rows]
+
+    def _op_execute_batch(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        prepared: PreparedStatement = params["prepared"]
+        param_rows: list[tuple[Any, ...]] = params["param_rows"]
+        try:
+            result = self.db.execute_batch(prepared, param_rows)
+        except BeliefDBError as exc:
+            # Strict mode stops at the first rejected row, but the applied
+            # prefix stays applied (and WAL-logged) — record it so the op
+            # log still replays to the same state.
+            applied = getattr(exc, "partial_rowcounts", None)
+            if applied:
+                self._record({
+                    "op": "execute_batch",
+                    "sql": prepared.sql,
+                    "param_rows": _jsonify(param_rows[:len(applied)]),
+                    "ok": sum(applied),
+                })
+            raise
+        self._record({
+            "op": "execute_batch",
+            "sql": prepared.sql,
+            "param_rows": _jsonify(param_rows),
+            "ok": result.rowcount,
+        })
+        return {
+            "kind": result.kind,
+            "columns": list(result.columns),
+            "rowcount": result.rowcount,
+            "status": result.status,
+            "elapsed_ms": result.elapsed_ms,
+            "rows": [],
+            "cursor": None,
+            "has_more": False,
+        }
+
     def _op_fetch(self, session: ClientSession, params: dict[str, Any]) -> Any:
         count = _page_size(params, "n")
         rows, has_more = session.fetch_rows(_require(params, "cursor"), count)
@@ -645,6 +715,7 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "execute": (BeliefServer._op_execute, "read"),  # DML promoted in _dispatch
     "prepare": (BeliefServer._op_prepare, "read"),
     "execute_prepared": (BeliefServer._op_execute_prepared, "read"),  # ditto
+    "execute_batch": (BeliefServer._op_execute_batch, "write"),
     "close_statement": (BeliefServer._op_close_statement, "read"),
     "fetch": (BeliefServer._op_fetch, "read"),
     "close_cursor": (BeliefServer._op_close_cursor, "read"),
@@ -694,6 +765,19 @@ def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:
                 raise BeliefDBError(
                     f"replay diverged at seq {entry['seq']}: execute gave "
                     f"{result!r}, log has {entry['ok']!r}"
+                )
+        elif op == "execute_batch":
+            try:
+                result = db.execute_batch(
+                    entry["sql"],
+                    [tuple(row) for row in entry["param_rows"]],
+                ).rowcount
+            except BeliefDBError:
+                result = False
+            if result != entry["ok"]:
+                raise BeliefDBError(
+                    f"replay diverged at seq {entry['seq']}: execute_batch "
+                    f"gave {result!r}, log has {entry['ok']!r}"
                 )
         else:
             raise BeliefDBError(f"unknown oplog entry {entry!r}")

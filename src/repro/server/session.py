@@ -15,13 +15,16 @@ Sessions also hold the connection's server-side *prepared statements*
 (``prepare`` op) and open *result cursors* (rows of a large select awaiting
 ``fetch`` paging). Both registries are bounded — statements evict
 least-recently-*used*, cursors oldest-first — so a client hoarding handles
-cannot grow server memory; they are only ever touched by the connection's
-own handler thread, so they need no locking.
+cannot grow server memory. Under the threaded server they are only ever
+touched by the connection's own handler thread; the pipelined async server
+executes one connection's in-flight requests concurrently in a thread pool,
+so every registry/state mutation here takes a small internal lock.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 from typing import Any, Sequence
 
@@ -50,6 +53,10 @@ class ClientSession:
         self.user: User | None = None
         self.user_name: str | None = None
         self.default_path: tuple[User, ...] = ()
+        # Guards the registries and session identity against concurrent
+        # pipelined requests (the async server dispatches one connection's
+        # in-flight requests across executor threads).
+        self._mutex = threading.RLock()
         self._statements: OrderedDict[int, Any] = OrderedDict()
         self._statement_seq = 0
         #: cursor id -> (row list, offset of the next unsent row). The list
@@ -61,18 +68,21 @@ class ClientSession:
 
     def login(self, uid: User, name: str) -> None:
         """Authenticate; the default path becomes the user's own world."""
-        self.user = uid
-        self.user_name = name
-        self.default_path = (uid,)
+        with self._mutex:
+            self.user = uid
+            self.user_name = name
+            self.default_path = (uid,)
 
     def logout(self) -> None:
-        self.user = None
-        self.user_name = None
-        self.default_path = ()
+        with self._mutex:
+            self.user = None
+            self.user_name = None
+            self.default_path = ()
 
     def set_path(self, path: Sequence[User]) -> None:
         """Override the default belief path (``()`` = plain content)."""
-        self.default_path = tuple(path)
+        with self._mutex:
+            self.default_path = tuple(path)
 
     # ------------------------------------------------------------ rewriting
 
@@ -107,50 +117,56 @@ class ClientSession:
 
     def register_statement(self, prepared: Any) -> int:
         """Store a prepared statement; returns its per-connection handle."""
-        self._statement_seq += 1
-        self._statements[self._statement_seq] = prepared
-        while len(self._statements) > MAX_STATEMENTS:
-            self._statements.popitem(last=False)
-        return self._statement_seq
+        with self._mutex:
+            self._statement_seq += 1
+            self._statements[self._statement_seq] = prepared
+            while len(self._statements) > MAX_STATEMENTS:
+                self._statements.popitem(last=False)
+            return self._statement_seq
 
     def statement(self, stmt_id: Any) -> Any:
-        prepared = self._statements.get(stmt_id)
-        if prepared is None:
-            raise BeliefDBError(f"unknown prepared statement {stmt_id!r}")
-        # Refresh recency so the capacity bound evicts idle handles, not the
-        # ones a long-lived connection executes constantly.
-        self._statements.move_to_end(stmt_id)
-        return prepared
+        with self._mutex:
+            prepared = self._statements.get(stmt_id)
+            if prepared is None:
+                raise BeliefDBError(f"unknown prepared statement {stmt_id!r}")
+            # Refresh recency so the capacity bound evicts idle handles, not
+            # the ones a long-lived connection executes constantly.
+            self._statements.move_to_end(stmt_id)
+            return prepared
 
     def close_statement(self, stmt_id: Any) -> bool:
-        return self._statements.pop(stmt_id, None) is not None
+        with self._mutex:
+            return self._statements.pop(stmt_id, None) is not None
 
     # ----------------------------------------------------------- row cursors
 
     def register_cursor(self, rows: list) -> int:
         """Park the unsent tail of a large result for ``fetch`` paging."""
-        self._cursor_seq += 1
-        self._cursors[self._cursor_seq] = (rows, 0)
-        while len(self._cursors) > MAX_CURSORS:
-            self._cursors.popitem(last=False)
-        return self._cursor_seq
+        with self._mutex:
+            self._cursor_seq += 1
+            self._cursors[self._cursor_seq] = (rows, 0)
+            while len(self._cursors) > MAX_CURSORS:
+                self._cursors.popitem(last=False)
+            return self._cursor_seq
 
     def fetch_rows(self, cursor_id: Any, count: int) -> tuple[list, bool]:
         """Next ``count`` rows and whether more remain (auto-closes at end)."""
-        entry = self._cursors.get(cursor_id)
-        if entry is None:
-            raise BeliefDBError(f"unknown cursor {cursor_id!r}")
-        rows, offset = entry
-        end = offset + max(0, count)
-        batch = rows[offset:end]
-        if end < len(rows):
-            self._cursors[cursor_id] = (rows, end)
-            return batch, True
-        del self._cursors[cursor_id]
-        return batch, False
+        with self._mutex:
+            entry = self._cursors.get(cursor_id)
+            if entry is None:
+                raise BeliefDBError(f"unknown cursor {cursor_id!r}")
+            rows, offset = entry
+            end = offset + max(0, count)
+            batch = rows[offset:end]
+            if end < len(rows):
+                self._cursors[cursor_id] = (rows, end)
+                return batch, True
+            del self._cursors[cursor_id]
+            return batch, False
 
     def close_cursor(self, cursor_id: Any) -> bool:
-        return self._cursors.pop(cursor_id, None) is not None
+        with self._mutex:
+            return self._cursors.pop(cursor_id, None) is not None
 
     # ---------------------------------------------------------------- views
 

@@ -1,0 +1,175 @@
+"""Batched WAL appends: one fsync per batch, zero lost acknowledged writes.
+
+``BeliefDBMS.execute_batch`` routes N accepted writes through
+``DurabilityManager.log_batch`` → ``WalWriter.append_batch``: consecutive
+seqs, one sync decision. These tests pin the fsync economy (the whole point)
+and the recovery contract (batch records replay like any others; a torn
+batch tail loses only never-acknowledged rows).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.durability import DurabilityManager
+from repro.durability import wal as wal_module
+from repro.errors import DurabilityError, RejectedUpdateError
+
+ROW = ["Carol", "crow", "d", "l"]
+
+
+def _durable_db(tmp_path, **kwargs) -> BeliefDBMS:
+    return BeliefDBMS(
+        sightings_schema(), strict=kwargs.pop("strict", False),
+        durability=DurabilityManager(str(tmp_path / "data"), **kwargs),
+    )
+
+
+def _rows(n: int, prefix: str = "s") -> list[list]:
+    return [[f"{prefix}{i}"] + ROW for i in range(n)]
+
+
+INSERT = "insert into Sightings values (?,?,?,?,?)"
+
+
+def test_batch_costs_one_fsync(tmp_path, monkeypatch):
+    db = _durable_db(tmp_path)  # sync="always"
+    db.execute_sql(INSERT, ["prime"] + ROW)  # segment already open
+    counts = {"fsync": 0}
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        counts["fsync"] += 1
+        return real_fsync(fd)
+
+    monkeypatch.setattr(wal_module.os, "fsync", counting_fsync)
+    db.execute_batch(INSERT, _rows(50))
+    assert counts["fsync"] == 1, "a 50-row batch must fsync exactly once"
+
+    # The one-by-one path for comparison: one fsync per row.
+    counts["fsync"] = 0
+    for i in range(10):
+        db.execute_sql(INSERT, [f"single{i}"] + ROW)
+    assert counts["fsync"] == 10
+    db.close()
+
+
+def test_batch_records_have_consecutive_seqs(tmp_path):
+    db = _durable_db(tmp_path)
+    manager = db.durability
+    before = manager.last_seq
+    db.execute_batch(INSERT, _rows(7))
+    assert manager.last_seq == before + 7
+    records = []
+    for _, path in wal_module.list_segments(manager.wal_dir):
+        records.extend(wal_module.scan_segment(path).records)
+    seqs = [record["seq"] for record in records]
+    assert seqs == list(range(1, len(seqs) + 1))
+    assert all(
+        record["op"] == "execute" for record in records
+    ), "batch rows log as ordinary replayable execute records"
+    db.close()
+
+
+def test_batch_survives_crash_equivalent_close(tmp_path):
+    db = _durable_db(tmp_path)
+    db.execute_batch(INSERT, _rows(25))
+    db.close()  # crash-equivalent: no checkpoint
+
+    recovered = _durable_db(tmp_path)
+    try:
+        assert recovered.annotation_count() == 25
+        for i in range(25):
+            assert recovered.believes([], "Sightings", [f"s{i}"] + ROW)
+    finally:
+        recovered.close()
+
+
+def test_strict_mid_batch_failure_logs_applied_prefix(tmp_path):
+    db = _durable_db(tmp_path, strict=True)
+    with pytest.raises(RejectedUpdateError):
+        db.execute_batch(INSERT, [
+            ["a1"] + ROW,
+            ["a2"] + ROW,
+            ["a1"] + ROW,  # duplicate: rejected, stops the batch
+            ["a3"] + ROW,  # never reached
+        ])
+    db.close()
+
+    recovered = _durable_db(tmp_path)
+    try:
+        assert recovered.believes([], "Sightings", ["a1"] + ROW)
+        assert recovered.believes([], "Sightings", ["a2"] + ROW)
+        assert not recovered.believes([], "Sightings", ["a3"] + ROW)
+    finally:
+        recovered.close()
+
+
+def test_torn_batch_tail_truncates_to_acknowledged_prefix(tmp_path):
+    """Chop bytes off the final record of a batch: recovery must keep every
+    earlier record (a torn batch was never acknowledged as a whole, and its
+    valid prefix replays exactly like a torn single-record tail)."""
+    db = _durable_db(tmp_path)
+    db.execute_batch(INSERT, _rows(10))
+    manager = db.durability
+    segments = wal_module.list_segments(manager.wal_dir)
+    db.close()
+    last_path = segments[-1][1]
+    size = os.path.getsize(last_path)
+    with open(last_path, "r+b") as handle:
+        handle.truncate(size - 3)  # tear the final record
+
+    recovered = _durable_db(tmp_path)
+    try:
+        assert recovered.annotation_count() == 9
+        for i in range(9):
+            assert recovered.believes([], "Sightings", [f"s{i}"] + ROW)
+        assert not recovered.believes([], "Sightings", ["s9"] + ROW)
+    finally:
+        recovered.close()
+
+
+def test_batch_append_failure_is_fail_stop(tmp_path, monkeypatch):
+    db = _durable_db(tmp_path)
+    manager = db.durability
+
+    def broken_append(records):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(manager._writer, "append_batch", broken_append)
+    with pytest.raises(DurabilityError):
+        db.execute_batch(INSERT, _rows(3))
+    assert manager.failed
+    # Fail-stop: no further writes are accepted, batched or not.
+    with pytest.raises(DurabilityError):
+        db.execute_sql(INSERT, ["later"] + ROW)
+
+
+def test_batch_triggers_auto_checkpoint(tmp_path):
+    db = _durable_db(tmp_path, checkpoint_every=10)
+    manager = db.durability
+    db.execute_batch(INSERT, _rows(15))
+    assert manager.checkpoints == 1
+    assert manager.records_since_checkpoint == 0
+    db.close()
+
+
+def test_wal_sync_batch_policy_composes_with_batches(tmp_path, monkeypatch):
+    """sync='batch' counts batched records toward its fsync threshold."""
+    db = _durable_db(tmp_path, sync="batch", batch_every=8)
+    counts = {"fsync": 0}
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        counts["fsync"] += 1
+        return real_fsync(fd)
+
+    db.execute_sql(INSERT, ["prime"] + ROW)  # open the segment
+    monkeypatch.setattr(wal_module.os, "fsync", counting_fsync)
+    db.execute_batch(INSERT, _rows(20))  # 20 unsynced >= 8 -> one fsync
+    assert counts["fsync"] == 1
+    db.close()

@@ -42,7 +42,9 @@ OPS_PER_USER = 400
 KILL_AFTER_ACKS = 80
 
 
-def _spawn_server(data_dir: Path) -> tuple[subprocess.Popen, tuple[str, int]]:
+def _spawn_server(
+    data_dir: Path, extra: tuple[str, ...] = ()
+) -> tuple[subprocess.Popen, tuple[str, int]]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
@@ -51,6 +53,7 @@ def _spawn_server(data_dir: Path) -> tuple[subprocess.Popen, tuple[str, int]]:
             "--port", "0", "--schema", "experiment",
             "--data-dir", str(data_dir),
             "--checkpoint-interval", "0.3",
+            *extra,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -214,5 +217,89 @@ def test_restart_after_clean_shutdown_replays_nothing(tmp_path):
         assert report.snapshot_seq > 0
         assert report.wal_records == 0
         assert db.annotation_count() == 5
+    finally:
+        db.close()
+
+
+def _batch_worker(
+    address: tuple[str, int],
+    name: str,
+    acked_batches: list,
+    lock: threading.Lock,
+) -> None:
+    """Stream execute_batch chunks; record each acknowledged batch."""
+    try:
+        with BeliefClient(*address) as client:
+            client.login(name, create=True)
+            for batch_no in range(200):
+                rows = [
+                    [f"{name}-b{batch_no}-r{i}", name, "crow", "d", "loc"]
+                    for i in range(8)
+                ]
+                payload = client.execute_batch(
+                    "insert into Sightings values (?,?,?,?,?)", rows
+                )
+                # Only now — the server responded — is this batch acked.
+                with lock:
+                    acked_batches.append(
+                        (name, [tuple(row) for row in rows],
+                         payload["rowcount"])
+                    )
+    except Exception:  # noqa: BLE001 — the SIGKILL severs every connection
+        return
+
+
+@pytest.mark.slow
+def test_sigkill_mid_batched_workload_loses_no_acknowledged_batch(tmp_path):
+    """The batched-WAL acceptance test: SIGKILL the pipelined async server
+    while clients stream execute_batch writes (each batch = one WAL batch
+    append + one fsync), restart, and prove every acknowledged batch is
+    fully present. A torn batch at the WAL tail may lose only rows whose
+    batch was never acknowledged."""
+    data_dir = tmp_path / "data"
+    proc, address = _spawn_server(data_dir, extra=("--async",))
+    acked: list = []
+    ack_lock = threading.Lock()
+    try:
+        threads = [
+            threading.Thread(
+                target=_batch_worker,
+                args=(address, f"user{i + 1}", acked, ack_lock),
+            )
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            with ack_lock:
+                if len(acked) >= 12:  # ~96 acked rows mid-flight
+                    break
+            time.sleep(0.005)
+        with ack_lock:
+            reached = len(acked)
+        assert reached >= 12, f"workload too slow: {reached} acked batches"
+        _kill(proc)
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "workers hung"
+    finally:
+        _kill(proc)
+
+    assert acked, "no acknowledged batches before the kill"
+
+    db = BeliefDBMS(
+        experiment_schema(), strict=False,
+        durability=DurabilityManager(str(data_dir)),
+    )
+    try:
+        for name, rows, rowcount in acked:
+            assert rowcount == len(rows)
+            for values in rows:
+                assert db.believes([name], "Sightings", values), (
+                    f"row of an acknowledged batch lost after recovery: "
+                    f"{name} {values}"
+                )
+        db.store.check_invariants()
     finally:
         db.close()

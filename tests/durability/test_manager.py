@@ -278,10 +278,11 @@ def test_wal_append_failure_fails_stop(tmp_path):
     db.add_user("Carol")
     assert db.insert(["Carol"], "Sightings", SIGHTING)
 
-    def broken_append(payload, seq):
+    def broken_append(records):
         raise OSError(28, "No space left on device")
 
-    db.durability._writer.append = broken_append
+    # Single-record logs route through the shared batch append path.
+    db.durability._writer.append_batch = broken_append
     with pytest.raises(DurabilityError, match="WAL append"):
         db.insert(["Carol"], "Sightings", ("s2", "Carol", "crow", "d", "l"))
     # The one unlogged op IS in memory — but it was never acknowledged...

@@ -74,10 +74,11 @@ def test_checkpoint_thread_exits_on_failed_manager(tmp_path):
     db.insert(["Carol"], "Sightings", ("s1", "Carol", "crow", "d", "l"))
     with BeliefServer(db, checkpoint_interval=0.02) as server:
 
-        def broken_append(payload, seq):
+        def broken_append(records):
             raise OSError(28, "No space left on device")
 
-        db.durability._writer.append = broken_append
+        # Single-record logs route through the shared batch append path.
+        db.durability._writer.append_batch = broken_append
         try:
             db.insert(["Carol"], "Sightings", ("s2", "Carol", "loon", "d", "l"))
         except Exception:  # noqa: BLE001 — the append failure, expected
