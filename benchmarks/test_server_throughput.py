@@ -17,6 +17,12 @@ request disciplines run the same streams:
   acquisition, and on durable servers one WAL fsync per batch); selects
   ride the pipeline. Insert and shared-pool dispute keys are disjoint in
   ``concurrent_trace``, so per-kind grouping never reorders an outcome.
+* **txn**       — the transactional discipline: writes staged one round
+  trip at a time (in-transaction requests must not be pipelined) and
+  committed in ``BATCH_ROWS``-statement transactions — one write-lock
+  acquisition and ONE fsync per commit instead of per statement. The
+  txn-vs-autocommit comparison at 16 clients is the commit-throughput
+  metric of the transactional-sessions redesign.
 
 The same matrix then runs **durable** (``--data-dir`` semantics,
 ``wal_sync="always"``) at the top client count — the paper's
@@ -48,12 +54,13 @@ from repro.server import AsyncBeliefServer, BeliefClient, BeliefServer
 from repro.workload.generator import ConcurrentOp, concurrent_trace
 
 CLIENT_COUNTS = (1, 4, 16)
-VARIANTS = ("blocking", "pipelined", "batched")
+VARIANTS = ("blocking", "pipelined", "batched", "txn")
 
 #: In-flight window for the pipelined discipline.
 PIPELINE_WINDOW = 16
 
-#: Rows grouped per execute_batch call in the batched discipline.
+#: Rows grouped per execute_batch call in the batched discipline, and
+#: statements grouped per transaction in the txn discipline.
 BATCH_ROWS = 16
 
 INSERT_SQL = "insert into Sightings values (?,?,?,?,?)"
@@ -135,13 +142,50 @@ def _drive_batched(client: BeliefClient, user: str, ops) -> None:
         reply.result()
 
 
+def _drive_txn(client: BeliefClient, user: str, ops) -> None:
+    """Writes grouped into BATCH_ROWS-statement transactions.
+
+    The txn-commit discipline (ISSUE 5): each write is staged with its own
+    round trip — in-transaction requests must not be pipelined — but the
+    whole group commits with ONE write-lock acquisition and ONE WAL fsync,
+    vs one of each per statement under autocommit ("blocking"). Relative
+    statement order is fully preserved (one pending list), and a select
+    commits the open group first so it observes the client's own prior
+    writes, exactly as under autocommit.
+    """
+    pending: list[tuple[str, list]] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        client.begin()
+        for sql, params in pending:
+            client.execute_prepared(sql, params)
+        client.commit()
+        pending.clear()
+
+    for op in ops:
+        if op.kind == "insert":
+            pending.append((INSERT_SQL, list(op.values)))
+        elif op.kind == "dispute":
+            pending.append((DISPUTE_SQL, [user] + list(op.values)))
+        else:
+            flush()
+            client.execute(op.sql)
+        if len(pending) >= BATCH_ROWS:
+            flush()
+    flush()
+
+
 def _drive(variant: str, client: BeliefClient, user: str, ops) -> None:
     if variant == "blocking":
         _drive_blocking(client, ops)
     elif variant == "pipelined":
         _drive_pipelined(client, ops)
-    else:
+    elif variant == "batched":
         _drive_batched(client, user, ops)
+    else:
+        _drive_txn(client, user, ops)
 
 
 def _make_server(variant: str, db: BeliefDBMS):
@@ -215,6 +259,13 @@ def test_pipelined_throughput(n_clients):
 @pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
 def test_batched_throughput(n_clients):
     _run_matrix_cell("batched", n_clients)
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_txn_throughput(n_clients):
+    """Writes in BATCH_ROWS-statement transactions vs per-statement
+    autocommit — the commit-throughput metric of the txn redesign."""
+    _run_matrix_cell("txn", n_clients)
 
 
 @pytest.mark.parametrize("variant", VARIANTS)

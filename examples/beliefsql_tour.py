@@ -15,9 +15,10 @@ from repro.query.parser import parse_bcq
 
 
 def run(db: BeliefDBMS, sql: str):
-    result = db.execute(sql)
+    result = db.execute_sql(sql)
     shown = sql if len(sql) <= 72 else sql[:69] + "..."
-    print(f"  {shown}\n    -> {result}")
+    outcome = result.rows if result.kind == "select" else result.status
+    print(f"  {shown}\n    -> {outcome}")
     return result
 
 
@@ -70,9 +71,9 @@ def main() -> None:
     print("\n== Same query, two backends ==")
     question = ("select U.name, S.species from Users as U, "
                 "BELIEF U.uid Sightings as S where S.sid = 's2'")
-    engine_rows = db.execute(question)
+    engine_rows = db.execute_sql(question).rows
     db.backend = "sqlite"
-    sqlite_rows = db.execute(question)
+    sqlite_rows = db.execute_sql(question).rows
     db.backend = "engine"
     print(f"  engine: {engine_rows}")
     print(f"  sqlite: {sqlite_rows}")

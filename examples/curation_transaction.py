@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Transactional curation: a multi-statement belief update is all-or-nothing.
+
+The paper's core workload is collaborative curation, and a curation step is
+rarely one statement: a curator records a base sighting *plus* the belief
+statements that only make sense together — their own reading of the
+species, and a dispute of the other curator's reading. Autocommit would
+let a concurrent reader observe the sighting without its companion
+beliefs; a transaction never does.
+
+Two demonstrations, both via ``with conn.transaction():`` (commit on clean
+exit, rollback when the block raises):
+
+1. **Embedded atomic abort** — a transaction whose later statement is
+   rejected (a conflicting duplicate) rolls back *everything*; the
+   database is exactly as before the commit.
+2. **Racing curators, remote** — two curators commit multi-statement
+   curation steps concurrently against a live server while a reader
+   hammers the invariant: *every sighting a curator has published comes
+   with that curator's species belief and their companion comment* — all
+   or none. Runs on the threaded **and** the pipelined asyncio core;
+   commits apply under one write-lock acquisition, so the reader can
+   never catch a half-applied step.
+
+Run:  python examples/curation_transaction.py
+"""
+
+import pathlib
+import sys
+import threading
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # running from a checkout without PYTHONPATH
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import connect, sightings_schema
+from repro.bdms.bdms import BeliefDBMS
+from repro.errors import TransactionAbortedError
+from repro.server import AsyncBeliefServer, BeliefServer
+
+CURATORS = ("Carol", "Bob")
+READINGS = {"Carol": "bald eagle", "Bob": "raven"}
+STEPS_PER_CURATOR = 12
+
+
+def embedded_abort_demo() -> None:
+    print("== 1. embedded: a failing transaction rolls back entirely ==")
+    conn = connect(sightings_schema())  # strict mode: conflicts raise
+    conn.add_user("Carol")
+    conn.execute("insert into Sightings values (?,?,?,?,?)",
+                 ("s0", "Carol", "osprey", "6-14-08", "Cedar River"))
+    before = conn.execute("select S.sid from Sightings as S").rows
+    try:
+        with conn.transaction():
+            conn.execute("insert into Sightings values (?,?,?,?,?)",
+                         ("s1", "Carol", "heron", "6-15-08", "Lake Forest"))
+            # Duplicate of s0 — rejected at commit, aborting the whole txn.
+            conn.execute("insert into Sightings values (?,?,?,?,?)",
+                         ("s0", "Carol", "osprey", "6-14-08", "Cedar River"))
+    except TransactionAbortedError as exc:
+        print(f"  aborted as expected: {str(exc)[:72]}...")
+    after = conn.execute("select S.sid from Sightings as S").rows
+    assert after == before, "rollback must restore the pre-commit state"
+    print(f"  rows before == rows after == {after}  ✓\n")
+
+
+def curate(address, name: str, start: threading.Barrier, errors: list) -> None:
+    """One curator: each step publishes sighting + belief + dispute
+    atomically."""
+    rival = next(u for u in CURATORS if u != name)
+    try:
+        with connect(address, user=name) as conn:
+            start.wait(timeout=10)
+            for k in range(STEPS_PER_CURATOR):
+                sid = f"{name[0].lower()}{k}"
+                row = (sid, name, READINGS[name], "6-14-08", "Lake Forest")
+                with conn.transaction():
+                    # Plain content: the sighting exists.
+                    conn.execute(
+                        "insert into BELIEF ? Sightings values (?,?,?,?,?)",
+                        (name,) + row)
+                    # ... with my reading of the species, and a dispute of
+                    # the rival reading — meaningless without the sighting.
+                    conn.execute(
+                        "insert into BELIEF ? not Sightings values "
+                        "(?,?,?,?,?)",
+                        (name, sid, name, READINGS[rival], "6-14-08",
+                         "Lake Forest"))
+                    conn.execute(
+                        "insert into BELIEF ? Comments values (?,?,?)",
+                        (name, f"c-{sid}", f"confident: {READINGS[name]}",
+                         sid))
+    except Exception as exc:  # noqa: BLE001 — surface in the main thread
+        errors.append((name, exc))
+
+
+def observe(address, stop: threading.Event, errors: list,
+            observations: list) -> None:
+    """The invariant reader: curation steps must be visible all-or-nothing."""
+    try:
+        with connect(address) as conn:
+            while not stop.is_set():
+                for name in CURATORS:
+                    rival = next(u for u in CURATORS if u != name)
+                    seen = conn.execute(
+                        "select S.sid from BELIEF ? Sightings as S "
+                        "where S.uid = ?", (name, name)).rows
+                    for (sid,) in seen:
+                        believed = conn.execute(
+                            "select S.sid from BELIEF ? Sightings as S "
+                            "where S.sid = ? and S.species = ?",
+                            (name, sid, READINGS[name])).rows
+                        commented = conn.execute(
+                            "select C.cid from BELIEF ? Comments as C "
+                            "where C.sid = ?", (name, sid)).rows
+                        if not believed or not commented:
+                            errors.append((
+                                "reader",
+                                AssertionError(
+                                    f"half-applied step visible: {name} "
+                                    f"published {sid} without "
+                                    f"{'belief' if not believed else 'comment'}"
+                                ),
+                            ))
+                            return
+                        observations.append(sid)
+    except Exception as exc:  # noqa: BLE001
+        errors.append(("reader", exc))
+
+
+def racing_curators_demo(core) -> None:
+    print(f"== 2. racing curators, remote ({core.__name__}) ==")
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    with core(db) as server:
+        host, port = server.address
+        address = f"{host}:{port}"
+        start = threading.Barrier(len(CURATORS), timeout=10)
+        stop = threading.Event()
+        errors: list = []
+        observations: list = []
+        reader = threading.Thread(
+            target=observe, args=(address, stop, errors, observations))
+        writers = [
+            threading.Thread(target=curate,
+                             args=(address, name, start, errors))
+            for name in CURATORS
+        ]
+        reader.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        stop.set()
+        reader.join()
+        assert not errors, errors
+        stats = db.snapshot_stats()["transactions"]
+        print(f"  {stats['committed']} transactions committed, "
+              f"{len(observations)} atomic observations, "
+              f"0 half-applied steps  ✓\n")
+
+
+def main() -> None:
+    embedded_abort_demo()
+    for core in (BeliefServer, AsyncBeliefServer):
+        racing_curators_demo(core)
+    print("done — every curation step was atomic, embedded and remote.")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,10 +66,10 @@ def main() -> None:
         print(f"  Bob about {volunteer.name}: {len(world.positives)} positive beliefs")
 
     print("\n== Curation dashboard (BeliefSQL throughout) ==")
-    undisputed = db.execute(
+    undisputed = db.execute_sql(
         "select S.sid, S.species from Sightings as S"
     )
-    print(f"  total ground sightings: {len(undisputed)}")
+    print(f"  total ground sightings: {undisputed.rowcount}")
     print(f"  explicit annotations:   {db.annotation_count()}")
     print(f"  belief worlds:          {db.store.world_count()}")
     print(f"  |R*| / n overhead:      {db.relative_overhead():.2f}")

@@ -40,7 +40,7 @@ def main() -> None:
         "('c2','purple black feathers','s2')",
     ]
     for sql in inserts:
-        db.execute(sql)
+        db.execute_sql(sql)
         print(f"  ok: {sql[:66]}...")
 
     print("\n== Belief worlds (entailed, incl. message-board defaults) ==")
@@ -49,21 +49,21 @@ def main() -> None:
         print(f"  {label}: {db.world(who)}")
 
     print("\n== q1: sightings at Lake Placid that Bob believes ==")
-    rows = db.execute(
+    rows = db.execute_sql(
         "select S.sid, S.uid, S.species from Users as U, "
         "BELIEF U.uid Sightings as S "
         "where U.name = 'Bob' and S.location = 'Lake Placid'"
-    )
+    ).rows
     print(f"  {rows}")
 
     print("\n== q2: who disagrees with what Alice believes? ==")
-    rows = db.execute(
+    rows = db.execute_sql(
         "select U2.name, S1.species, S2.species "
         "from Users as U1, Users as U2, "
         "BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2 "
         "where U1.name = 'Alice' and S1.sid = S2.sid "
         "and S1.species <> S2.species"
-    )
+    ).rows
     print(f"  {rows}")
 
     print("\n== Canonical Kripke structure (Fig. 4) ==")

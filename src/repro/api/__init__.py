@@ -30,6 +30,7 @@ from repro.api.connection import (
     Connection,
     EmbeddedConnection,
     RemoteConnection,
+    TransactionContext,
     connect,
 )
 from repro.api.cursor import Cursor
@@ -42,5 +43,6 @@ __all__ = [
     "RemoteConnection",
     "Result",
     "ResultKind",
+    "TransactionContext",
     "connect",
 ]

@@ -14,6 +14,23 @@ annotated with that user's belief world — exactly the server's session
 semantics, applied identically for embedded use so the two shapes stay
 interchangeable. An explicit ``BELIEF ...`` prefix always wins.
 
+Transactions
+------------
+By default (``autocommit=True``) every statement applies immediately —
+the historical behavior. :meth:`Connection.begin` opens an explicit
+transaction: subsequent DML (``execute`` and ``executemany`` alike) is
+*staged* — validated eagerly, applied nowhere — until
+:meth:`Connection.commit` applies the whole group atomically (one
+write-lock acquisition, one WAL fsync) or :meth:`Connection.rollback`
+discards it. ``with conn.transaction():`` wraps begin/commit and rolls
+back when the block raises; ``connect(..., autocommit=False)`` starts a
+transaction implicitly at the first statement and requires an explicit
+``commit``. Reads always see the last committed state — staged writes are
+invisible everywhere, including to the session that staged them — and a
+staged statement's Result carries ``rowcount == -1`` and a ``... STAGED``
+status, identically embedded and remote. Closing a connection (or losing
+it) discards an open transaction; it is **never** silently retried.
+
 Embedded connections are as thread-safe as the underlying
 :class:`~repro.bdms.bdms.BeliefDBMS` (i.e. not internally synchronized);
 remote connections serialize on the wire like their
@@ -26,7 +43,7 @@ from typing import TYPE_CHECKING, Any, Sequence, overload
 
 from repro.api.cursor import Cursor
 from repro.bdms.result import Result
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, TransactionAbortedError, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover — type-only imports
     from repro.bdms.bdms import BeliefDBMS
@@ -34,8 +51,45 @@ if TYPE_CHECKING:  # pragma: no cover — type-only imports
     from repro.server.client import BeliefClient
 
 
+class TransactionContext:
+    """``with conn.transaction():`` — begin, then commit or roll back.
+
+    Entering begins a transaction (so a transaction must not already be
+    open — nesting is not supported); a clean exit commits, an exception
+    rolls back and re-raises. The commit's aggregate Result is available
+    as :attr:`result` after the block.
+    """
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection = connection
+        self.result: Result | None = None
+
+    def __enter__(self) -> "Connection":
+        self._connection.begin()
+        return self._connection
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is None:
+            # The block may have committed or rolled back early itself —
+            # only commit what is still open.
+            if self._connection.in_transaction:
+                self.result = self._connection.commit()
+            return False
+        try:
+            if self._connection.in_transaction:
+                self._connection.rollback()
+        except BeliefDBError:
+            pass  # the block's own exception matters more; staging is gone
+        return False
+
+
 class Connection:
-    """Common cursor factory / lifecycle; subclasses supply the transport."""
+    """Common cursor factory / txn lifecycle; subclasses supply the transport."""
+
+    #: Statement-level autocommit (the historical behavior). With False,
+    #: the first statement implicitly begins a transaction that must be
+    #: committed explicitly.
+    autocommit: bool = True
 
     def cursor(self) -> Cursor:
         if self.closed:
@@ -50,6 +104,89 @@ class Connection:
         self, sql: str, seq_of_params: Sequence[Sequence[Any]]
     ) -> Result:
         return self.cursor().executemany(sql, seq_of_params)
+
+    # -- transactions ------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction is open (explicit or implicit)."""
+        raise NotImplementedError
+
+    def begin(self) -> None:
+        """Open a transaction: subsequent DML stages until commit/rollback.
+
+        Raises :class:`TransactionError` if one is already open (nesting
+        is not supported).
+        """
+        if self.closed:
+            raise BeliefDBError("connection is closed")
+        if self.in_transaction:
+            raise TransactionError(
+                "a transaction is already open on this connection"
+            )
+        self._begin()
+
+    def commit(self) -> Result:
+        """Apply the open transaction atomically; aggregate Result.
+
+        Readers never observe a partial transaction: the staged statements
+        apply under one write-lock acquisition, with one WAL fsync. A
+        mid-apply rejection rolls everything back and raises
+        :class:`TransactionAbortedError` — the database is unchanged.
+
+        With no open transaction: raises :class:`TransactionError` in
+        autocommit mode (there is nothing a commit could mean); a no-op
+        ``COMMIT 0`` with ``autocommit=False`` (DB-API convention).
+        """
+        if self.closed:
+            raise BeliefDBError("connection is closed")
+        if not self.in_transaction:
+            if self.autocommit:
+                raise TransactionError(
+                    "no transaction is active — call begin() first, use "
+                    "with conn.transaction():, or connect(...,"
+                    " autocommit=False)"
+                )
+            return Result(
+                kind="commit", rows=[], columns=(), rowcount=0,
+                status="COMMIT 0",
+            )
+        return self._commit()
+
+    def rollback(self) -> int:
+        """Discard the open transaction's staged statements; count dropped.
+
+        Same no-transaction semantics as :meth:`commit`: an error in
+        autocommit mode, a 0-statement no-op with ``autocommit=False``.
+        """
+        if self.closed:
+            raise BeliefDBError("connection is closed")
+        if not self.in_transaction:
+            if self.autocommit:
+                raise TransactionError("no transaction is active")
+            return 0
+        return self._rollback()
+
+    def transaction(self) -> TransactionContext:
+        """Context manager: begin on enter, commit on clean exit, roll
+        back (and re-raise) when the block raises."""
+        return TransactionContext(self)
+
+    def _implicit_begin(self) -> None:
+        """``autocommit=False``: the first statement opens the transaction."""
+        if not self.autocommit and not self.in_transaction:
+            self.begin()
+
+    # -- transaction transport (subclass responsibility) -------------------
+
+    def _begin(self) -> None:
+        raise NotImplementedError
+
+    def _commit(self) -> Result:
+        raise NotImplementedError
+
+    def _rollback(self) -> int:
+        raise NotImplementedError
 
     # -- transport interface (subclass responsibility) ---------------------
 
@@ -90,7 +227,16 @@ class Connection:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        # Close never commits: an open transaction (the block raised, or
+        # the user forgot to commit) is rolled back — its staged
+        # statements were applied nowhere, so discarding them is exact.
+        try:
+            if not self.closed and self.in_transaction:
+                self.rollback()
+        except BeliefDBError:
+            pass  # connection already unusable; staging dies with it anyway
+        finally:
+            self.close()
 
 
 class EmbeddedConnection(Connection):
@@ -109,13 +255,18 @@ class EmbeddedConnection(Connection):
         create: bool = True,
         path: Sequence[Any] | None = None,
         owns_db: bool = False,
+        autocommit: bool = True,
     ) -> None:
         from repro.server.session import ClientSession
 
         self.db = db
         self._owns_db = owns_db
+        # The session carries the default belief path AND the open
+        # transaction — the same per-session state object the server
+        # uses, so the two shapes cannot drift.
         self._session = ClientSession(peer="embedded")
         self._closed = False
+        self.autocommit = autocommit
         if user is not None:
             self.login(user, create=create)
         if path is not None:
@@ -150,6 +301,23 @@ class EmbeddedConnection(Connection):
     def default_path(self) -> tuple[Any, ...]:
         return self._session.default_path
 
+    # ---------------------------------------------------------- transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session.in_transaction
+
+    def _begin(self) -> None:
+        self._session.begin_transaction(self.db.begin_transaction())
+
+    def _commit(self) -> Result:
+        # take_transaction detaches first: whatever commit does (succeed,
+        # or abort and roll back), the transaction is over afterwards.
+        return self.db.commit_transaction(self._session.take_transaction())
+
+    def _rollback(self) -> int:
+        return self._session.rollback_transaction()
+
     # ------------------------------------------------------------ transport
 
     def _prepared(self, sql: str):
@@ -159,16 +327,29 @@ class EmbeddedConnection(Connection):
     def _run(self, sql: str, params: tuple[Any, ...]) -> Result:
         if self._closed:
             raise BeliefDBError("connection is closed")
-        return self.db.execute_prepared(self._prepared(sql), params)
+        self._implicit_begin()
+        prepared = self._prepared(sql)
+        if self._session.in_transaction and prepared.kind != "select":
+            # Staged, not applied: the session rewrite is captured *now*
+            # (login/set_path after staging does not retarget it), the
+            # binding is validated now, and nothing touches the store
+            # until commit.
+            return self._session.transaction().stage(prepared, params)
+        return self.db.execute_prepared(prepared, params)
 
     def _run_many(
         self, sql: str, param_rows: list[tuple[Any, ...]]
     ) -> Result:
         if self._closed:
             raise BeliefDBError("connection is closed")
+        self._implicit_begin()
         prepared = self._prepared(sql)
         if prepared.kind == "select":
             raise BeliefDBError("executemany is for DML, not select")
+        if self._session.in_transaction:
+            return self._session.transaction().stage_batch(
+                prepared, param_rows
+            )
         # One batch: one pass over the rows and — on a durable database —
         # one WAL batch append with a single fsync instead of one per row.
         return self.db.execute_batch(prepared, param_rows)
@@ -180,6 +361,8 @@ class EmbeddedConnection(Connection):
         return self._closed
 
     def close(self) -> None:
+        # Close == rollback (never an implicit commit).
+        self._session.abandon_transaction()
         if not self._closed and self._owns_db:
             self.db.close()
         self._closed = True
@@ -206,11 +389,14 @@ class RemoteConnection(Connection):
         create: bool = True,
         path: Sequence[Any] | None = None,
         owns_client: bool = True,
+        autocommit: bool = True,
     ) -> None:
         self.client = client
         self._owns_client = owns_client
         self._user_name: str | None = None
         self._create = create
+        self.autocommit = autocommit
+        self._txn_open = False
         self._default_path: tuple[Any, ...] = ()
         self._explicit_path: tuple[Any, ...] | None = None
         # Server-side session state (login, default path) dies with the TCP
@@ -236,10 +422,25 @@ class RemoteConnection(Connection):
         self._explicit_path = self._default_path
 
     def _restore_session(self, client: "BeliefClient") -> None:
+        # An open transaction cannot survive the dead session: its staged
+        # statements lived server-side and are gone. Restore login/path so
+        # the connection is usable, then *abort loudly* — silently
+        # reconnecting as if the transaction were still open would make
+        # later statements autocommit behind the caller's back, and
+        # silently re-staging would be a retry of work whose fate the
+        # protocol cannot know.
+        aborted = self._txn_open
+        self._txn_open = False
         if self._user_name is not None:
             self.login(self._user_name, create=self._create)
         if self._explicit_path is not None:
             self.set_path(self._explicit_path)
+        if aborted:
+            raise TransactionAbortedError(
+                "connection was lost with a transaction open; its staged "
+                "statements died with the server session and were not "
+                "retried — begin a new transaction"
+            )
 
     def add_user(self, name: str | None = None) -> Any:
         return self.client.add_user(name)
@@ -252,9 +453,37 @@ class RemoteConnection(Connection):
     def default_path(self) -> tuple[Any, ...]:
         return self._default_path
 
+    # ---------------------------------------------------------- transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_open
+
+    def _begin(self) -> None:
+        self.client.begin()
+        self._txn_open = True
+
+    def _commit(self) -> Result:
+        # The transaction is over whatever happens: a server-side abort
+        # consumed it, and a lost connection took the session (and its
+        # staging buffer) with it.
+        try:
+            payload = self.client.commit()
+        finally:
+            self._txn_open = False
+        return Result.from_wire(payload, [])
+
+    def _rollback(self) -> int:
+        try:
+            reply = self.client.rollback()
+        finally:
+            self._txn_open = False
+        return int(reply.get("discarded", 0))
+
     # ------------------------------------------------------------ transport
 
     def _run(self, sql: str, params: tuple[Any, ...]) -> Result:
+        self._implicit_begin()
         payload = self.client.execute_prepared(sql, params)
         return self._finish(payload)
 
@@ -268,7 +497,9 @@ class RemoteConnection(Connection):
         # binds the prepared statement N times under a single write-lock
         # acquisition and a single WAL batch append, and the whole batch
         # costs one round trip instead of N. Selects are rejected
-        # server-side before anything executes.
+        # server-side before anything executes. Inside a transaction the
+        # server stages the chunks instead (they commit as one unit).
+        self._implicit_begin()
         payload = self.client.execute_batch(sql, param_rows)
         return Result.from_wire(payload, [])
 
@@ -279,6 +510,15 @@ class RemoteConnection(Connection):
         return self.client.closed
 
     def close(self) -> None:
+        if self._txn_open and not self._owns_client and not self.client.closed:
+            # The borrowed client outlives this connection; roll the open
+            # transaction back server-side so its staging buffer does not
+            # linger on a session someone else keeps using.
+            try:
+                self._rollback()
+            except BeliefDBError:
+                pass
+        self._txn_open = False
         if self._owns_client:
             self.client.close()
 
@@ -295,11 +535,14 @@ def _owned_remote(
     user: Any | None,
     create: bool,
     path: Sequence[Any] | None,
+    autocommit: bool,
 ) -> RemoteConnection:
     """Build a client-owning RemoteConnection, closing the socket we just
     opened if construction (login/set_path) fails."""
     try:
-        return RemoteConnection(client, user=user, create=create, path=path)
+        return RemoteConnection(
+            client, user=user, create=create, path=path, autocommit=autocommit
+        )
     except BaseException:
         client.close()
         raise
@@ -341,6 +584,7 @@ def connect(
     user: Any | None = None,
     create: bool = True,
     path: Sequence[Any] | None = None,
+    autocommit: bool = True,
     backend: str = "engine",
     strict: bool = True,
     stmt_cache_size: int = 128,
@@ -357,6 +601,7 @@ def connect(
     user: Any | None = None,
     create: bool = True,
     path: Sequence[Any] | None = None,
+    autocommit: bool = True,
     port: int | None = None,
     timeout: float = 30.0,
     reconnect: bool = True,
@@ -369,6 +614,7 @@ def connect(
     user: Any | None = None,
     create: bool = True,
     path: Sequence[Any] | None = None,
+    autocommit: bool = True,
     port: int | None = None,
     timeout: float = 30.0,
     reconnect: bool = True,
@@ -387,6 +633,13 @@ def connect(
     ``strict``, ``stmt_cache_size``) apply only when ``target`` is a bare
     schema; address options (``port``, ``timeout``, ``reconnect``) only to
     remote targets.
+
+    ``autocommit=True`` (default) keeps the historical behavior: every
+    statement applies immediately. ``autocommit=False`` opens a
+    transaction implicitly at the first statement; either way,
+    ``conn.begin()`` / ``conn.commit()`` / ``conn.rollback()`` and
+    ``with conn.transaction():`` group DML into atomic units — identical
+    semantics embedded and remote (see the module docstring).
 
     ``data_dir`` (schema targets only) opens an **embedded durable**
     database: state is recovered from the directory's newest snapshot plus
@@ -411,7 +664,9 @@ def connect(
             "construction for other shapes"
         )
     if isinstance(target, BeliefDBMS):
-        return EmbeddedConnection(target, user=user, create=create, path=path)
+        return EmbeddedConnection(
+            target, user=user, create=create, path=path, autocommit=autocommit
+        )
     if isinstance(target, ExternalSchema):
         durability = None
         if data_dir is not None:
@@ -427,7 +682,7 @@ def connect(
             )
             return EmbeddedConnection(
                 db, user=user, create=create, path=path,
-                owns_db=durability is not None,
+                owns_db=durability is not None, autocommit=autocommit,
             )
         except BaseException:
             if durability is not None:
@@ -435,7 +690,8 @@ def connect(
             raise
     if isinstance(target, BeliefClient):
         return RemoteConnection(
-            target, user=user, create=create, path=path, owns_client=False
+            target, user=user, create=create, path=path, owns_client=False,
+            autocommit=autocommit,
         )
     if isinstance(target, tuple) and len(target) == 2:
         try:
@@ -445,13 +701,13 @@ def connect(
         client = BeliefClient(
             target[0], target_port, timeout=timeout, auto_reconnect=reconnect
         )
-        return _owned_remote(client, user, create, path)
+        return _owned_remote(client, user, create, path, autocommit)
     if isinstance(target, str):
         host, resolved_port = _parse_address(target, port)
         client = BeliefClient(
             host, resolved_port, timeout=timeout, auto_reconnect=reconnect
         )
-        return _owned_remote(client, user, create, path)
+        return _owned_remote(client, user, create, path, autocommit)
     raise BeliefDBError(
         f"cannot connect to {target!r}: expected a BeliefDBMS, a schema, "
         "a BeliefClient, a (host, port) tuple, or a 'host:port' string"

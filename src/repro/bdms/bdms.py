@@ -23,14 +23,14 @@ statement cache is the one exception: it has its own internal lock, so
 lazily inside the query path), so they need the *exclusive* side of any
 such lock.
 
-Two styles of use. The classic facade, with literal SQL::
+Two styles of use. The facade, with SQL text and typed results::
 
     db = BeliefDBMS(sightings_schema())
     carol = db.add_user("Carol"); bob = db.add_user("Bob")
-    db.execute("insert into Sightings values "
-               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
-    rows = db.execute("select S.sid, S.species from "
-                      "BELIEF 'Bob' Sightings as S")
+    db.execute_sql("insert into Sightings values "
+                   "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
+    rows = db.execute_sql("select S.sid, S.species from "
+                          "BELIEF 'Bob' Sightings as S").rows
 
 And the DB-API-style surface of :mod:`repro.api`, with ``?`` parameter
 binding, typed :class:`~repro.api.result.Result` values, and an LRU
@@ -48,8 +48,13 @@ prepared-statement cache underneath (parse+compile once, bind many)::
         result.columns   # ('sid', 'species')
         cur.fetchall()
 
-``execute`` keeps its historical return shape as a thin shim over
-:meth:`~BeliefDBMS.execute_sql` / :meth:`~BeliefDBMS.execute_prepared`.
+``execute`` keeps its historical return shape as a thin **deprecated**
+shim over :meth:`~BeliefDBMS.execute_sql` /
+:meth:`~BeliefDBMS.execute_prepared`; it is the one compatibility wrapper
+left for pre-Result callers, and the server rejects it inside an open
+transaction. Transactions (:meth:`~BeliefDBMS.begin_transaction` /
+:meth:`~BeliefDBMS.commit_transaction`) group DML into atomic units — see
+:mod:`repro.bdms.transaction`.
 """
 
 from __future__ import annotations
@@ -64,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
     from repro.durability.manager import DurabilityManager
 
 from repro.bdms.result import Result
+from repro.bdms.transaction import Transaction
 from repro.beliefsql.ast import (
     DeleteStatement,
     InsertStatement,
@@ -88,7 +94,13 @@ from repro.core.paths import BeliefPath, User
 from repro.core.schema import ExternalSchema, GroundTuple, Value
 from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement, Sign
 from repro.core.worlds import BeliefWorld
-from repro.errors import BeliefDBError, QueryError, RejectedUpdateError
+from repro.errors import (
+    BeliefDBError,
+    QueryError,
+    RejectedUpdateError,
+    TransactionAbortedError,
+    TransactionError,
+)
 from repro.query.bcq import BCQuery
 from repro.query.lazy import evaluate_lazy
 from repro.query.naive import evaluate_naive
@@ -97,7 +109,7 @@ from repro.query.sql_gen import evaluate_sql
 from repro.query.translate import evaluate_translated
 from repro.relational.sqlite_backend import SqliteMirror
 from repro.storage.store import BeliefStore
-from repro.storage.updates import delete_tuple, insert_tuple
+from repro.storage.updates import delete_tuple, insert_statement, insert_tuple
 
 _BACKENDS = ("engine", "sqlite", "naive", "lazy")
 
@@ -106,6 +118,15 @@ StatementKind = Literal["select", "insert", "delete", "update"]
 CompiledStatement = Union[
     CompiledSelect, CompiledInsert, CompiledDelete, CompiledUpdate
 ]
+
+
+def _execute_entry(sql: str, params: Sequence[Value]) -> dict[str, Any]:
+    """The replayable template+params record one effective DML execution
+    contributes to the WAL / server op log. Single source of truth for the
+    shape — the single-statement, batched, and transactional write paths
+    all build their records here, so recovery can never see three
+    diverging formats."""
+    return {"op": "execute", "sql": sql, "params": list(params)}
 
 
 @dataclass(frozen=True)
@@ -183,6 +204,12 @@ class BeliefDBMS:
         self._durability: "DurabilityManager | None" = None
         self._in_recovery = False
         self._in_statement = False
+        self._txn_stats = {
+            "begun": 0, "committed": 0, "rolled_back": 0, "aborted": 0,
+            "failed": 0, "rows_committed": 0,
+        }
+        self._checkpoint_failures = 0
+        self._checkpoint_retry_after = 0
         if durability is not None:
             self.attach_durability(durability)
 
@@ -259,8 +286,34 @@ class BeliefDBMS:
         if self._durability is None or self._in_recovery or self._in_statement:
             return
         self._durability.log(entry)
-        if self._durability.should_checkpoint():
-            self._durability.checkpoint(self)
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint when due — non-fatally, with backoff.
+
+        Runs only after the triggering write is applied AND logged
+        (acknowledged-durable), so a checkpoint failure must not surface
+        as a failure of that write: the caller would conclude the write
+        failed and retry it, duplicating it after the next recovery
+        replays both. Failures are counted (``auto_checkpoint_failures``
+        in :meth:`snapshot_stats`) and back off a full
+        ``checkpoint_every`` worth of records before the next attempt —
+        an O(database) snapshot build must not be retried on every
+        single write against a full disk.
+        """
+        manager = self._durability
+        if manager is None or not manager.should_checkpoint():
+            return
+        if manager.records_since_checkpoint < self._checkpoint_retry_after:
+            return
+        try:
+            manager.checkpoint(self)
+            self._checkpoint_retry_after = 0
+        except Exception:  # noqa: BLE001 — the logged write already stands
+            self._checkpoint_failures += 1
+            self._checkpoint_retry_after = (
+                manager.records_since_checkpoint + manager.checkpoint_every
+            )
 
     # ------------------------------------------------------------------ users
 
@@ -500,11 +553,7 @@ class BeliefDBMS:
             self._check_durable_writable()
             rowcount = self._execute_dml_row(compiled, params)
             if rowcount:
-                self._log_durable({
-                    "op": "execute",
-                    "sql": prepared.sql,
-                    "params": list(params),
-                })
+                self._log_durable(_execute_entry(prepared.sql, params))
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         return Result(
             kind=prepared.kind,
@@ -549,11 +598,7 @@ class BeliefDBMS:
             for params in param_rows:
                 rowcount = self._execute_dml_row(compiled, params)
                 if rowcount:
-                    entries.append({
-                        "op": "execute",
-                        "sql": prepared.sql,
-                        "params": list(params),
-                    })
+                    entries.append(_execute_entry(prepared.sql, params))
                 rowcounts.append(rowcount)
         except BeliefDBError as exc:
             # Strict mode stops at the first rejected row. Callers (the
@@ -580,8 +625,171 @@ class BeliefDBMS:
         if not entries or self._durability is None or self._in_recovery:
             return
         self._durability.log_batch(entries)
-        if self._durability.should_checkpoint():
-            self._durability.checkpoint(self)
+        self._maybe_checkpoint()
+
+    # ------------------------------------------------------------ transactions
+
+    def begin_transaction(self) -> Transaction:
+        """Open a :class:`Transaction`: a write buffer for an atomic commit.
+
+        The database holds no state for an open transaction — staging
+        never touches the store — so any number of sessions may have
+        transactions open concurrently; only :meth:`commit_transaction`
+        needs the caller's write serialization (the server's exclusive
+        lock).
+        """
+        self._note_txn("begun")
+        return Transaction(self)
+
+    def commit_transaction(self, txn: Transaction) -> Result:
+        """Apply every staged statement of ``txn`` as one atomic unit.
+
+        The whole commit runs under the caller's single write
+        serialization (the server acquires its exclusive lock once), so
+        readers observe either none or all of the transaction. On a
+        durable database the commit is logged as **one** WAL append —
+        begin/commit framing around the statement records, one fsync — so
+        recovery after a crash replays the transaction entirely or not at
+        all (:meth:`DurabilityManager.log_transaction`).
+
+        If any statement is rejected mid-apply (strict mode), the applied
+        prefix is **rolled back** — the store is rebuilt from the explicit
+        annotations captured at commit start, the same deterministic
+        rebuild recovery uses — and :class:`TransactionAbortedError` is
+        raised; the database is exactly as it was before the commit and
+        nothing reaches the log.
+
+        A *WAL append failure* after a successful apply is different: the
+        frames (commit marker included) may already have reached the disk
+        even though the fsync failed, so claiming a rollback could be a
+        lie the next recovery contradicts. The batched-write contract
+        applies instead — the transaction stays **fully** applied in
+        memory (readers see all of it, never part), the manager goes
+        fail-stop refusing every further write, and the
+        :class:`DurabilityError` propagates: the commit was never
+        acknowledged, so after a restart it may or may not have survived,
+        but never partially.
+
+        Returns an aggregate ``Result(kind="commit")`` whose ``rowcount``
+        sums the statements' effects.
+        """
+        if txn.db is not self:
+            raise TransactionError(
+                "transaction belongs to a different database"
+            )
+        if not txn.open:
+            raise TransactionError(f"transaction is {txn.state}, not open")
+        start = time.perf_counter()
+        staged = txn.statements()
+        if not staged:
+            # Empty transaction: nothing to validate, apply, or log.
+            txn._mark("committed")
+            self._note_txn("committed")
+            return Result(
+                kind="commit", rows=[], columns=(), rowcount=0,
+                status="COMMIT 0",
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            )
+        self._check_durable_writable()
+        # Undo capture: the explicit annotations + users are the complete
+        # logical state (snapshots persist exactly this); references only,
+        # so the capture is O(annotations) pointer copies per commit.
+        # Deliberate tradeoff: inverse-delta undo does not compose with the
+        # eager closure (one insert ripples implicit beliefs across worlds),
+        # and the capture must precede the first mutation — mid-apply
+        # failures can occur even in non-strict mode (unknown users, schema
+        # violations), so strict-only capture would be unsound.
+        undo_users = list(self.store.users().items())
+        undo_statements = list(self.store.explicit_statements())
+        entries: list[dict[str, Any]] = []
+        applied_statements = 0
+        total = 0
+        try:
+            for s in staged:
+                for params in s.param_rows:
+                    rowcount = self._execute_dml_row(
+                        s.prepared.compiled, params
+                    )
+                    total += rowcount
+                    if rowcount:
+                        entries.append(
+                            _execute_entry(s.prepared.sql, params)
+                        )
+                applied_statements += 1
+        except BeliefDBError as exc:
+            # Apply-time failure: nothing was logged, so rolling memory
+            # back really does leave the database unchanged.
+            self._rollback_rebuild(undo_users, undo_statements)
+            txn._mark("aborted")
+            self._note_txn("aborted")
+            raise TransactionAbortedError(
+                f"transaction aborted at statement "
+                f"{min(applied_statements + 1, len(staged))} of "
+                f"{len(staged)} and rolled back — the database is "
+                f"unchanged: {exc}"
+            ) from exc
+        # Durability AFTER a complete apply. On failure the DurabilityError
+        # propagates without touching memory — see the docstring for why a
+        # rollback here would be unsound (written frames can survive a
+        # failed fsync, so the next recovery may legitimately replay this
+        # never-acknowledged commit). The txn still reaches a terminal
+        # state ("failed": applied in memory, durability unknown) so the
+        # begun-vs-terminal ledger in snapshot_stats stays reconciled.
+        if entries and self._durability is not None and not self._in_recovery:
+            try:
+                self._durability.log_transaction(entries)
+            except BeliefDBError:
+                txn._mark("failed")
+                self._note_txn("failed")
+                raise
+        txn.applied_entries = entries
+        txn._mark("committed")
+        self._note_txn("committed")
+        with self._stmt_lock:
+            self._txn_stats["rows_committed"] += total
+        # Auto-checkpoint only once the commit is final: a checkpoint
+        # failure must not make a durably-committed transaction look
+        # failed (shared non-fatal step with the autocommit paths).
+        if not self._in_recovery:
+            self._maybe_checkpoint()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return Result(
+            kind="commit",
+            rows=[],
+            columns=(),
+            rowcount=total,
+            status=f"COMMIT {total}",
+            elapsed_ms=elapsed_ms,
+        )
+
+    def _note_txn(self, key: str) -> None:
+        # begin/rollback run under the server's *shared* read lock (they
+        # touch no store state), so the counters need their own lock.
+        with self._stmt_lock:
+            self._txn_stats[key] += 1
+
+    def _rollback_rebuild(self, users, statements) -> None:
+        """Restore the pre-commit state after a failed commit.
+
+        Deterministic rebuild from the captured explicit annotations —
+        exactly how snapshots restore — so the rolled-back store is
+        semantically identical to the pre-commit one (the closure of the
+        same explicit statements under the same users).
+        """
+        from repro.durability.snapshot import statement_order
+
+        self.store = BeliefStore(self.schema, eager=self.store.eager)
+        self._mirror = None
+        self._mirror_dirty = True
+        self.invalidate_statements()
+        for uid, name in users:
+            self.store.add_user(name=name, uid=uid)
+        for statement in sorted(statements, key=statement_order):
+            if not insert_statement(self.store, statement):
+                raise BeliefDBError(
+                    "transaction rollback failed to rebuild the pre-commit "
+                    f"state: {statement} re-rejected"
+                )
 
     def execute_sql(self, sql: str, params: Sequence[Value] = ()) -> Result:
         """Execute one BeliefSQL statement with ``?`` parameters; typed result."""
@@ -590,13 +798,18 @@ class BeliefDBMS:
     def execute(
         self, sql: str, params: Sequence[Value] = ()
     ) -> list[tuple] | bool | int:
-        """Execute one BeliefSQL statement (Fig. 1) — compatibility shim.
+        """Execute one BeliefSQL statement (Fig. 1) — **deprecated shim**.
 
-        Returns a sorted list of tuples for ``select``, True/False for
-        ``insert``, and the affected-statement count for ``delete``/``update``.
-        This is :meth:`execute_sql` with the typed :class:`Result` collapsed
-        to the historical shape; new code should prefer :meth:`execute_sql`
-        or the cursors of :mod:`repro.api`.
+        This is the legacy compatibility wrapper, kept only so pre-Result
+        callers and the wire protocol's legacy ``execute`` op behave
+        exactly as before: it collapses the typed :class:`Result` of
+        :meth:`execute_sql` to the historical ``list | bool | int`` soup
+        (sorted tuples for ``select``, True/False for ``insert``, the
+        affected-statement count for ``delete``/``update``). It also
+        predates transactions: the server rejects it inside an open
+        transaction. New code — including every example and internal
+        caller in this repository — uses :meth:`execute_sql`,
+        :meth:`execute_prepared`, or the cursors of :mod:`repro.api`.
         """
         return self.execute_sql(sql, params).legacy()
 
@@ -737,6 +950,7 @@ class BeliefDBMS:
                 "capacity": self._stmt_cache_size,
                 **self._stmt_stats,
             }
+            txn_stats = dict(self._txn_stats)
         return {
             "backend": self.backend,
             "eager": self.store.eager,
@@ -748,6 +962,8 @@ class BeliefDBMS:
             "relative_overhead": self.relative_overhead(),
             "row_counts": dict(self.store.row_counts()),
             "statement_cache": cache_stats,
+            "transactions": txn_stats,
+            "auto_checkpoint_failures": self._checkpoint_failures,
             "durability": (
                 self._durability.stats()
                 if self._durability is not None else None

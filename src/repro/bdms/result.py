@@ -23,12 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Literal, Sequence, TypeVar, overload
 
-ResultKind = Literal["select", "insert", "delete", "update"]
+ResultKind = Literal["select", "insert", "delete", "update", "commit"]
 
 _T = TypeVar("_T")
 
-#: Statement kinds in wire order; used to validate payloads.
-RESULT_KINDS: tuple[ResultKind, ...] = ("select", "insert", "delete", "update")
+#: Statement kinds in wire order; used to validate payloads. ``"commit"``
+#: is the aggregate a transaction commit returns (rowcount sums the
+#: committed statements' effects).
+RESULT_KINDS: tuple[ResultKind, ...] = (
+    "select", "insert", "delete", "update", "commit",
+)
 
 
 @dataclass
@@ -46,12 +50,16 @@ class Result:
 
     @property
     def ok(self) -> bool:
-        """True when the statement did something: a select always, a write
-        when it affected at least one statement (an accepted insert, a
-        delete/update that matched)."""
-        if self.kind == "select":
+        """True when the statement did something: a select always, a commit
+        always (an empty transaction commits fine), a write when it
+        affected at least one statement (an accepted insert, a
+        delete/update that matched). A *staged* in-transaction write
+        (``rowcount == -1``: the effect is unknowable before commit) is
+        ok — staging succeeded; the commit's own Result reports the
+        outcome."""
+        if self.kind in ("select", "commit"):
             return True
-        return self.rowcount > 0
+        return self.rowcount != 0
 
     @overload
     def scalar(self) -> Any | None: ...

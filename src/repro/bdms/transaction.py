@@ -1,0 +1,183 @@
+"""Transactional sessions: stage DML, commit atomically.
+
+A :class:`Transaction` is a *per-session write buffer* (the model of
+annotated revision programs: one curation step = one atomic revision of
+the belief set). DML executed while a transaction is open is **staged**,
+not applied: the statement is prepared through the normal LRU cache and
+its parameters are bound eagerly — wrong arity, unsupported value types,
+and select-where-DML-belongs all fail *at stage time* — but the belief
+store is untouched, so concurrent readers keep seeing the pre-transaction
+state.
+
+:meth:`BeliefDBMS.commit_transaction` then applies every staged statement
+in order as one atomic unit: under the server's single write-lock
+acquisition (readers never observe a partial transaction), with **one**
+WAL append and one fsync for the whole commit
+(:meth:`~repro.durability.manager.DurabilityManager.log_transaction` —
+begin/commit framing, so recovery after ``kill -9`` mid-commit discards
+the uncommitted tail rather than replaying half a transaction). If any
+statement is rejected mid-apply, the already-applied prefix is rolled
+back — the store is rebuilt from the explicit annotations captured at
+commit start, the same deterministic rebuild recovery uses — and
+:class:`~repro.errors.TransactionAbortedError` is raised; nothing reaches
+the WAL.
+
+Reads inside an open transaction see the last *committed* state — staged
+writes are not visible anywhere, not even to the session that staged them
+(no read-your-own-writes; the buffer is write-only until commit). This is
+uniform across the embedded and remote deployment shapes.
+
+A Transaction object is not internally synchronized; its owner (an
+:class:`~repro.api.connection.Connection` or a server
+:class:`~repro.server.session.ClientSession`) serializes access.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.bdms.result import Result
+from repro.core.schema import Value
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
+    from repro.bdms.bdms import BeliefDBMS, PreparedStatement
+
+
+class StagedStatement:
+    """One staged DML statement: a prepared handle plus its bound rows."""
+
+    __slots__ = ("prepared", "param_rows")
+
+    def __init__(
+        self,
+        prepared: "PreparedStatement",
+        param_rows: Sequence[Sequence[Value]],
+    ) -> None:
+        self.prepared = prepared
+        self.param_rows: list[tuple[Value, ...]] = [
+            tuple(row) for row in param_rows
+        ]
+
+
+class Transaction:
+    """A per-session write buffer awaiting an atomic commit.
+
+    Obtained from :meth:`BeliefDBMS.begin_transaction`; populated with
+    :meth:`stage` / :meth:`stage_batch`; consumed exactly once by
+    :meth:`BeliefDBMS.commit_transaction` or :meth:`discard`.
+    """
+
+    def __init__(self, db: "BeliefDBMS") -> None:
+        self.db = db
+        self._staged: list[StagedStatement] = []
+        self._state = "open"
+        #: Filled by ``commit_transaction``: the WAL entries of the rows
+        #: that actually affected the database (for the server's op log).
+        self.applied_entries: list[dict[str, Any]] = []
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def open(self) -> bool:
+        return self._state == "open"
+
+    @property
+    def state(self) -> str:
+        """``"open"``, ``"committed"``, ``"rolled back"``, ``"aborted"``
+        (rejected mid-apply and rolled back), or ``"failed"`` (applied in
+        memory but the WAL append failed — durability unknown, manager
+        fail-stopped)."""
+        return self._state
+
+    @property
+    def statement_count(self) -> int:
+        """Staged statements (an ``executemany`` batch counts once)."""
+        return len(self._staged)
+
+    @property
+    def row_count(self) -> int:
+        """Total staged parameter rows across all statements."""
+        return sum(len(s.param_rows) for s in self._staged)
+
+    def _check_open(self) -> None:
+        if self._state != "open":
+            raise TransactionError(f"transaction is {self._state}, not open")
+
+    # -------------------------------------------------------------- staging
+
+    def stage(
+        self, prepared: "PreparedStatement", params: Sequence[Value] = ()
+    ) -> Result:
+        """Buffer one DML execution; validate eagerly, apply nothing.
+
+        Returns the uniform *staged* Result: ``rowcount`` is ``-1``
+        (unknowable before commit) and ``status`` carries the ``STAGED``
+        tag, identically embedded and remote.
+        """
+        return self._stage(prepared, [params])
+
+    def stage_batch(
+        self,
+        prepared: "PreparedStatement",
+        param_rows: Sequence[Sequence[Value]],
+    ) -> Result:
+        """Buffer an ``executemany`` batch as one staged statement."""
+        return self._stage(prepared, param_rows)
+
+    def _stage(
+        self,
+        prepared: "PreparedStatement",
+        param_rows: Sequence[Sequence[Value]],
+    ) -> Result:
+        start = time.perf_counter()
+        self._check_open()
+        if prepared.kind == "select":
+            raise TransactionError(
+                "only DML can be staged in a transaction; selects execute "
+                "immediately against the last committed state"
+            )
+        rows = [tuple(row) for row in param_rows]
+        # Eager validation: arity and value types fail here, at stage time,
+        # not at commit. bind() is pure — the store is untouched.
+        for row in rows:
+            prepared.compiled.bind(row)
+        self._staged.append(StagedStatement(prepared, rows))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return Result(
+            kind=prepared.kind,
+            rows=[],
+            columns=(),
+            rowcount=-1,
+            status=f"{prepared.kind.upper()} STAGED",
+            elapsed_ms=elapsed_ms,
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def statements(self) -> list[StagedStatement]:
+        return list(self._staged)
+
+    def discard(self) -> int:
+        """Roll the transaction back: drop every staged statement.
+
+        Nothing was applied, so this is pure bookkeeping; returns how many
+        staged statements were discarded.
+        """
+        self._check_open()
+        dropped = len(self._staged)
+        self._staged.clear()
+        self._state = "rolled back"
+        self.db._note_txn("rolled_back")
+        return dropped
+
+    def _mark(self, state: str) -> None:
+        """Internal: commit_transaction records the terminal state here."""
+        self._state = state
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transaction {self._state}: {self.statement_count} statements, "
+            f"{self.row_count} rows>"
+        )

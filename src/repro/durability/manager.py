@@ -94,6 +94,7 @@ class DurabilityManager:
         self.last_checkpoint_seq = 0
         self.records_since_checkpoint = 0
         self.checkpoints = 0
+        self.transactions_logged = 0
         self.last_recovery: RecoveryReport | None = None
 
     # ------------------------------------------------------------ dir locking
@@ -140,9 +141,12 @@ class DurabilityManager:
                 report.snapshot_statements = snap.restore_snapshot(db, payload)
                 base_seq = int(payload["seq"])
                 report.snapshot_seq = base_seq
-            tail = self._scan_wal_tail(base_seq, report)
+            tail, origins = self._scan_wal_tail(base_seq, report)
+            tail, replayable = self._resolve_transactions(
+                tail, origins, report
+            )
             report.wal_records = len(tail)
-            report.replay = replay_records(db, tail)
+            report.replay = replay_records(db, replayable)
             self.last_seq = tail[-1]["seq"] if tail else base_seq
             self.last_checkpoint_seq = base_seq
             self.records_since_checkpoint = len(tail)
@@ -154,10 +158,12 @@ class DurabilityManager:
 
     def _scan_wal_tail(
         self, base_seq: int, report: RecoveryReport
-    ) -> list[dict[str, Any]]:
-        """Records with seq > base_seq; truncates a torn final segment."""
+    ) -> tuple[list[dict[str, Any]], list[tuple[str, int]]]:
+        """Records with seq > base_seq (plus each record's file origin);
+        truncates a torn final segment."""
         segments = wal.list_segments(self.wal_dir)
         tail: list[dict[str, Any]] = []
+        origins: list[tuple[str, int]] = []
         expected = None
         for index, (first_seq, path) in enumerate(segments):
             scan = wal.scan_segment(path)
@@ -179,7 +185,7 @@ class DurabilityManager:
                     os.path.getsize(path) - scan.valid_bytes
                 )
                 self._truncate_segment(path, scan.valid_bytes)
-            for record in scan.records:
+            for record, offset in zip(scan.records, scan.offsets):
                 seq = record.get("seq")
                 if not isinstance(seq, int):
                     raise WalCorruptionError(
@@ -193,6 +199,7 @@ class DurabilityManager:
                 expected = seq + 1
                 if seq > base_seq:
                     tail.append(record)
+                    origins.append((path, offset))
         if tail and tail[0]["seq"] != base_seq + 1:
             # The snapshot we recovered from (possibly an older fallback)
             # needs every record after its seq; a tail that starts later
@@ -203,7 +210,76 @@ class DurabilityManager:
                 f"covers through {base_seq} — records "
                 f"{base_seq + 1}..{tail[0]['seq'] - 1} are missing"
             )
-        return tail
+        return tail, origins
+
+    def _resolve_transactions(
+        self,
+        tail: list[dict[str, Any]],
+        origins: list[tuple[str, int]],
+        report: RecoveryReport,
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """Strip txn framing; discard (and truncate away) an uncommitted tail.
+
+        A committed transaction appears as ``txn_begin``, its statement
+        records, ``txn_commit`` — all appended as one batch under the
+        committer's write serialization, so an *unterminated* group can
+        only be the physical tail of the log: the crash landed mid-append,
+        after some complete frames were already on disk but before the
+        commit marker. Those records were never acknowledged (the commit
+        call had not returned), so they are discarded **and truncated from
+        the segment file** — otherwise the next append would bury them
+        mid-log where a later recovery could no longer tell them apart
+        from committed history. An unterminated group anywhere else, or a
+        ``txn_commit`` with no open group, is real corruption.
+
+        Returns ``(surviving_records, replayable_records)`` — the second
+        with the marker records removed.
+        """
+        replayable: list[dict[str, Any]] = []
+        pending: list[dict[str, Any]] | None = None
+        pending_index = 0
+        for i, record in enumerate(tail):
+            op = record.get("op")
+            if op == "txn_begin":
+                if pending is not None:
+                    raise WalCorruptionError(
+                        f"nested txn_begin at seq {record.get('seq')}"
+                    )
+                pending = []
+                pending_index = i
+            elif op == "txn_commit":
+                if pending is None:
+                    raise WalCorruptionError(
+                        f"txn_commit without txn_begin at seq "
+                        f"{record.get('seq')}"
+                    )
+                replayable.extend(pending)
+                pending = None
+            elif pending is not None:
+                pending.append(record)
+            else:
+                replayable.append(record)
+        if pending is None:
+            return tail, replayable
+        report.uncommitted_txn_records = len(tail) - pending_index
+        begin_path, begin_offset = origins[pending_index]
+        self._truncate_uncommitted(begin_path, begin_offset)
+        return tail[:pending_index], replayable
+
+    def _truncate_uncommitted(self, path: str, offset: int) -> None:
+        """Erase everything from ``path``@``offset`` to the end of the WAL.
+
+        The uncommitted group may have spanned a rotation (``append_batch``
+        rotates mid-batch), so any segment *after* ``path`` goes entirely.
+        """
+        doomed = [
+            seg_path
+            for _, seg_path in wal.list_segments(self.wal_dir)
+            if seg_path > path
+        ]
+        for seg_path in doomed:
+            os.remove(seg_path)
+        self._truncate_segment(path, offset)
 
     def _truncate_segment(self, path: str, valid_bytes: int) -> None:
         if valid_bytes <= 0:
@@ -266,6 +342,32 @@ class DurabilityManager:
             self.last_seq = last
             self.records_since_checkpoint += len(entries)
             return [seq for _, seq in records]
+
+    def log_transaction(self, entries: "list[dict[str, Any]]") -> list[int]:
+        """Append one committed transaction durably: framed, one fsync.
+
+        The records travel as a single :meth:`log_batch` —
+        ``txn_begin`` + the statement records + ``txn_commit`` with
+        consecutive seqs and **one** sync decision, so a commit costs one
+        fsync regardless of how many statements it groups. Recovery treats
+        the group atomically: a crash that tears the append anywhere
+        before the commit marker discards the whole group
+        (:meth:`_resolve_transactions`), so a partially-persisted commit
+        is never replayed. Returns the assigned seqs (markers included).
+        """
+        if not entries:
+            return []
+        with self._lock:
+            self._ensure_open()
+            begin_seq = self.last_seq + 1
+            records = [
+                {"op": "txn_begin", "count": len(entries)},
+                *entries,
+                {"op": "txn_commit", "begin": begin_seq},
+            ]
+            seqs = self.log_batch(records)
+            self.transactions_logged += 1
+            return seqs
 
     def should_checkpoint(self) -> bool:
         """Has ``checkpoint_every`` elapsed since the last checkpoint?"""
@@ -336,6 +438,7 @@ class DurabilityManager:
                 "records_since_checkpoint": self.records_since_checkpoint,
                 "checkpoints": self.checkpoints,
                 "checkpoint_every": self.checkpoint_every,
+                "transactions_logged": self.transactions_logged,
                 "wal_segments": len(segments),
                 "wal_bytes": sum(
                     os.path.getsize(path)

@@ -49,6 +49,9 @@ class RecoveryReport:
     snapshots_skipped: int = 0
     wal_records: int = 0
     torn_tail_bytes: int = 0
+    #: Records of an unterminated txn group discarded (and truncated) at
+    #: the WAL tail — a crash mid-commit; none of them was acknowledged.
+    uncommitted_txn_records: int = 0
     elapsed_ms: float = 0.0
     replay: ReplayStats = field(default_factory=ReplayStats)
 

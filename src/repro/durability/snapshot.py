@@ -46,12 +46,22 @@ def list_snapshots(directory: str) -> list[tuple[int, str]]:
     return sorted(found)
 
 
+def statement_order(statement: Any) -> tuple:
+    """Sort key for rebuilding explicit statements shallowest-path-first.
+
+    Shared by snapshot building and the transaction rollback rebuild
+    (:meth:`BeliefDBMS._rollback_rebuild`), so the two deterministic
+    rebuild paths can never diverge in ordering.
+    """
+    return (
+        len(statement.path), repr(statement.path),
+        repr(statement.tuple), str(statement.sign),
+    )
+
+
 def build_snapshot(db: Any, seq: int) -> dict[str, Any]:
     """Serialize a BDMS's users + explicit statements as of WAL ``seq``."""
-    statements = sorted(
-        db.store.explicit_statements(),
-        key=lambda s: (len(s.path), repr(s.path), repr(s.tuple), str(s.sign)),
-    )
+    statements = sorted(db.store.explicit_statements(), key=statement_order)
     return {
         "format": SNAPSHOT_FORMAT,
         "seq": seq,

@@ -90,6 +90,9 @@ class SegmentScan:
 
     path: str
     records: list[dict[str, Any]] = field(default_factory=list)
+    #: Start byte of each record in ``records`` — recovery truncates an
+    #: uncommitted transaction tail at the offset of its ``txn_begin``.
+    offsets: list[int] = field(default_factory=list)
     #: Bytes of the file occupied by valid records (truncation point).
     valid_bytes: int = 0
     #: True when the file ended exactly at a record boundary.
@@ -128,6 +131,7 @@ def scan_bytes(data: bytes, path: str = "<memory>") -> SegmentScan:
         if not isinstance(payload, dict):
             return _stop(scan, offset, "record payload is not a JSON object")
         scan.records.append(payload)
+        scan.offsets.append(offset)
         offset = body_start + length
         scan.valid_bytes = offset
     return scan

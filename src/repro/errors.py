@@ -94,6 +94,23 @@ class WalCorruptionError(DurabilityError):
     """
 
 
+class TransactionError(BeliefDBError):
+    """Transaction state misuse: ``begin`` inside an open transaction,
+    ``commit``/``rollback`` with none active (in explicit-``begin`` mode),
+    or an operation that is not allowed while a transaction is open."""
+
+
+class TransactionAbortedError(TransactionError):
+    """An open transaction was aborted instead of committed.
+
+    Raised when a commit fails mid-apply (every already-applied statement
+    has been rolled back — the database is exactly as it was before the
+    commit), or when the connection carrying an open transaction is lost
+    (the staged statements died with the session and are **never** silently
+    retried). Begin a fresh transaction and re-stage.
+    """
+
+
 class RejectedUpdateError(BeliefDBError):
     """An insert/delete on the belief store was rejected (Alg. 4 returned false).
 

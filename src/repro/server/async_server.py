@@ -248,6 +248,7 @@ class AsyncBeliefServer(BeliefServer):
             # a dead socket just fails its write silently below.
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
+            session.abandon_transaction()  # an open txn dies with the session
             writer.close()
             try:
                 await writer.wait_closed()

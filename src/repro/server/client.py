@@ -155,8 +155,14 @@ def merge_batch_payload(
     """Fold one chunk's result payload into the running aggregate."""
     if payload is None:
         return part
-    payload["rowcount"] += part["rowcount"]
     payload["elapsed_ms"] += part["elapsed_ms"]
+    if payload["rowcount"] < 0 or part["rowcount"] < 0:
+        # In-transaction chunks are *staged* (rowcount -1, unknowable
+        # before commit); the aggregate keeps the uniform staged shape.
+        payload["rowcount"] = -1
+        payload["status"] = f"{part['kind'].upper()} STAGED"
+        return payload
+    payload["rowcount"] += part["rowcount"]
     payload["status"] = f"{part['kind'].upper()} {payload['rowcount']}"
     return payload
 
@@ -165,10 +171,15 @@ class ConnectionLost(BeliefDBError):
     """The connection died mid-call or could not be established."""
 
 
-def _names_session_state(params: dict[str, Any]) -> bool:
+def _names_session_state(op: str, params: dict[str, Any]) -> bool:
     """Does this request reference per-session server state (a prepared-
-    statement handle or cursor id) that cannot survive a reconnect?"""
-    return "stmt" in params or "cursor" in params
+    statement handle, a cursor id, or an open transaction) that cannot
+    survive a reconnect? ``commit``/``rollback`` qualify: the transaction
+    they address died with the old session, and reconnecting just to be
+    told "no transaction is open" would hide the loss."""
+    return "stmt" in params or "cursor" in params or op in (
+        "commit", "rollback",
+    )
 
 
 #: In-flight marker: the request is on the wire, its response not yet read.
@@ -317,15 +328,16 @@ class BeliefClient:
                         "connection to server lost "
                         "(auto_reconnect disabled; create a new client)"
                     )
-                if _names_session_state(params):
+                if _names_session_state(op, params):
                     # A fresh session cannot know the old connection's
-                    # prepared-statement/cursor handles; reconnecting just
-                    # to be told "unknown statement" would hide the truth.
+                    # prepared-statement/cursor handles or its open
+                    # transaction; reconnecting just to be told "unknown
+                    # statement" / "no transaction" would hide the truth.
                     raise ConnectionLost(
                         "connection to server lost and the request names "
-                        "per-session state (a prepared statement or cursor) "
-                        "that did not survive it; re-prepare after "
-                        "reconnecting"
+                        "per-session state (a prepared statement, cursor, "
+                        "or open transaction) that did not survive it; "
+                        "re-establish it after reconnecting"
                     )
                 self._reconnect_locked()
                 reconnected = True
@@ -374,7 +386,7 @@ class BeliefClient:
                     or self._reconnecting
                     or reconnected  # this call already used its one attempt
                     or had_inflight
-                    or _names_session_state(params)
+                    or _names_session_state(op, params)
                 ):
                     raise ConnectionLost(
                         f"connection to server lost: {exc}"
@@ -705,6 +717,30 @@ class BeliefClient:
             ))
         assert payload is not None
         return payload
+
+    # --------------------------------------------------------- transactions
+
+    def begin(self) -> dict[str, Any]:
+        """Open a transaction on this session: DML stages until commit.
+
+        Do **not** pipeline requests while a transaction is open — every
+        in-transaction request depends on the session's transaction state;
+        await each response (``call``, not ``submit``) before the next.
+        """
+        return self.call("begin")
+
+    def commit(self) -> dict[str, Any]:
+        """Commit the open transaction atomically; the aggregate payload.
+
+        One server write-lock acquisition and one WAL fsync for the whole
+        group; a mid-apply rejection rolls everything back server-side and
+        raises :class:`~repro.errors.TransactionAbortedError` here.
+        """
+        return self.call("commit")
+
+    def rollback(self) -> dict[str, Any]:
+        """Discard the open transaction: ``{"discarded": <n statements>}``."""
+        return self.call("rollback")
 
     def close_statement(self, statement: RemoteStatement | int) -> bool:
         stmt_id = statement.id if isinstance(statement, RemoteStatement) else statement

@@ -36,9 +36,13 @@ frames with different ordering guarantees:
 Clients must correlate strictly by id and must not pipeline a request that
 depends on the *effect* of an earlier one (``login`` then a default-path
 ``insert``, ``prepare`` then ``execute_prepared`` on the new handle) without
-awaiting the earlier response first. A response id that was never issued —
-or one already consumed — desynchronizes the stream and fails closed.
-See ``docs/wire-protocol.md`` for the full contract.
+awaiting the earlier response first. Transactions sharpen this rule: every
+request between ``begin`` and ``commit``/``rollback`` — and those three ops
+themselves — depends on the session's transaction state, so **in-transaction
+requests must not be pipelined at all**; await each response before sending
+the next. A response id that was never issued — or one already consumed —
+desynchronizes the stream and fails closed. See ``docs/wire-protocol.md``
+for the full contract.
 """
 
 from __future__ import annotations
@@ -70,6 +74,8 @@ OPS = frozenset({
     # prepared statements, batched execution, and result paging
     "prepare", "execute_prepared", "execute_batch", "close_statement",
     "fetch", "close_cursor",
+    # transactions (per-session; DML between begin and commit is staged)
+    "begin", "commit", "rollback",
     # queries
     "query", "believes", "world", "worlds",
     # introspection

@@ -10,7 +10,12 @@ server guards it with a writer-preference :class:`ReadWriteLock`:
 * *writes* (``insert``, ``delete``, ``update``, ``add_user``) are exclusive,
   which makes every update atomic and the whole history linearizable: the
   order in which writers acquire the lock *is* the serial order (the op log
-  records it, and tests replay it to check equivalence).
+  records it, and tests replay it to check equivalence);
+* *transaction commits* are writes: the whole staged group of a session's
+  transaction applies under ONE exclusive acquisition (and one WAL fsync),
+  so readers never observe a partial transaction. ``begin``/``rollback``
+  and in-transaction staging only touch the per-session buffer and ride
+  the read side.
 
 One backend caveat, found by the thread-safety audit: the ``"sqlite"``
 backend resyncs its mirror lazily *inside the query path*, so its reads
@@ -36,7 +41,7 @@ from repro.bdms.bdms import BeliefDBMS, PreparedStatement
 from repro.beliefsql.ast import SelectStatement, bind_statement
 from repro.beliefsql.parser import parse_beliefsql
 from repro.core.paths import format_path
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, TransactionError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.session import ClientSession
@@ -337,6 +342,7 @@ class BeliefServer:
                 except (ProtocolError, OSError):
                     break
         finally:
+            session.abandon_transaction()  # an open txn dies with the session
             try:
                 conn.close()
             except OSError:
@@ -368,6 +374,12 @@ class BeliefServer:
                     parse_beliefsql(_require(request.params, "sql"))
                 )
                 if not isinstance(statement, SelectStatement):
+                    if session.in_transaction:
+                        raise TransactionError(
+                            "the legacy execute op predates transactions "
+                            "and cannot run DML inside one; use "
+                            "execute_prepared (or commit/rollback first)"
+                        )
                     kind = "write"
                 func = BeliefServer._op_execute
                 params: dict[str, Any] = {"statement": statement}
@@ -376,21 +388,52 @@ class BeliefServer:
                 # lock (the BDMS statement cache has its own internal lock),
                 # then classify read vs write by the statement kind.
                 prepared, bind = self._resolve_prepared(session, request.params)
-                if prepared.kind != "select":
-                    kind = "write"
-                params = {
-                    "prepared": prepared,
-                    "bind": bind,
-                    "max_rows": _page_size(request.params, "max_rows"),
-                }
+                if prepared.kind != "select" and session.in_transaction:
+                    # In-transaction DML stages into the session's write
+                    # buffer — no shared state is touched, so staging
+                    # shares the read lock and readers are undisturbed.
+                    func = BeliefServer._op_stage
+                    params = {
+                        "prepared": prepared,
+                        "param_rows": [bind],
+                        "many": False,
+                    }
+                else:
+                    if prepared.kind != "select":
+                        kind = "write"
+                    params = {
+                        "prepared": prepared,
+                        "bind": bind,
+                        "max_rows": _page_size(request.params, "max_rows"),
+                    }
             elif request.op == "execute_batch":
                 # DML-only: the whole batch runs under ONE write-lock
-                # acquisition and (on durable servers) one WAL batch append.
+                # acquisition and (on durable servers) one WAL batch append —
+                # or, inside a transaction, stages as one unit for commit.
                 prepared, param_rows = self._resolve_batch(
                     session, request.params
                 )
-                kind = "write"
-                params = {"prepared": prepared, "param_rows": param_rows}
+                if session.in_transaction:
+                    func = BeliefServer._op_stage
+                    params = {
+                        "prepared": prepared,
+                        "param_rows": param_rows,
+                        "many": True,
+                    }
+                else:
+                    kind = "write"
+                    params = {"prepared": prepared, "param_rows": param_rows}
+            elif (
+                request.op in ("insert", "delete")
+                and session.in_transaction
+            ):
+                # The programmatic tuple ops are not transactional; letting
+                # them autocommit mid-transaction would silently interleave
+                # with the staged group.
+                raise TransactionError(
+                    f"the {request.op} op is not transactional; use "
+                    "execute_prepared inside a transaction"
+                )
             else:
                 params = request.params
             guard = (
@@ -620,16 +663,70 @@ class BeliefServer:
             "param_rows": _jsonify(param_rows),
             "ok": result.rowcount,
         })
-        return {
-            "kind": result.kind,
-            "columns": list(result.columns),
-            "rowcount": result.rowcount,
-            "status": result.status,
-            "elapsed_ms": result.elapsed_ms,
-            "rows": [],
-            "cursor": None,
-            "has_more": False,
-        }
+        return self._result_payload(result)
+
+    # --------------------------------------------------------- transactions
+
+    @staticmethod
+    def _result_payload(result: Any) -> dict[str, Any]:
+        """The structured result envelope for row-less (DML/txn) results:
+        the Result's own wire form plus the (empty) paging fields."""
+        return {**result.to_wire(), "cursor": None, "has_more": False}
+
+    def _op_begin(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        if session.in_transaction:
+            # Reject before creating anything, so a double begin cannot
+            # leak an orphaned Transaction or skew the begun counter.
+            raise TransactionError(
+                "a transaction is already open on this session"
+            )
+        txn = self.db.begin_transaction()
+        try:
+            session.begin_transaction(txn)
+        except TransactionError:
+            txn.discard()  # raced a concurrent begin; keep the ledger sane
+            raise
+        return session.describe()
+
+    def _op_commit(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        # Runs under the exclusive write lock: the whole staged group
+        # applies in one lock hold (and one WAL fsync), so no reader ever
+        # observes a partial transaction. A mid-apply rejection rolls the
+        # prefix back inside commit_transaction and raises — the session's
+        # transaction is consumed either way.
+        txn = session.take_transaction()
+        result = self.db.commit_transaction(txn)
+        if txn.applied_entries:
+            self._record({
+                "op": "txn",
+                "statements": [
+                    {"sql": entry["sql"], "params": entry["params"]}
+                    for entry in txn.applied_entries
+                ],
+                "ok": result.rowcount,
+            })
+        return self._result_payload(result)
+
+    def _op_rollback(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        return {"discarded": session.rollback_transaction()}
+
+    def _op_stage(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        """Stage in-transaction DML into the session's write buffer.
+
+        Routed here by ``_dispatch`` for ``execute_prepared`` and
+        ``execute_batch`` while the session has an open transaction; runs
+        under the shared read lock (the buffer is per-session, the store
+        untouched).
+        """
+        prepared: PreparedStatement = params["prepared"]
+        txn = session.transaction()
+        if params["many"]:
+            result = txn.stage_batch(prepared, params["param_rows"])
+        else:
+            result = txn.stage(prepared, params["param_rows"][0])
+        return self._result_payload(result)
 
     def _op_fetch(self, session: ClientSession, params: dict[str, Any]) -> Any:
         count = _page_size(params, "n")
@@ -717,6 +814,11 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "execute_prepared": (BeliefServer._op_execute_prepared, "read"),  # ditto
     "execute_batch": (BeliefServer._op_execute_batch, "write"),
     "close_statement": (BeliefServer._op_close_statement, "read"),
+    # begin/rollback only touch the per-session buffer (read side); commit
+    # applies the whole group under one exclusive write-lock acquisition.
+    "begin": (BeliefServer._op_begin, "read"),
+    "commit": (BeliefServer._op_commit, "write"),
+    "rollback": (BeliefServer._op_rollback, "read"),
     "fetch": (BeliefServer._op_fetch, "read"),
     "close_cursor": (BeliefServer._op_close_cursor, "read"),
     "query": (BeliefServer._op_query, "read"),
@@ -778,6 +880,23 @@ def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:
                 raise BeliefDBError(
                     f"replay diverged at seq {entry['seq']}: execute_batch "
                     f"gave {result!r}, log has {entry['ok']!r}"
+                )
+        elif op == "txn":
+            # A committed transaction replays as its statements in commit
+            # order — serially equivalent, since the original applied them
+            # under one uninterrupted write-lock hold.
+            try:
+                result = 0
+                for stmt in entry["statements"]:
+                    result += db.execute_sql(
+                        stmt["sql"], tuple(stmt.get("params", ()))
+                    ).rowcount
+            except BeliefDBError:
+                result = False
+            if result != entry["ok"]:
+                raise BeliefDBError(
+                    f"replay diverged at seq {entry['seq']}: txn gave "
+                    f"{result!r}, log has {entry['ok']!r}"
                 )
         else:
             raise BeliefDBError(f"unknown oplog entry {entry!r}")

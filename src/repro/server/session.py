@@ -19,6 +19,13 @@ cannot grow server memory. Under the threaded server they are only ever
 touched by the connection's own handler thread; the pipelined async server
 executes one connection's in-flight requests concurrently in a thread pool,
 so every registry/state mutation here takes a small internal lock.
+
+Finally, the session owns the connection's **open transaction** (``begin``
+/ ``commit`` / ``rollback`` ops): a :class:`~repro.bdms.transaction
+.Transaction` write buffer that in-transaction DML stages into. Both
+server cores share this state identically — the per-session transaction is
+what makes ``commit`` atomic from every other session's point of view. An
+open transaction dies (is discarded, never applied) with its connection.
 """
 
 from __future__ import annotations
@@ -36,8 +43,9 @@ from repro.beliefsql.ast import (
     Statement,
     UpdateStatement,
 )
+from repro.bdms.transaction import Transaction
 from repro.core.paths import User
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, TransactionError
 
 
 #: Bounds on per-connection handle registries (oldest evicted beyond these).
@@ -63,6 +71,8 @@ class ClientSession:
         #: is never copied; paging advances the offset (O(page) per fetch).
         self._cursors: OrderedDict[int, tuple[list, int]] = OrderedDict()
         self._cursor_seq = 0
+        #: The open transaction (None outside begin..commit/rollback).
+        self._txn: Transaction | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -112,6 +122,65 @@ class ClientSession:
             negated=statement.belief.negated,
         )
         return dataclasses.replace(statement, belief=spec)
+
+    # ----------------------------------------------------------- transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        with self._mutex:
+            return self._txn is not None
+
+    def begin_transaction(self, txn: Transaction) -> None:
+        """Adopt a fresh write buffer; one open transaction per session."""
+        with self._mutex:
+            if self._txn is not None:
+                raise TransactionError(
+                    "a transaction is already open on this session"
+                )
+            self._txn = txn
+
+    def transaction(self) -> Transaction:
+        """The open transaction (for staging); raises when none is open."""
+        with self._mutex:
+            if self._txn is None:
+                raise TransactionError("no transaction is open")
+            return self._txn
+
+    def take_transaction(self) -> Transaction:
+        """Detach the open transaction for commit; the session forgets it
+        whatever the commit's outcome."""
+        with self._mutex:
+            if self._txn is None:
+                raise TransactionError(
+                    "no transaction is open — nothing to commit"
+                )
+            txn, self._txn = self._txn, None
+            return txn
+
+    def rollback_transaction(self) -> int:
+        """Discard the open transaction; staged statements dropped."""
+        with self._mutex:
+            if self._txn is None:
+                raise TransactionError(
+                    "no transaction is open — nothing to roll back"
+                )
+            txn, self._txn = self._txn, None
+        return txn.discard()
+
+    def abandon_transaction(self) -> bool:
+        """Discard an open transaction without error (connection teardown).
+
+        Both server cores call this when a connection dies, so a
+        transaction left open by a vanished client still reaches a
+        terminal state and the begun/committed/rolled-back ledger in
+        ``snapshot_stats`` reconciles.
+        """
+        with self._mutex:
+            txn, self._txn = self._txn, None
+        if txn is not None and txn.open:
+            txn.discard()
+            return True
+        return False
 
     # --------------------------------------------------- prepared statements
 
@@ -171,14 +240,22 @@ class ClientSession:
     # ---------------------------------------------------------------- views
 
     def describe(self) -> dict[str, Any]:
-        return {
-            "peer": self.peer,
-            "user": self.user,
-            "user_name": self.user_name,
-            "default_path": list(self.default_path),
-            "statements": len(self._statements),
-            "cursors": len(self._cursors),
-        }
+        with self._mutex:
+            txn = self._txn
+            return {
+                "peer": self.peer,
+                "user": self.user,
+                "user_name": self.user_name,
+                "default_path": list(self.default_path),
+                "statements": len(self._statements),
+                "cursors": len(self._cursors),
+                "transaction": (
+                    None if txn is None else {
+                        "statements": txn.statement_count,
+                        "rows": txn.row_count,
+                    }
+                ),
+            }
 
     def require_user(self) -> User:
         if self.user is None:

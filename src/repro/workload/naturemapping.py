@@ -96,11 +96,11 @@ def build_scenario(
 
 def conflict_report(scenario: Scenario) -> list[tuple]:
     """All (user, sid, species reported, species believed) disagreements."""
-    rows = scenario.db.execute(
+    rows = scenario.db.execute_sql(
         "select U2.name, S1.sid, S1.species, S2.species "
         "from Users as U1, Users as U2, "
         "BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2 "
         "where S1.sid = S2.sid and S1.species <> S2.species"
-    )
+    ).rows
     assert isinstance(rows, list)
     return rows

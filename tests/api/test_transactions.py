@@ -1,0 +1,335 @@
+"""The transactional connection surface: begin/commit/rollback, staging,
+autocommit modes, and atomic abort — embedded connections.
+
+The uniform embedded-vs-remote contract lives in ``test_uniform.py``; the
+wire ops and per-session server state in ``tests/server/test_transactions
+.py``; durability (one fsync per commit, crash atomicity) in
+``tests/durability/test_transactions.py``. Here: the Connection API
+semantics in their simplest deployment shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.errors import (
+    BeliefDBError,
+    ParameterBindingError,
+    TransactionAbortedError,
+    TransactionError,
+)
+
+ROW = ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+INSERT = "insert into Sightings values (?,?,?,?,?)"
+SELECT = "select S.sid from Sightings as S"
+
+
+def fresh(strict: bool = False, **kwargs):
+    conn = connect(BeliefDBMS(sightings_schema(), strict=strict), **kwargs)
+    conn.add_user("Carol")
+    conn.add_user("Bob")
+    return conn
+
+
+# ------------------------------------------------------------------ lifecycle
+
+
+def test_staged_dml_is_invisible_until_commit():
+    conn = fresh()
+    conn.begin()
+    assert conn.in_transaction
+    result = conn.execute(INSERT, ROW)
+    assert result.rowcount == -1
+    assert result.status == "INSERT STAGED"
+    assert result.rows == []
+    # Reads — same session included — see the last committed state.
+    assert conn.execute(SELECT).rows == []
+    commit = conn.commit()
+    assert commit.kind == "commit"
+    assert commit.rowcount == 1
+    assert commit.status == "COMMIT 1"
+    assert commit.ok
+    assert not conn.in_transaction
+    assert conn.execute(SELECT).rows == [("s1",)]
+
+
+def test_rollback_discards_all_staged_statements():
+    conn = fresh()
+    conn.begin()
+    conn.execute(INSERT, ROW)
+    conn.execute(INSERT, ("s2",) + ROW[1:])
+    assert conn.rollback() == 2
+    assert not conn.in_transaction
+    assert conn.execute(SELECT).rows == []
+
+
+def test_selects_never_stage():
+    conn = fresh()
+    conn.execute(INSERT, ROW)
+    conn.begin()
+    result = conn.execute(SELECT)
+    assert result.rows == [("s1",)]  # executed, not buffered
+    assert conn.rollback() == 0
+
+
+def test_executemany_stages_as_one_statement():
+    conn = fresh()
+    conn.begin()
+    staged = conn.executemany(
+        INSERT, [(f"s{i}",) + ROW[1:] for i in range(5)]
+    )
+    assert staged.rowcount == -1
+    assert staged.status == "INSERT STAGED"
+    assert conn.execute(SELECT).rows == []
+    assert conn.commit().rowcount == 5
+    assert len(conn.execute(SELECT).rows) == 5
+
+
+def test_nested_begin_rejected():
+    conn = fresh()
+    conn.begin()
+    with pytest.raises(TransactionError, match="already open"):
+        conn.begin()
+    conn.rollback()
+
+
+def test_commit_and_rollback_require_transaction_in_autocommit_mode():
+    conn = fresh()
+    with pytest.raises(TransactionError, match="no transaction"):
+        conn.commit()
+    with pytest.raises(TransactionError, match="no transaction"):
+        conn.rollback()
+
+
+# -------------------------------------------------------------- autocommit off
+
+
+def test_autocommit_false_opens_transaction_implicitly():
+    conn = fresh(autocommit=False)
+    conn.execute(INSERT, ROW)
+    assert conn.in_transaction
+    # Another connection to the same db proves nothing applied yet.
+    other = connect(conn.db)
+    assert other.execute(SELECT).rows == []
+    assert conn.commit().rowcount == 1
+    assert other.execute(SELECT).rows == [("s1",)]
+
+
+def test_autocommit_false_commit_without_statements_is_noop():
+    conn = fresh(autocommit=False)
+    result = conn.commit()
+    assert result.kind == "commit"
+    assert result.rowcount == 0
+    assert conn.rollback() == 0
+
+
+# ------------------------------------------------------------ context manager
+
+
+def test_transaction_context_commits_on_clean_exit():
+    conn = fresh()
+    with conn.transaction() as same:
+        assert same is conn
+        conn.execute(INSERT, ROW)
+        assert conn.in_transaction
+    assert not conn.in_transaction
+    assert conn.execute(SELECT).rows == [("s1",)]
+
+
+def test_transaction_context_rolls_back_on_exception():
+    conn = fresh()
+    with pytest.raises(RuntimeError, match="boom"):
+        with conn.transaction():
+            conn.execute(INSERT, ROW)
+            raise RuntimeError("boom")
+    assert not conn.in_transaction
+    assert conn.execute(SELECT).rows == []
+
+
+def test_transaction_context_tolerates_early_commit_and_rollback():
+    """Committing (or rolling back) inside the block must not make the
+    context manager's clean exit raise 'no transaction is active'."""
+    conn = fresh()
+    with conn.transaction():
+        conn.execute(INSERT, ROW)
+        early = conn.commit()
+    assert early.rowcount == 1
+    assert conn.execute(SELECT).rows == [("s1",)]
+    with conn.transaction():
+        conn.execute(INSERT, ("s2",) + ROW[1:])
+        conn.rollback()
+    assert conn.execute(SELECT).rows == [("s1",)]
+
+
+def test_staged_result_is_ok():
+    """Staging succeeded: rowcount=-1 means unknown, not failed."""
+    conn = fresh()
+    conn.begin()
+    assert conn.execute(INSERT, ROW).ok
+    assert conn.executemany(INSERT, [("s2",) + ROW[1:]]).ok
+    conn.rollback()
+    # Autocommit outcomes are unchanged: 0 affected is still not ok.
+    assert not conn.execute("delete from Sightings where sid = ?",
+                            ("nope",)).ok
+
+
+def test_embedded_session_describe_reports_transaction():
+    """The embedded shape shares ClientSession txn state with the server."""
+    conn = fresh()
+    conn.begin()
+    conn.execute(INSERT, ROW)
+    assert conn._session.describe()["transaction"] == {
+        "statements": 1, "rows": 1,
+    }
+    conn.rollback()
+    assert conn._session.describe()["transaction"] is None
+
+
+def test_transaction_context_exposes_commit_result():
+    conn = fresh()
+    ctx = conn.transaction()
+    with ctx:
+        conn.execute(INSERT, ROW)
+    assert ctx.result is not None
+    assert ctx.result.rowcount == 1
+
+
+def test_connection_exit_rolls_back_open_transaction():
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    with pytest.raises(RuntimeError):
+        with connect(db) as conn:
+            conn.add_user("Carol")
+            conn.begin()
+            conn.execute(INSERT, ROW)
+            raise RuntimeError("escape without commit")
+    assert connect(db).execute(SELECT).rows == []
+
+
+def test_close_discards_open_transaction():
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    conn = connect(db)
+    conn.add_user("Carol")
+    conn.begin()
+    conn.execute(INSERT, ROW)
+    conn.close()
+    assert connect(db).execute(SELECT).rows == []
+
+
+# ------------------------------------------------------------------ validation
+
+
+def test_stage_validates_arity_eagerly():
+    conn = fresh()
+    conn.begin()
+    with pytest.raises(ParameterBindingError):
+        conn.execute(INSERT, ROW[:3])
+    # The failed statement was never staged; the rest of the txn works.
+    conn.execute(INSERT, ROW)
+    assert conn.commit().rowcount == 1
+
+
+def test_mid_commit_rejection_rolls_back_everything():
+    conn = fresh(strict=True)
+    conn.execute(INSERT, ROW)
+    conn.begin()
+    conn.execute(INSERT, ("s2",) + ROW[1:])
+    conn.execute(INSERT, ROW)  # duplicate: rejected at commit
+    conn.execute(INSERT, ("s3",) + ROW[1:])  # never applied
+    with pytest.raises(TransactionAbortedError, match="rolled back"):
+        conn.commit()
+    assert not conn.in_transaction
+    assert conn.execute(SELECT).rows == [("s1",)]
+    # The connection is fully usable afterwards.
+    with conn.transaction():
+        conn.execute(INSERT, ("s4",) + ROW[1:])
+    assert len(conn.execute(SELECT).rows) == 2
+
+
+def test_abort_rollback_preserves_belief_worlds():
+    """The rebuild-on-abort path must restore higher-order beliefs too."""
+    conn = fresh(strict=True)
+    conn.execute(INSERT, ROW)
+    conn.execute("insert into BELIEF ? not Sightings values (?,?,?,?,?)",
+                 ("Bob",) + ROW)
+    conn.execute("insert into BELIEF ? BELIEF ? Comments values (?,?,?)",
+                 ("Bob", "Carol", "c1", "saw it myself", "s1"))
+    before = sorted(str(s) for s in conn.db.store.explicit_statements())
+    worlds_before = conn.db.store.world_count()
+    conn.begin()
+    conn.execute(INSERT, ("s9",) + ROW[1:])
+    conn.execute(INSERT, ROW)  # duplicate -> abort
+    with pytest.raises(TransactionAbortedError):
+        conn.commit()
+    after = sorted(str(s) for s in conn.db.store.explicit_statements())
+    assert after == before
+    assert conn.db.store.world_count() == worlds_before
+    conn.db.store.check_invariants()
+
+
+def test_session_rewrite_captured_at_stage_time():
+    """login/set_path after staging must not retarget staged statements."""
+    conn = fresh()
+    conn.login("Carol")
+    conn.begin()
+    conn.execute(INSERT, ROW)  # staged into Carol's world
+    conn.login("Bob")
+    conn.commit()
+    assert conn.execute(
+        "select S.sid from BELIEF ? Sightings as S", ("Carol",)
+    ).rows == [("s1",)]
+    assert conn.execute(
+        "select S.sid from BELIEF ? Sightings as S", ("Bob",)
+    ).rows == []
+
+
+# ------------------------------------------------------------------- counters
+
+
+def test_snapshot_stats_transaction_counters():
+    conn = fresh(strict=True)
+    conn.execute(INSERT, ROW)
+    with conn.transaction():
+        conn.execute(INSERT, ("s2",) + ROW[1:])
+    conn.begin()
+    conn.rollback()
+    conn.begin()
+    conn.execute(INSERT, ROW)  # duplicate -> abort at commit
+    with pytest.raises(TransactionAbortedError):
+        conn.commit()
+    stats = conn.db.snapshot_stats()["transactions"]
+    assert stats["begun"] == 3
+    assert stats["committed"] == 1
+    assert stats["rolled_back"] == 1
+    assert stats["aborted"] == 1
+    assert stats["rows_committed"] == 1
+
+
+def test_commit_on_foreign_database_rejected():
+    conn = fresh()
+    txn = conn.db.begin_transaction()
+    other = BeliefDBMS(sightings_schema())
+    with pytest.raises(TransactionError, match="different database"):
+        other.commit_transaction(txn)
+    assert txn.discard() == 0
+
+
+def test_cursor_execute_inside_transaction_returns_staged_result():
+    conn = fresh()
+    cur = conn.cursor()
+    conn.begin()
+    cur.execute(INSERT, ROW)
+    assert cur.rowcount == -1
+    assert cur.fetchall() == []
+    conn.commit()
+    cur.execute(SELECT)
+    assert cur.fetchall() == [("s1",)]
+
+
+def test_transaction_errors_leave_connection_closed_check_first():
+    conn = fresh()
+    conn.close()
+    with pytest.raises(BeliefDBError, match="closed"):
+        conn.begin()

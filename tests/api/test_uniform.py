@@ -10,6 +10,8 @@ still match the embedded rows exactly.
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 from repro.api import connect
@@ -17,7 +19,8 @@ from repro.api.connection import Connection
 from repro.api.result import Result
 from repro.bdms.bdms import BeliefDBMS
 from repro.core.schema import sightings_schema
-from repro.server import BeliefServer
+from repro.errors import TransactionAbortedError, TransactionError
+from repro.server import AsyncBeliefServer, BeliefServer
 
 #: (sql, params) pairs — one collaborative-curation session.
 WORKLOAD: list[tuple[str, tuple]] = [
@@ -98,6 +101,142 @@ def test_uniform_with_session_default_path():
     # The insert landed in Carol's world, not plain content:
     assert embedded[1].rows == []
     assert embedded[2].rows == [("s9",)]
+
+
+# ------------------------------------------------------------- transactions
+#
+# The acceptance contract of the transactional-session redesign: the same
+# transactional workload — commit visibility, rollback, exception-rollback
+# via the context manager, mid-transaction executemany, and a strict-mode
+# abort — must behave *identically* on an embedded connection and on remote
+# connections through BOTH server cores (threaded and pipelined asyncio).
+
+
+@contextlib.contextmanager
+def _each_shape(core, strict: bool = False):
+    """Yield a connection of the requested deployment shape."""
+    db = BeliefDBMS(sightings_schema(), strict=strict)
+    if core is None:
+        yield connect(db)
+        return
+    with core(db) as server:
+        host, port = server.address
+        with connect(f"{host}:{port}") as conn:
+            yield conn
+
+
+SHAPES = pytest.mark.parametrize(
+    "core", [None, BeliefServer, AsyncBeliefServer],
+    ids=["embedded", "threaded", "async"],
+)
+
+TXN_INSERT = "insert into Sightings values (?,?,?,?,?)"
+TXN_ROW = ("t1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+
+
+def transactional_workload(conn: Connection) -> list:
+    """One transactional session; every observable goes into the list."""
+    out: list = []
+    conn.add_user("Carol")
+    cur = conn.cursor()
+
+    # Commit visibility: staged shape, invisible before, visible after.
+    conn.begin()
+    out.append(cur.execute(TXN_INSERT, TXN_ROW))
+    out.append(cur.execute("select S.sid from Sightings as S", ()))
+    out.append(conn.commit())
+    out.append(cur.execute("select S.sid from Sightings as S", ()))
+
+    # Rollback: staged statements evaporate.
+    conn.begin()
+    cur.execute(TXN_INSERT, ("t2",) + TXN_ROW[1:])
+    out.append(conn.rollback())
+    out.append(cur.execute("select S.sid from Sightings as S", ()))
+
+    # Exception-rollback through the context manager.
+    try:
+        with conn.transaction():
+            cur.execute(TXN_INSERT, ("t3",) + TXN_ROW[1:])
+            raise RuntimeError("abandon this curation step")
+    except RuntimeError:
+        out.append("rolled-back")
+    out.append(conn.in_transaction)
+    out.append(cur.execute("select S.sid from Sightings as S", ()))
+
+    # Mid-transaction executemany: one staged unit, committed atomically.
+    with conn.transaction():
+        out.append(cur.executemany(
+            TXN_INSERT, [(f"m{i}",) + TXN_ROW[1:] for i in range(4)]
+        ))
+        out.append(cur.execute("select S.sid from Sightings as S", ()))
+    out.append(cur.execute("select S.sid from Sightings as S", ()))
+
+    # Transaction-state errors are uniform too.
+    try:
+        conn.commit()
+    except TransactionError:
+        out.append("no-txn-commit-raises")
+    conn.begin()
+    try:
+        conn.begin()
+    except TransactionError:
+        out.append("nested-begin-raises")
+    conn.rollback()
+    return out
+
+
+@SHAPES
+def test_transaction_semantics_uniform(core):
+    with _each_shape(None) as conn:
+        reference = transactional_workload(conn)
+    if core is None:
+        observed = reference
+    else:
+        with _each_shape(core) as conn:
+            observed = transactional_workload(conn)
+    assert observed == reference
+    # Spot-check the interesting waypoints rather than trusting equality
+    # alone: staged shape, invisibility, commit tally, final state.
+    assert observed[0].status == "INSERT STAGED"
+    assert observed[0].rowcount == -1
+    assert observed[1].rows == []                       # invisible pre-commit
+    assert observed[2].kind == "commit"
+    assert observed[2].rowcount == 1
+    assert observed[3].rows == [("t1",)]                # visible post-commit
+    assert observed[4] == 1                             # rollback discarded 1
+    assert observed[5].rows == [("t1",)]
+    assert observed[6] == "rolled-back"
+    assert observed[7] is False
+    assert observed[8].rows == [("t1",)]
+    assert observed[9].status == "INSERT STAGED"        # executemany staged
+    assert observed[10].rows == [("t1",)]               # still invisible
+    assert len(observed[11].rows) == 5                  # all 4 + t1 after
+    assert observed[12] == "no-txn-commit-raises"
+    assert observed[13] == "nested-begin-raises"
+
+
+@pytest.mark.parametrize(
+    "core", [BeliefServer, AsyncBeliefServer], ids=["threaded", "async"]
+)
+def test_strict_abort_uniform_remote(core):
+    """A mid-commit rejection aborts and rolls back identically remote."""
+
+    def abort_workload(conn: Connection):
+        conn.add_user("Carol")
+        conn.execute(TXN_INSERT, TXN_ROW)
+        conn.begin()
+        conn.execute(TXN_INSERT, ("t2",) + TXN_ROW[1:])
+        conn.execute(TXN_INSERT, TXN_ROW)  # duplicate -> abort at commit
+        with pytest.raises(TransactionAbortedError, match="rolled back"):
+            conn.commit()
+        assert not conn.in_transaction
+        return conn.execute("select S.sid from Sightings as S").rows
+
+    with _each_shape(None, strict=True) as conn:
+        embedded_rows = abort_workload(conn)
+    with _each_shape(core, strict=True) as conn:
+        remote_rows = abort_workload(conn)
+    assert embedded_rows == remote_rows == [("t1",)]
 
 
 @pytest.mark.parametrize("page", [1, 3, 1000])

@@ -249,6 +249,117 @@ def _batch_worker(
         return
 
 
+TXN_ROWS = 6
+
+
+def _txn_worker(
+    address: tuple[str, int],
+    name: str,
+    acked_txns: list,
+    lock: threading.Lock,
+) -> None:
+    """Stream multi-statement transactions; record each acknowledged commit."""
+    from repro.api import connect
+
+    try:
+        with connect(address, user=name, reconnect=False) as conn:
+            for txn_no in range(400):
+                rows = [
+                    (f"{name}-x{txn_no}-r{i}", name, "crow", "d", "loc")
+                    for i in range(TXN_ROWS)
+                ]
+                with conn.transaction():
+                    for row in rows:
+                        conn.execute(
+                            "insert into Sightings values (?,?,?,?,?)", row
+                        )
+                # Only now — the commit response arrived — is this
+                # transaction acknowledged.
+                with lock:
+                    acked_txns.append((name, rows))
+    except Exception:  # noqa: BLE001 — the SIGKILL severs every connection
+        return
+
+
+@pytest.mark.slow
+def test_sigkill_mid_transaction_loses_no_commit_and_no_partial(tmp_path):
+    """The transactional acceptance test: SIGKILL the async server while
+    clients stream multi-statement transactions. After recovery, every
+    acknowledged transaction is fully present AND every transaction —
+    acknowledged or not — is all-or-nothing: zero partially-applied
+    transactions survive, because an un-synced commit group is discarded
+    whole at the WAL tail."""
+    data_dir = tmp_path / "data"
+    proc, address = _spawn_server(data_dir, extra=("--async",))
+    acked: list = []
+    ack_lock = threading.Lock()
+    try:
+        threads = [
+            threading.Thread(
+                target=_txn_worker,
+                args=(address, f"cur{i + 1}", acked, ack_lock),
+            )
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            with ack_lock:
+                if len(acked) >= 15:  # ~90 acked rows mid-flight
+                    break
+            time.sleep(0.005)
+        with ack_lock:
+            reached = len(acked)
+        assert reached >= 15, f"workload too slow: {reached} acked txns"
+        _kill(proc)  # SIGKILL mid-commit stream: no flush, no goodbye
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "workers hung"
+    finally:
+        _kill(proc)
+
+    assert acked, "no acknowledged transactions before the kill"
+
+    db = BeliefDBMS(
+        experiment_schema(), strict=False,
+        durability=DurabilityManager(str(data_dir)),
+    )
+    try:
+        # 1. Zero lost acknowledged transactions.
+        for name, rows in acked:
+            for values in rows:
+                assert db.believes([name], "Sightings", values), (
+                    f"row of an acknowledged transaction lost after "
+                    f"recovery: {name} {values}"
+                )
+        # 2. Zero partial transactions, acknowledged or not: group every
+        # recovered row by its transaction tag and demand all-or-nothing.
+        recovered: dict[tuple[str, str], int] = {}
+        for name in ("cur1", "cur2", "cur3"):
+            if name not in db.users().values():
+                continue
+            world = db.world([name])
+            for t in world.positives:
+                if t.relation != "Sightings":
+                    continue
+                sid = t.values[0]  # "curN-x<txn>-r<i>"
+                txn_tag = sid.rsplit("-r", 1)[0]
+                recovered[(name, txn_tag)] = \
+                    recovered.get((name, txn_tag), 0) + 1
+        assert recovered, "recovery found no transactional rows"
+        partial = {
+            key: count for key, count in recovered.items()
+            if count != TXN_ROWS
+        }
+        assert not partial, (
+            f"partially-applied transactions after recovery: {partial}"
+        )
+        db.store.check_invariants()
+    finally:
+        db.close()
+
+
 @pytest.mark.slow
 def test_sigkill_mid_batched_workload_loses_no_acknowledged_batch(tmp_path):
     """The batched-WAL acceptance test: SIGKILL the pipelined async server

@@ -1,0 +1,346 @@
+"""Durable transactions: one fsync per commit, atomic WAL framing, and
+crash recovery that never surfaces half a transaction.
+
+A commit rides :meth:`DurabilityManager.log_transaction` →
+:meth:`WalWriter.append_batch`: ``txn_begin`` + the statement records +
+``txn_commit`` with consecutive seqs and **one** sync decision. Recovery
+treats the group atomically — an unterminated group at the tail (the
+crash landed mid-append) is discarded *and truncated from the segment*,
+so the log never grows past a half-commit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import connect
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.durability import DurabilityManager
+from repro.durability import wal as wal_module
+from repro.errors import DurabilityError
+
+ROW = ("Carol", "bald eagle", "6-14-08", "Lake Forest")
+INSERT = "insert into Sightings values (?,?,?,?,?)"
+SELECT = "select S.sid from Sightings as S"
+
+
+def _durable_conn(tmp_path, **kwargs):
+    db = BeliefDBMS(
+        sightings_schema(), strict=kwargs.pop("strict", False),
+        durability=DurabilityManager(str(tmp_path / "data"), **kwargs),
+    )
+    conn = connect(db)
+    if "Carol" not in db.users().values():  # recovery may bring her back
+        conn.add_user("Carol")
+    return conn
+
+
+def _wal_records(manager) -> list[dict]:
+    records = []
+    for _, path in wal_module.list_segments(manager.wal_dir):
+        records.extend(wal_module.scan_segment(path).records)
+    return records
+
+
+def test_commit_costs_one_fsync(tmp_path, monkeypatch):
+    """The pinned fsync economy: N statements, ONE fsync at commit."""
+    conn = _durable_conn(tmp_path)  # sync="always"
+    conn.execute(INSERT, ("prime",) + ROW)  # segment already open
+    counts = {"fsync": 0}
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        counts["fsync"] += 1
+        return real_fsync(fd)
+
+    monkeypatch.setattr(wal_module.os, "fsync", counting_fsync)
+    with conn.transaction():
+        for i in range(40):
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    assert counts["fsync"] == 1, "a 40-statement commit must fsync once"
+
+    # Autocommit for contrast: one fsync per statement.
+    counts["fsync"] = 0
+    for i in range(10):
+        conn.execute(INSERT, (f"a{i}",) + ROW)
+    assert counts["fsync"] == 10
+    conn.db.close()
+
+
+def test_commit_is_framed_with_consecutive_seqs(tmp_path):
+    conn = _durable_conn(tmp_path)
+    manager = conn.db.durability
+    before = manager.last_seq
+    with conn.transaction():
+        for i in range(5):
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    assert manager.last_seq == before + 7  # 5 statements + 2 markers
+    assert manager.transactions_logged == 1
+    records = _wal_records(manager)
+    seqs = [r["seq"] for r in records]
+    assert seqs == list(range(1, len(seqs) + 1))
+    group = records[-7:]
+    assert group[0]["op"] == "txn_begin"
+    assert group[0]["count"] == 5
+    assert all(r["op"] == "execute" for r in group[1:-1])
+    assert group[-1]["op"] == "txn_commit"
+    assert group[-1]["begin"] == group[0]["seq"]
+    conn.db.close()
+
+
+def test_empty_and_noop_commits_log_nothing(tmp_path):
+    conn = _durable_conn(tmp_path)
+    manager = conn.db.durability
+    before = manager.last_seq
+    with conn.transaction():
+        pass
+    conn.begin()
+    conn.execute("delete from Sightings where sid = ?", ("nope",))  # 0 rows
+    conn.commit()
+    assert manager.last_seq == before
+    assert manager.transactions_logged == 0
+    conn.db.close()
+
+
+def test_committed_transaction_survives_crash_equivalent_close(tmp_path):
+    conn = _durable_conn(tmp_path)
+    with conn.transaction():
+        for i in range(12):
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    conn.db.close()  # crash-equivalent: no checkpoint
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        assert recovered.db.annotation_count() == 12
+        for i in range(12):
+            assert recovered.db.believes([], "Sightings", (f"t{i}",) + ROW)
+        recovered.db.store.check_invariants()
+    finally:
+        recovered.db.close()
+
+
+@pytest.mark.parametrize("cut_records", [1, 3, 6])
+def test_torn_commit_discards_the_whole_transaction(tmp_path, cut_records):
+    """Truncate the WAL inside the txn group — recovery must keep every
+    earlier committed write and surface ZERO rows of the torn commit."""
+    conn = _durable_conn(tmp_path)
+    conn.execute(INSERT, ("base",) + ROW)
+    with conn.transaction():
+        for i in range(5):
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    manager = conn.db.durability
+    seg = wal_module.list_segments(manager.wal_dir)[-1][1]
+    scan = wal_module.scan_segment(seg)
+    conn.db.close()
+    # Records: add_user, base insert, txn_begin, 5 executes, txn_commit.
+    # Cut inside the group, `cut_records` records after txn_begin.
+    cut = scan.offsets[2 + cut_records]
+    with open(seg, "r+b") as handle:
+        handle.truncate(cut)
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        report = recovered.db.durability.last_recovery
+        assert report.uncommitted_txn_records == cut_records
+        assert recovered.db.annotation_count() == 1  # just "base"
+        assert recovered.db.believes([], "Sightings", ("base",) + ROW)
+        for i in range(5):
+            assert not recovered.db.believes([], "Sightings", (f"t{i}",) + ROW)
+        # The discarded group is physically gone: a second recovery is
+        # clean, and new commits append without colliding with it.
+        with connect(recovered.db).transaction() as c2:
+            c2.execute(INSERT, ("post",) + ROW)
+    finally:
+        recovered.db.close()
+    final = _durable_conn(tmp_path)
+    try:
+        assert final.db.annotation_count() == 2
+        assert final.db.durability.last_recovery.uncommitted_txn_records == 0
+    finally:
+        final.db.close()
+
+
+def test_uncommitted_group_spanning_rotation_is_discarded(tmp_path):
+    """A big commit rotates segments mid-append; tearing its tail must
+    erase the group across BOTH segments."""
+    conn = _durable_conn(tmp_path, segment_bytes=512)
+    conn.execute(INSERT, ("base",) + ROW)
+    with conn.transaction():
+        for i in range(30):  # well past one 512-byte segment
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    manager = conn.db.durability
+    segments = wal_module.list_segments(manager.wal_dir)
+    assert len(segments) > 1, "commit must have spanned a rotation"
+    conn.db.close()
+    # Remove the commit marker: chop the last record of the last segment.
+    last_seg = segments[-1][1]
+    scan = wal_module.scan_segment(last_seg)
+    with open(last_seg, "r+b") as handle:
+        handle.truncate(scan.offsets[-1])
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        assert recovered.db.annotation_count() == 1
+        assert recovered.db.durability.last_recovery.uncommitted_txn_records \
+            == 31  # txn_begin + 30 staged executes
+        recovered.db.store.check_invariants()
+    finally:
+        recovered.db.close()
+
+
+def test_wal_failure_during_commit_fail_stops_without_a_rollback_lie(tmp_path):
+    """A WAL append failure after a complete apply must NOT claim
+    rollback: the frames (commit marker included) may already be on disk
+    when the fsync fails, so the never-acknowledged commit may survive
+    the next recovery. The batched-write contract applies instead — the
+    transaction stays FULLY applied in memory (readers see all of it,
+    never part), the manager fail-stops, and DurabilityError propagates."""
+    conn = _durable_conn(tmp_path)
+    conn.execute(INSERT, ("base",) + ROW)
+    manager = conn.db.durability
+
+    def broken_append(records):
+        raise OSError("disk on fire")
+
+    manager._writer.append_batch = broken_append
+    conn.begin()
+    conn.execute(INSERT, ("t1",) + ROW)
+    with pytest.raises(DurabilityError):
+        conn.commit()
+    assert manager.failed
+    assert not conn.in_transaction
+    # All-or-nothing to readers: the whole transaction is visible.
+    assert conn.db.annotation_count() == 2
+    assert conn.execute(SELECT).rows == [("base",), ("t1",)]
+    # The ledger still reconciles: the txn reached the terminal
+    # "failed" state (applied in memory, durability unknown).
+    stats = conn.db.snapshot_stats()["transactions"]
+    assert stats["failed"] == 1
+    assert stats["begun"] == stats["committed"] + stats["rolled_back"] \
+        + stats["aborted"] + stats["failed"]
+    # Fail-stop: no further writes of any kind.
+    with pytest.raises(DurabilityError):
+        conn.execute(INSERT, ("later",) + ROW)
+
+
+def test_fsync_failure_mid_commit_never_replays_partially(tmp_path, monkeypatch):
+    """The scenario behind the no-rollback rule, end to end: the fsync
+    fails AFTER the frames were written. Recovery must then replay the
+    un-acknowledged commit either entirely or not at all — with the
+    frames intact on disk, entirely — and must agree with what the
+    failed process kept serving from memory."""
+    conn = _durable_conn(tmp_path)
+    conn.execute(INSERT, ("base",) + ROW)
+    real_fsync = os.fsync
+
+    def failing_fsync(fd):
+        raise OSError("fsync: I/O error")
+
+    monkeypatch.setattr(wal_module.os, "fsync", failing_fsync)
+    conn.begin()
+    for i in range(3):
+        conn.execute(INSERT, (f"t{i}",) + ROW)
+    with pytest.raises(DurabilityError):
+        conn.commit()
+    monkeypatch.setattr(wal_module.os, "fsync", real_fsync)
+    assert conn.db.annotation_count() == 4  # fully applied in memory
+    conn.db.close()
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        # The frames reached the file: the whole group replays. Never 1
+        # or 2 of the 3 statements.
+        assert recovered.db.annotation_count() in (1, 4)
+        assert recovered.db.annotation_count() == 4
+        recovered.db.store.check_invariants()
+    finally:
+        recovered.db.close()
+
+
+def test_checkpoint_failure_does_not_fail_a_committed_transaction(
+    tmp_path, monkeypatch
+):
+    """The auto-checkpoint runs after the commit is final; its failure
+    must not make a durably-logged commit look failed."""
+    conn = _durable_conn(tmp_path, checkpoint_every=1)
+    manager = conn.db.durability
+
+    def broken_checkpoint(db):
+        raise OSError("snapshot disk full")
+
+    monkeypatch.setattr(manager, "checkpoint", broken_checkpoint)
+    with conn.transaction():
+        conn.execute(INSERT, ("t1",) + ROW)
+    # No exception: the commit stands, memory and WAL agree.
+    assert conn.db.annotation_count() == 1
+    conn.db.close()
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        assert recovered.db.annotation_count() == 1
+    finally:
+        recovered.db.close()
+
+
+def test_checkpoint_failure_does_not_fail_acknowledged_autocommit_writes(
+    tmp_path, monkeypatch
+):
+    """Same guarantee on the non-transactional paths: a write that was
+    applied AND WAL-logged must not surface a checkpoint failure as its
+    own — the caller would retry and duplicate it after recovery."""
+    conn = _durable_conn(tmp_path, checkpoint_every=2)
+    manager = conn.db.durability
+
+    def broken_checkpoint(db):
+        raise OSError("snapshot disk full")
+
+    monkeypatch.setattr(manager, "checkpoint", broken_checkpoint)
+    conn.execute(INSERT, ("t1",) + ROW)  # crosses the threshold with add_user
+    conn.executemany(INSERT, [(f"b{i}",) + ROW for i in range(3)])
+    assert conn.db.annotation_count() == 4
+    stats = conn.db.snapshot_stats()
+    # The swallowed failures are observable, and the backoff kept the
+    # O(database) snapshot attempt from re-running on every write.
+    assert stats["auto_checkpoint_failures"] >= 1
+    assert stats["auto_checkpoint_failures"] < 3
+    conn.db.close()
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        assert recovered.db.annotation_count() == 4
+    finally:
+        recovered.db.close()
+
+
+def test_commit_triggers_auto_checkpoint(tmp_path):
+    conn = _durable_conn(tmp_path, checkpoint_every=10)
+    manager = conn.db.durability
+    with conn.transaction():
+        for i in range(15):
+            conn.execute(INSERT, (f"t{i}",) + ROW)
+    assert manager.checkpoints == 1
+    assert manager.records_since_checkpoint == 0
+    conn.db.close()
+
+    recovered = _durable_conn(tmp_path)
+    try:
+        assert recovered.db.annotation_count() == 15
+        assert recovered.db.durability.last_recovery.snapshot_seq > 0
+    finally:
+        recovered.db.close()
+
+
+def test_restore_round_trips_transactions(tmp_path):
+    conn = _durable_conn(tmp_path)
+    with conn.transaction():
+        conn.execute(INSERT, ("t1",) + ROW)
+        conn.execute("insert into BELIEF ? not Sightings values (?,?,?,?,?)",
+                     ("Carol", "t1") + ROW)
+    before = sorted(map(str, conn.db.store.explicit_statements()))
+    conn.db.restore()
+    after = sorted(map(str, conn.db.store.explicit_statements()))
+    assert after == before
+    conn.db.close()

@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
     "message_board.py",
     "beliefsql_tour.py",
     "concurrent_curation.py",
+    "curation_transaction.py",
 ]
 
 

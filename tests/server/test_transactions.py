@@ -1,0 +1,267 @@
+"""The transaction wire ops: per-session state, pipelining-adjacent rules,
+oplog equivalence, and reconnect-abort semantics.
+
+``begin``/``commit``/``rollback`` ride the same frames as every other op;
+the transaction itself is **per-session** server state (like prepared
+statements and cursors), shared by both server cores. The rules under
+test:
+
+* in-transaction DML stages; other sessions and the legacy/programmatic
+  write ops are unaffected or rejected loudly;
+* ``commit`` applies under one write-lock acquisition and lands in the op
+  log as one ``txn`` entry that replays to the identical state;
+* a lost connection aborts — never silently retries — an open
+  transaction, both for raw auto-reconnect clients and for the
+  :class:`~repro.api.connection.RemoteConnection` reconnect hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import connect
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.server import AsyncBeliefServer, BeliefClient, BeliefServer
+from repro.server.client import ConnectionLost
+from repro.server.server import replay_oplog
+from repro.errors import TransactionAbortedError, TransactionError
+
+CORES = pytest.mark.parametrize(
+    "core", [BeliefServer, AsyncBeliefServer], ids=["threaded", "async"]
+)
+
+INSERT = "insert into Sightings values (?,?,?,?,?)"
+ROW = ["s1", "Carol", "bald eagle", "6-14-08", "Lake Forest"]
+
+
+def _server(core, **kwargs):
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    return db, core(db, **kwargs)
+
+
+@CORES
+def test_begin_commit_rollback_ops(core):
+    db, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            info = client.begin()
+            assert info["transaction"] == {"statements": 0, "rows": 0}
+            payload = client.execute_prepared(INSERT, ROW)
+            assert payload["rowcount"] == -1
+            assert payload["status"] == "INSERT STAGED"
+            assert client.whoami()["transaction"]["statements"] == 1
+            result = client.commit()
+            assert result["kind"] == "commit"
+            assert result["rowcount"] == 1
+            assert client.whoami()["transaction"] is None
+            client.begin()
+            client.execute_prepared(INSERT, ["s2"] + ROW[1:])
+            assert client.rollback() == {"discarded": 1}
+    assert db.annotation_count() == 1
+
+
+@CORES
+def test_execute_batch_stages_inside_transaction(core):
+    db, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            client.begin()
+            payload = client.execute_batch(
+                INSERT, [[f"s{i}"] + ROW[1:] for i in range(600)]
+            )
+            # Chunked across several frames, still one staged unit.
+            assert payload["rowcount"] == -1
+            assert payload["status"] == "INSERT STAGED"
+            assert db.annotation_count() == 0
+            assert client.commit()["rowcount"] == 600
+    assert db.annotation_count() == 600
+
+
+@CORES
+def test_transactions_are_per_session(core):
+    db, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as alice, \
+                BeliefClient(*server.address) as bob:
+            alice.login("Alice", create=True)
+            bob.login("Bob", create=True)
+            alice.begin()
+            alice.execute_prepared(INSERT, ["a1"] + ROW[1:])
+            # Bob is unaffected: his writes autocommit while Alice stages.
+            bob.execute_prepared(INSERT, ["b1"] + ROW[1:])
+            assert db.annotation_count() == 1
+            with pytest.raises(TransactionError, match="no transaction"):
+                bob.commit()
+            alice.commit()
+            assert db.annotation_count() == 2
+
+
+@CORES
+def test_legacy_and_programmatic_ops_rejected_in_transaction(core):
+    _, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            client.begin()
+            with pytest.raises(TransactionError, match="legacy execute"):
+                client.execute(
+                    "insert into Sightings values "
+                    "('x','Carol','crow','d','l')"
+                )
+            with pytest.raises(TransactionError, match="not transactional"):
+                client.insert("Sightings", ROW)
+            with pytest.raises(TransactionError, match="not transactional"):
+                client.delete("Sightings", ROW)
+            # Reads — legacy selects included — keep working.
+            assert client.execute("select S.sid from Sightings as S") == []
+            client.rollback()
+
+
+@CORES
+def test_commit_without_begin_is_a_loud_error(core):
+    _, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            with pytest.raises(TransactionError, match="nothing to commit"):
+                client.commit()
+            with pytest.raises(TransactionError, match="nothing to roll"):
+                client.rollback()
+
+
+@CORES
+def test_oplog_records_committed_transaction_and_replays(core):
+    db, server = _server(core, record_ops=True)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            client.execute_prepared(INSERT, ROW)
+            client.begin()
+            client.execute_prepared(INSERT, ["s2"] + ROW[1:])
+            client.execute_batch(INSERT, [["s3"] + ROW[1:], ["s4"] + ROW[1:]])
+            client.commit()
+            client.begin()
+            client.execute_prepared(INSERT, ["never"] + ROW[1:])
+            client.rollback()  # rolled back: must NOT appear in the log
+        log = server.oplog()
+    txn_entries = [e for e in log if e["op"] == "txn"]
+    assert len(txn_entries) == 1
+    assert txn_entries[0]["ok"] == 3
+    assert len(txn_entries[0]["statements"]) == 3
+    assert all("never" not in str(e) for e in log)
+    replayed = BeliefDBMS(sightings_schema(), strict=False)
+    replay_oplog(replayed, log)
+    assert sorted(map(str, replayed.store.explicit_statements())) == \
+        sorted(map(str, db.store.explicit_statements()))
+
+
+@CORES
+def test_session_death_discards_open_transaction(core):
+    db, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            client.begin()
+            client.execute_prepared(INSERT, ROW)
+        # Connection closed with the transaction open: nothing applied.
+        with BeliefClient(*server.address) as fresh:
+            assert fresh.execute("select S.sid from Sightings as S") == []
+    assert db.annotation_count() == 0
+    # The abandoned transaction reached a terminal state: the ledger
+    # reconciles (begun == committed + rolled_back + aborted).
+    stats = db.snapshot_stats()["transactions"]
+    assert stats["begun"] == stats["committed"] + stats["rolled_back"] \
+        + stats["aborted"] == 1
+
+
+@CORES
+def test_double_begin_neither_leaks_nor_skews_the_ledger(core):
+    db, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.begin()
+            with pytest.raises(TransactionError, match="already open"):
+                client.begin()
+            # The rejected begin created nothing: the first transaction
+            # still commits, and the counters stay reconciled.
+            client.execute_prepared(INSERT, ROW)
+            client.commit()
+    stats = db.snapshot_stats()["transactions"]
+    assert stats["begun"] == 1
+    assert stats["committed"] == 1
+
+
+# ------------------------------------------------------------ reconnect rules
+
+
+def test_raw_client_never_reconnects_commit_onto_fresh_session():
+    """commit/rollback name per-session state: no bounded reconnect."""
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    server = BeliefServer(db).start()
+    host, port = server.address
+    client = BeliefClient(host, port, auto_reconnect=True)
+    try:
+        client.login("Carol", create=True)
+        client.begin()
+        client.execute_prepared(INSERT, ROW)
+        server.stop()
+        with pytest.raises(ConnectionLost):
+            client.commit()
+            client.commit()  # first call may see the close as clean EOF
+        server = BeliefServer(db, port=port).start()
+        # Even with the server back, commit must NOT quietly reconnect —
+        # the transaction died with the session.
+        with pytest.raises(ConnectionLost, match="open transaction"):
+            client.commit()
+        # A state-free op reconnects fine; the staged insert is gone.
+        assert client.ping()
+        assert db.annotation_count() == 0
+    finally:
+        client.close()
+        server.stop()
+
+
+def test_remote_connection_aborts_open_transaction_on_reconnect():
+    """The RemoteConnection hook restores login/path, then aborts loudly."""
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    server = BeliefServer(db).start()
+    host, port = server.address
+    conn = connect(f"{host}:{port}", user="Carol", reconnect=True)
+    try:
+        conn.begin()
+        conn.execute(INSERT, tuple(ROW))
+        server.stop()
+        server = BeliefServer(db, port=port).start()
+        # Flush the stale socket (outcome-unknown failure), then the next
+        # call reconnects — and must abort the transaction, not resume it.
+        for _ in range(2):
+            try:
+                conn.execute("select S.sid from Sightings as S")
+            except (ConnectionLost, TransactionAbortedError) as exc:
+                last = exc
+        assert isinstance(last, TransactionAbortedError)
+        assert not conn.in_transaction
+        assert db.annotation_count() == 0  # never silently retried
+        # Session restored: usable immediately, with the same login.
+        assert conn.user == "Carol"
+        conn.execute(INSERT, tuple(ROW))
+        assert db.annotation_count() == 1
+    finally:
+        conn.close()
+        server.stop()
+
+
+@CORES
+def test_stats_expose_transaction_counters(core):
+    _, server = _server(core)
+    with server:
+        with BeliefClient(*server.address) as client:
+            client.login("Carol", create=True)
+            client.begin()
+            client.execute_prepared(INSERT, ROW)
+            client.commit()
+            stats = client.stats()
+    assert stats["transactions"]["committed"] == 1
+    assert stats["transactions"]["begun"] == 1
