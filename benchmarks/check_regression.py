@@ -82,9 +82,12 @@ def main(argv: list[str] | None = None) -> int:
             continue
         limit = factor * float(reference)
         verdict = "ok  " if current <= limit else "FAIL"
+        # Latency metrics are recorded in milliseconds (dotted paths ending
+        # in ``_ms``); everything else is seconds.
+        unit = "ms" if name.endswith("_ms") else "s"
         print(
-            f"{verdict} {name:<{width}}  current {current:8.3f}s  "
-            f"baseline {reference:8.3f}s  limit {limit:8.3f}s"
+            f"{verdict} {name:<{width}}  current {current:8.3f}{unit}  "
+            f"baseline {reference:8.3f}{unit}  limit {limit:8.3f}{unit}"
         )
         failures += current > limit
     if failures:

@@ -7,7 +7,8 @@ Commands:
   worlds, queries, and Kripke structure (same as examples/quickstart.py);
 * ``overhead`` — a quick storage-overhead measurement (mini Table 1 cell);
 * ``serve``    — run the multi-user belief server on a TCP port;
-* ``connect``  — interactive shell against a running belief server.
+* ``connect``  — interactive shell against a running belief server;
+* ``stats``    — pretty-print a running server's stats and metrics tables.
 """
 
 from __future__ import annotations
@@ -91,6 +92,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     checkpoint_interval = (
         args.checkpoint_interval if durability is not None else None
     )
+    admission = {
+        "max_sessions": args.max_sessions,
+        "max_inflight_requests": args.max_inflight_requests,
+        "slow_op_ms": args.slow_op_ms,
+    }
     if args.use_async:
         from repro.server.async_server import AsyncBeliefServer
 
@@ -98,16 +104,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             db, host=args.host, port=args.port,
             checkpoint_interval=checkpoint_interval,
             max_inflight=args.max_inflight,
+            **admission,
         )
         core = f"asyncio pipelined, max-inflight={args.max_inflight}"
     else:
         server = BeliefServer(
             db, host=args.host, port=args.port,
             checkpoint_interval=checkpoint_interval,
+            **admission,
         )
         core = "threaded"
     server.start()
     assert server.address is not None
+    metrics_http = None
+    if args.metrics_port is not None:
+        from repro.obs.httpexp import start_metrics_server
+
+        metrics_http = start_metrics_server(
+            server.metrics, port=args.metrics_port, host=args.host
+        )
+        print(
+            f"metrics exposition on "
+            f"http://{metrics_http.address[0]}:{metrics_http.port}/metrics",
+            flush=True,
+        )
     print(
         f"belief server listening on {server.address[0]}:{server.address[1]} "
         f"(schema={args.schema}, backend={args.backend}, {core}; "
@@ -120,6 +140,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if metrics_http is not None:
+            metrics_http.stop()
         server.stop()
         if durability is not None:
             # A clean shutdown checkpoints so the next start replays
@@ -131,6 +153,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"shutdown checkpoint failed: {exc}", file=sys.stderr)
         db.close()
     return 0
+
+
+def _histogram_quantile(buckets: list, q: float) -> float:
+    """``histogram_quantile`` over wire-form buckets ``[[le, cum], ...]``.
+
+    Same convention as the server-side histograms (rank = q × count, linear
+    interpolation inside the winning bucket), reconstructed client-side from
+    the cumulative counts the ``metrics`` op ships.
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total == 0:
+        return 0.0
+    rank = min(1.0, max(0.0, q)) * total
+    previous_bound, previous_cum = 0.0, 0
+    for le, cum in buckets:
+        bound = float("inf") if le == "+Inf" else float(le)
+        if cum >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            in_bucket = cum - previous_cum
+            if in_bucket <= 0:
+                return bound
+            frac = (rank - previous_cum) / in_bucket
+            return previous_bound + (bound - previous_bound) * frac
+        previous_bound, previous_cum = bound, cum
+    return previous_bound
+
+
+def _render_stats(stats: dict, metrics: dict) -> str:
+    """Pretty-print the stats + metrics ops as aligned text tables."""
+    from repro.bench.harness import format_table
+
+    sections: list[str] = []
+    server = stats.get("server", {})
+    sections.append(format_table(
+        ("field", "value"),
+        sorted((k, v if v is not None else "-") for k, v in server.items()),
+        title="server",
+    ))
+    cache = stats.get("statement_cache", {})
+    if cache:
+        sections.append(format_table(
+            ("field", "value"),
+            sorted(
+                (k, round(v, 4) if isinstance(v, float) else v)
+                for k, v in cache.items()
+            ),
+            title="statement cache",
+        ))
+    timing = stats.get("statement_timing", {})
+    if timing:
+        sections.append(format_table(
+            ("kind", "count", "total_ms", "p50_ms", "p99_ms"),
+            [
+                (kind, t["count"], t["total_ms"], t["p50_ms"], t["p99_ms"])
+                for kind, t in sorted(timing.items())
+            ],
+            title="statement timing",
+        ))
+    families = {f["name"]: f for f in metrics.get("families", [])}
+    op_hist = families.get("beliefdb_op_seconds")
+    if op_hist is not None and op_hist["samples"]:
+        rows = []
+        for sample in op_hist["samples"]:
+            count = sample["count"]
+            if not count:
+                continue
+            rows.append((
+                sample["labels"].get("op", "?"),
+                count,
+                round(sample["sum"] / count * 1000.0, 3),
+                round(_histogram_quantile(sample["buckets"], 0.5) * 1000.0, 3),
+                round(_histogram_quantile(sample["buckets"], 0.99) * 1000.0, 3),
+            ))
+        if rows:
+            sections.append(format_table(
+                ("op", "count", "mean_ms", "p50_ms", "p99_ms"),
+                sorted(rows),
+                title="wire op latency",
+            ))
+    slow = metrics.get("slow_ops", [])
+    if slow:
+        sections.append(format_table(
+            ("seq", "op", "elapsed_ms", "peer", "user", "request_id"),
+            [
+                (r["seq"], r["op"], r["elapsed_ms"], r["peer"],
+                 r["user"] if r["user"] is not None else "-",
+                 r["request_id"] if r["request_id"] is not None else "-")
+                for r in slow[-20:]
+            ],
+            title=f"slow ops (last {min(len(slow), 20)} of {len(slow)})",
+        ))
+    return "\n\n".join(sections)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.server.client import BeliefClient, ConnectionLost
+
+    try:
+        client = BeliefClient(args.host, args.port)
+    except (OSError, ConnectionLost) as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        while True:
+            print(_render_stats(client.stats(), client.metrics()), flush=True)
+            if args.watch is None:
+                return 0
+            time.sleep(args.watch)
+            print("\n" + "=" * 72 + "\n", flush=True)
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionLost as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _cmd_connect(args: argparse.Namespace) -> int:
@@ -197,11 +341,42 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint-interval", type=float, default=30.0, metavar="SECS",
         help="seconds between background checkpoints in durable mode",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text exposition over plain HTTP on "
+             "this port (GET /metrics; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="admission control: refuse connections beyond N concurrently "
+             "active sessions with a SERVER_OVERLOADED error (default: "
+             "unlimited)",
+    )
+    serve.add_argument(
+        "--max-inflight-requests", type=int, default=None, metavar="N",
+        help="admission control: shed requests (SERVER_OVERLOADED) once N "
+             "are already executing server-wide, instead of queueing on "
+             "the database lock (default: unlimited)",
+    )
+    serve.add_argument(
+        "--slow-op-ms", type=float, default=250.0, metavar="MS",
+        help="trace ops slower than MS into the slow-op ring buffer "
+             "(0 traces everything, negative disables; default 250)",
+    )
     connect = sub.add_parser("connect", help="shell against a belief server")
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=5433)
     connect.add_argument("--user", default=None,
                          help="log in as this user on connect")
+    stats = sub.add_parser(
+        "stats", help="pretty-print a running server's stats and metrics"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=5433)
+    stats.add_argument(
+        "--watch", type=float, default=None, metavar="SECS",
+        help="refresh every SECS seconds until Ctrl-C",
+    )
     args = parser.parse_args(argv)
     handler = {
         "repl": _cmd_repl,
@@ -209,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "overhead": _cmd_overhead,
         "serve": _cmd_serve,
         "connect": _cmd_connect,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
 

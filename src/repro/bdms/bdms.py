@@ -60,7 +60,6 @@ transaction. Transactions (:meth:`~BeliefDBMS.begin_transaction` /
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Literal, Sequence, Union
@@ -101,6 +100,8 @@ from repro.errors import (
     TransactionAbortedError,
     TransactionError,
 )
+from repro.obs.clock import Stopwatch
+from repro.obs.metrics import MetricsRegistry
 from repro.query.bcq import BCQuery
 from repro.query.lazy import evaluate_lazy
 from repro.query.naive import evaluate_naive
@@ -182,6 +183,7 @@ class BeliefDBMS:
         strict: bool = True,
         stmt_cache_size: int = 128,
         durability: "DurabilityManager | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise BeliefDBError(
@@ -210,6 +212,27 @@ class BeliefDBMS:
         }
         self._checkpoint_failures = 0
         self._checkpoint_retry_after = 0
+        #: The metrics registry this database (and anything built on it —
+        #: the network server adopts the same instance) reports into.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stmt_hist = self.metrics.histogram(
+            "beliefdb_statement_seconds",
+            "BeliefSQL statement execution time by statement kind.",
+            labels=("kind",),
+        )
+        self._stmt_timers = {
+            kind: self._stmt_hist.labels(kind=kind)
+            for kind in ("select", "insert", "delete", "update", "commit")
+        }
+        cache_events = self.metrics.counter(
+            "beliefdb_stmt_cache_events_total",
+            "Prepared-statement cache events (hit/miss/eviction/invalidation).",
+            labels=("event",),
+        )
+        self._cache_events = {
+            event: cache_events.labels(event=event)
+            for event in ("hit", "miss", "eviction", "invalidation")
+        }
         if durability is not None:
             self.attach_durability(durability)
 
@@ -230,6 +253,7 @@ class BeliefDBMS:
             raise BeliefDBError("a durability manager is already attached")
         report = manager.recover(self)
         self._durability = manager
+        manager.bind_metrics(self.metrics)
         return report.as_dict()
 
     def checkpoint(self) -> int:
@@ -458,16 +482,25 @@ class BeliefDBMS:
             if cached is not None:
                 self._stmt_cache.move_to_end(key)
                 self._stmt_stats["hits"] += 1
-                return cached
-            self._stmt_stats["misses"] += 1
+                hit = True
+            else:
+                self._stmt_stats["misses"] += 1
+                hit = False
+        self._cache_events["hit" if hit else "miss"].inc()
+        if hit:
+            return cached
         prepared = self._compile(load(), sql_text)
         if self._stmt_cache_size:
+            evicted = 0
             with self._stmt_lock:
                 if key not in self._stmt_cache:
                     self._stmt_cache[key] = prepared
                     while len(self._stmt_cache) > self._stmt_cache_size:
                         self._stmt_cache.popitem(last=False)
                         self._stmt_stats["evictions"] += 1
+                        evicted += 1
+            if evicted:
+                self._cache_events["eviction"].inc(evicted)
         return prepared
 
     def _compile(
@@ -527,6 +560,8 @@ class BeliefDBMS:
             dropped = len(self._stmt_cache)
             self._stmt_cache.clear()
             self._stmt_stats["invalidations"] += dropped
+        if dropped:
+            self._cache_events["invalidation"].inc(dropped)
         return dropped
 
     def execute_prepared(
@@ -538,7 +573,7 @@ class BeliefDBMS:
         structural substitution into the compiled artifact, so one
         ``prepare`` serves many parameter vectors.
         """
-        start = time.perf_counter()
+        watch = Stopwatch()
         compiled = prepared.compiled
         rows: list[tuple] = []
         if isinstance(compiled, CompiledSelect):
@@ -554,7 +589,7 @@ class BeliefDBMS:
             rowcount = self._execute_dml_row(compiled, params)
             if rowcount:
                 self._log_durable(_execute_entry(prepared.sql, params))
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        elapsed_ms = self._observe_statement(prepared.kind, watch)
         return Result(
             kind=prepared.kind,
             rows=rows,
@@ -589,7 +624,7 @@ class BeliefDBMS:
             prepared = self.prepare(prepared)
         if prepared.kind == "select":
             raise BeliefDBError("execute_batch is for DML, not select")
-        start = time.perf_counter()
+        watch = Stopwatch()
         self._check_durable_writable()
         compiled = prepared.compiled
         rowcounts: list[int] = []
@@ -610,7 +645,7 @@ class BeliefDBMS:
             # mode): memory and log must agree on the applied prefix.
             self._log_durable_batch(entries)
         total = sum(rowcounts)
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        elapsed_ms = self._observe_statement(prepared.kind, watch)
         return Result(
             kind=prepared.kind,
             rows=[],
@@ -679,7 +714,7 @@ class BeliefDBMS:
             )
         if not txn.open:
             raise TransactionError(f"transaction is {txn.state}, not open")
-        start = time.perf_counter()
+        watch = Stopwatch()
         staged = txn.statements()
         if not staged:
             # Empty transaction: nothing to validate, apply, or log.
@@ -688,7 +723,7 @@ class BeliefDBMS:
             return Result(
                 kind="commit", rows=[], columns=(), rowcount=0,
                 status="COMMIT 0",
-                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+                elapsed_ms=self._observe_statement("commit", watch),
             )
         self._check_durable_writable()
         # Undo capture: the explicit annotations + users are the complete
@@ -752,7 +787,7 @@ class BeliefDBMS:
         # failed (shared non-fatal step with the autocommit paths).
         if not self._in_recovery:
             self._maybe_checkpoint()
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        elapsed_ms = self._observe_statement("commit", watch)
         return Result(
             kind="commit",
             rows=[],
@@ -761,6 +796,22 @@ class BeliefDBMS:
             status=f"COMMIT {total}",
             elapsed_ms=elapsed_ms,
         )
+
+    def _observe_statement(self, kind: str, watch: Stopwatch) -> float:
+        """Record one statement execution's latency; returns elapsed ms.
+
+        The single source of ``Result.elapsed_ms`` — the same
+        :class:`~repro.obs.clock.Stopwatch` reading feeds the
+        ``beliefdb_statement_seconds`` histogram and the Result, so wire
+        payloads and scraped quantiles can never disagree about the clock.
+        """
+        elapsed = watch.elapsed_s()
+        timer = self._stmt_timers.get(kind)
+        if timer is None:
+            timer = self._stmt_hist.labels(kind=kind)
+            self._stmt_timers[kind] = timer
+        timer.observe(elapsed)
+        return elapsed * 1000.0
 
     def _note_txn(self, key: str) -> None:
         # begin/rollback run under the server's *shared* read lock (they
@@ -951,6 +1002,20 @@ class BeliefDBMS:
                 **self._stmt_stats,
             }
             txn_stats = dict(self._txn_stats)
+        lookups = cache_stats["hits"] + cache_stats["misses"]
+        cache_stats["hit_rate"] = (
+            cache_stats["hits"] / lookups if lookups else 0.0
+        )
+        timing: dict[str, Any] = {}
+        for key, child in self._stmt_hist.children():
+            if not child.count:
+                continue
+            timing[key[0]] = {
+                "count": child.count,
+                "total_ms": round(child.sum * 1000.0, 3),
+                "p50_ms": round(child.quantile(0.5) * 1000.0, 3),
+                "p99_ms": round(child.quantile(0.99) * 1000.0, 3),
+            }
         return {
             "backend": self.backend,
             "eager": self.store.eager,
@@ -962,6 +1027,7 @@ class BeliefDBMS:
             "relative_overhead": self.relative_overhead(),
             "row_counts": dict(self.store.row_counts()),
             "statement_cache": cache_stats,
+            "statement_timing": timing,
             "transactions": txn_stats,
             "auto_checkpoint_failures": self._checkpoint_failures,
             "durability": (

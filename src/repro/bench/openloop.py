@@ -1,0 +1,197 @@
+"""An open-loop load generator for the belief server.
+
+Closed-loop harnesses (N clients, each waiting for its response before
+sending again) measure a *self-throttling* workload: when the server slows
+down, the offered load drops with it, and latency looks deceptively flat.
+An **open-loop** generator instead fires requests on a fixed arrival
+schedule — ``times[i] = i / rate`` — whether or not earlier requests have
+completed. That is how real traffic behaves, and it is the shape of load
+under which queueing collapse is visible: once the arrival rate exceeds
+service capacity, the queue (and therefore latency) grows without bound.
+
+Two conventions pinned here:
+
+* **Coordinated-omission correction** — each request's latency is measured
+  from its *scheduled* arrival time, not from when the sender thread got
+  around to sending it. A sender stuck behind a slow response would
+  otherwise silently stop offering load and hide the very queueing the
+  harness exists to expose.
+* **Collapse detection** — the run is split into an early and a late half
+  by scheduled time; ``collapsed`` is declared when the late half's p99 is
+  ``collapse_factor``× the early half's (and above an absolute floor, so
+  microsecond noise cannot trip it). A stable system's percentiles are
+  stationary; a collapsing one's grow monotonically.
+
+The harness is transport-agnostic by duck typing: ``client_factory`` is any
+zero-argument callable returning an object with ``call(op, **params)`` (and
+optionally ``close()``), so unit tests drive it with fakes and benchmarks
+with real :class:`~repro.server.client.BeliefClient` connections.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ServerOverloadedError
+from repro.obs.clock import monotonic_s
+from repro.obs.metrics import percentile
+
+#: Late-half p99 must exceed this many ms before a run can be "collapsed" —
+#: a 5× jump from 40µs to 200µs is noise, not queueing.
+COLLAPSE_FLOOR_MS = 5.0
+
+
+@dataclass
+class OpenLoopReport:
+    """What one open-loop run measured (all latencies in milliseconds)."""
+
+    target_rate: float
+    offered: int
+    completed: int
+    shed: int
+    errors: int
+    elapsed_s: float
+    achieved_rate: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    early_p99_ms: float
+    late_p99_ms: float
+    collapse_factor: float
+    collapsed: bool
+    error_types: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "target_rate": self.target_rate,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "achieved_rate": round(self.achieved_rate, 2),
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "early_p99_ms": round(self.early_p99_ms, 3),
+            "late_p99_ms": round(self.late_p99_ms, 3),
+            "collapsed": self.collapsed,
+            "error_types": dict(self.error_types),
+        }
+
+
+def run_open_loop(
+    client_factory: Callable[[], Any],
+    make_op: Callable[[int], tuple[str, dict[str, Any]]],
+    *,
+    rate: float,
+    total_ops: int,
+    workers: int = 4,
+    collapse_factor: float = 5.0,
+) -> OpenLoopReport:
+    """Fire ``total_ops`` requests at ``rate``/s; measure what came back.
+
+    ``make_op(i)`` names the i-th request: ``(op, params)``. Requests are
+    assigned round-robin to ``workers`` sender threads, each with its own
+    client from ``client_factory``; a worker sleeps until a request's
+    scheduled time, sends it, and records the **scheduled-to-completion**
+    latency (coordinated-omission corrected — see module docstring). A
+    request answered with :class:`ServerOverloadedError` counts as ``shed``,
+    any other failure as an error; neither contributes a latency sample.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if total_ops <= 0:
+        raise ValueError(f"total_ops must be positive, got {total_ops}")
+    workers = max(1, min(workers, total_ops))
+    schedule = [i / rate for i in range(total_ops)]
+    # Per-request (scheduled_offset, latency_ms, outcome); index-addressed so
+    # workers never contend on a shared append lock.
+    outcomes: list[tuple[float, float, str] | None] = [None] * total_ops
+    error_types: dict[str, int] = {}
+    error_lock = threading.Lock()
+    barrier = threading.Barrier(workers + 1)
+
+    def sender(worker_id: int) -> None:
+        client = client_factory()
+        try:
+            barrier.wait()
+            t0 = start_at
+            for i in range(worker_id, total_ops, workers):
+                scheduled = t0 + schedule[i]
+                delay = scheduled - monotonic_s()
+                if delay > 0:
+                    time.sleep(delay)
+                op, params = make_op(i)
+                try:
+                    client.call(op, **params)
+                    status = "ok"
+                except ServerOverloadedError:
+                    status = "shed"
+                except Exception as exc:  # noqa: BLE001 — tally, keep firing
+                    status = "error"
+                    with error_lock:
+                        name = type(exc).__name__
+                        error_types[name] = error_types.get(name, 0) + 1
+                latency_ms = (monotonic_s() - scheduled) * 1000.0
+                outcomes[i] = (schedule[i], latency_ms, status)
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
+
+    threads = [
+        threading.Thread(target=sender, args=(w,), daemon=True)
+        for w in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    # Workers park on the barrier while connecting; the start time is taken
+    # once every connection is up, immediately before releasing them.
+    start_at = monotonic_s()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+    elapsed = max(monotonic_s() - start_at, 1e-9)
+
+    ok = [(sched, ms) for entry in outcomes if entry is not None
+          for sched, ms, status in (entry,) if status == "ok"]
+    shed = sum(1 for e in outcomes if e is not None and e[2] == "shed")
+    errors = sum(1 for e in outcomes if e is not None and e[2] == "error")
+    latencies = [ms for _, ms in ok]
+    midpoint = schedule[-1] / 2.0
+    early = [ms for sched, ms in ok if sched <= midpoint]
+    late = [ms for sched, ms in ok if sched > midpoint]
+    early_p99 = percentile(early, 0.99)
+    late_p99 = percentile(late, 0.99)
+    collapsed = (
+        bool(early) and bool(late)
+        and late_p99 > COLLAPSE_FLOOR_MS
+        and late_p99 > collapse_factor * early_p99
+    )
+    return OpenLoopReport(
+        target_rate=rate,
+        offered=total_ops,
+        completed=len(ok),
+        shed=shed,
+        errors=errors,
+        elapsed_s=elapsed,
+        achieved_rate=len(ok) / elapsed,
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_ms=percentile(latencies, 0.5),
+        p95_ms=percentile(latencies, 0.95),
+        p99_ms=percentile(latencies, 0.99),
+        max_ms=max(latencies) if latencies else 0.0,
+        early_p99_ms=early_p99,
+        late_p99_ms=late_p99,
+        collapse_factor=collapse_factor,
+        collapsed=collapsed,
+        error_types=error_types,
+    )

@@ -35,6 +35,7 @@ import time
 from typing import Any
 
 from repro.errors import DurabilityError, WalCorruptionError
+from repro.obs.clock import Stopwatch
 
 from repro.durability import snapshot as snap
 from repro.durability import wal
@@ -90,6 +91,9 @@ class DurabilityManager:
         )
         self._closed = False
         self._failed: str | None = None
+        # Set by bind_metrics(); None keeps the hot path observation-free.
+        self._append_timer: Any = None
+        self._batch_sizes: Any = None
         self.last_seq = 0
         self.last_checkpoint_seq = 0
         self.records_since_checkpoint = 0
@@ -112,6 +116,34 @@ class DurabilityManager:
                     "process (or another DurabilityManager)"
                 ) from None
         return handle
+
+    # ---------------------------------------------------------------- metrics
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Register WAL instruments on ``registry`` and start observing.
+
+        Called by :meth:`BeliefDBMS.attach_durability` so durability metrics
+        land in the same registry as statement and server metrics.
+        Idempotent: re-binding (even to a different registry) simply swaps
+        the observation targets. Never binding keeps every hot path at a
+        single ``is None`` check.
+        """
+        from repro.obs.metrics import COUNT_BUCKETS
+
+        self._append_timer = registry.histogram(
+            "beliefdb_wal_append_seconds",
+            "Whole WAL batch append latency (encode + write + fsync).",
+        )
+        self._batch_sizes = registry.histogram(
+            "beliefdb_wal_batch_records",
+            "Records per WAL append batch.",
+            buckets=COUNT_BUCKETS,
+        )
+        fsync_hist = registry.histogram(
+            "beliefdb_wal_fsync_seconds",
+            "Time spent inside os.fsync on WAL segment files.",
+        )
+        self._writer.fsync_observer = fsync_hist.observe
 
     # --------------------------------------------------------------- recovery
 
@@ -328,7 +360,13 @@ class DurabilityManager:
                 for i, entry in enumerate(entries)
             ]
             try:
-                self._writer.append_batch(records)
+                if self._append_timer is None:
+                    self._writer.append_batch(records)
+                else:
+                    watch = Stopwatch()
+                    self._writer.append_batch(records)
+                    self._append_timer.observe(watch.elapsed_s())
+                    self._batch_sizes.observe(len(entries))
             except Exception as exc:
                 seq_desc = (
                     f"seq {first}" if first == last else f"seqs {first}..{last}"

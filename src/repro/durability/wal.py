@@ -203,6 +203,22 @@ class WalWriter:
         self.records_written = 0
         self.bytes_written = 0
         self.segments_opened = 0
+        #: Optional callback observing each fsync's duration in seconds
+        #: (a histogram child's ``observe``); set by the durability manager
+        #: when metrics are bound. ``None`` costs a single attribute check.
+        self.fsync_observer: Any = None
+
+    def _fsync(self) -> None:
+        """fsync the open segment, feeding the observer when bound."""
+        observer = self.fsync_observer
+        if observer is None:
+            os.fsync(self._file.fileno())
+            return
+        from repro.obs.clock import Stopwatch
+
+        watch = Stopwatch()
+        os.fsync(self._file.fileno())
+        observer(watch.elapsed_s())
 
     def append(self, payload: dict[str, Any], seq: int) -> int:
         """Encode and append one record; returns its size in bytes."""
@@ -239,12 +255,12 @@ class WalWriter:
             total += len(frame)
         if self.sync == "always":
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._fsync()
         else:
             self._file.flush()
             self._unsynced += len(frames)
             if self.sync == "batch" and self._unsynced >= self.batch_every:
-                os.fsync(self._file.fileno())
+                self._fsync()
                 self._unsynced = 0
         return total
 
@@ -263,7 +279,7 @@ class WalWriter:
             return
         self._file.flush()
         if self.sync != "off":
-            os.fsync(self._file.fileno())
+            self._fsync()
         self._file.close()
         self._file = None
         self._unsynced = 0
@@ -272,7 +288,7 @@ class WalWriter:
         """Force buffered records to stable storage (regardless of policy)."""
         if self._file is not None:
             self._file.flush()
-            os.fsync(self._file.fileno())
+            self._fsync()
             self._unsynced = 0
 
     def close(self) -> None:

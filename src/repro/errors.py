@@ -111,6 +111,21 @@ class TransactionAbortedError(TransactionError):
     """
 
 
+class ServerOverloadedError(BeliefDBError):
+    """The server shed this request (or session) under admission control.
+
+    Travels the wire as the structured ``SERVER_OVERLOADED`` error: the
+    request was **not** executed — nothing was applied or logged — so the
+    client may safely retry after backing off. Raised when the server's
+    ``max_sessions`` connection limit or ``max_inflight_requests``
+    admission limit is exceeded; shedding immediately (instead of queueing
+    on the database lock) is what keeps latency bounded under overload.
+    """
+
+    #: Stable machine-readable code clients can match without parsing text.
+    code = "SERVER_OVERLOADED"
+
+
 class RejectedUpdateError(BeliefDBError):
     """An insert/delete on the belief store was rejected (Alg. 4 returned false).
 

@@ -1,0 +1,39 @@
+"""Dependency-free observability primitives.
+
+The layers of the belief database report into one process-wide (or
+per-database — see :func:`repro.obs.metrics.MetricsRegistry`) registry of
+counters, gauges, and histograms, rendered either as JSON-plain snapshots
+(the ``metrics`` wire op) or Prometheus text exposition (the optional
+``/metrics`` HTTP listener). Everything here is standard library only.
+
+* :mod:`repro.obs.clock`   — the single monotonic-clock helper every
+  latency measurement in the system goes through;
+* :mod:`repro.obs.metrics` — Counter / Gauge / Histogram and the
+  thread-safe :class:`~repro.obs.metrics.MetricsRegistry` with Prometheus
+  text-format exposition;
+* :mod:`repro.obs.trace`   — the bounded ring buffer of slow-operation
+  trace records the server keeps;
+* :mod:`repro.obs.httpexp` — a tiny plain-HTTP ``/metrics`` listener
+  (``repro serve --metrics-port``).
+"""
+
+from repro.obs.clock import Stopwatch, monotonic_s
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.trace import SlowOpLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowOpLog",
+    "Stopwatch",
+    "monotonic_s",
+    "percentile",
+]

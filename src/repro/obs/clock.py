@@ -1,0 +1,53 @@
+"""The one monotonic clock every latency measurement goes through.
+
+``Result.elapsed_ms``, the per-op wire-latency histograms, lock wait/hold
+timing, WAL fsync timing, and the open-loop load generator all read this
+module's :func:`monotonic_s` (a thin indirection over
+:func:`time.perf_counter`). One source means one clock discipline:
+client-observed and server-recorded timings are directly comparable, and a
+test can monkeypatch ``repro.obs.clock._now`` once to make every elapsed
+measurement in the process deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+# The single patch point. Tests replace this with a fake counter to pin
+# that a given elapsed_ms really came from this clock and no other.
+_now = time.perf_counter
+
+
+def monotonic_s() -> float:
+    """Seconds on the process-wide monotonic clock (arbitrary origin)."""
+    return _now()
+
+
+def elapsed_s(start: float) -> float:
+    """Seconds elapsed since a :func:`monotonic_s` reading."""
+    return _now() - start
+
+
+def elapsed_ms(start: float) -> float:
+    """Milliseconds elapsed since a :func:`monotonic_s` reading."""
+    return (_now() - start) * 1000.0
+
+
+class Stopwatch:
+    """Started-at-construction timer bound to the shared clock.
+
+    >>> watch = Stopwatch()
+    >>> watch.elapsed_s() >= 0.0 and watch.elapsed_ms() >= 0.0
+    True
+    """
+
+    __slots__ = ("start",)
+
+    def __init__(self) -> None:
+        self.start = _now()
+
+    def elapsed_s(self) -> float:
+        return _now() - self.start
+
+    def elapsed_ms(self) -> float:
+        return (_now() - self.start) * 1000.0

@@ -1,0 +1,82 @@
+"""A tiny plain-HTTP ``/metrics`` listener for Prometheus scrapes.
+
+``repro serve --metrics-port N`` starts one of these next to the belief
+server: a stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon
+thread that answers ``GET /metrics`` with the registry's text exposition
+(content type ``text/plain; version=0.0.4``) and 404 for everything else.
+It is deliberately *not* part of the belief wire protocol — a Prometheus
+scraper speaks HTTP, not length-prefixed JSON frames — and deliberately
+read-only: no op on this port can mutate the database.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serves one registry's text exposition until :meth:`stop`."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.registry = registry
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                    self.send_error(404, "only /metrics lives here")
+                    return
+                body = outer.registry.render_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes are periodic; don't spam stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.address: tuple[str, int] = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="belief-metrics-http",
+            daemon=True,
+        )
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_metrics_server(
+    registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+) -> MetricsHTTPServer:
+    """Start a ``/metrics`` listener; returns the running server."""
+    return MetricsHTTPServer(registry, port=port, host=host).start()

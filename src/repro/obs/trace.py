@@ -1,0 +1,96 @@
+"""A bounded ring buffer of slow-operation trace records.
+
+Histograms say *how often* ops are slow; the trace log says *which* ops
+were slow, for whom, and when. The server records every dispatched request
+whose latency crossed ``threshold_ms`` into this ring buffer; the newest
+``capacity`` records survive. Records are JSON-plain dicts so the
+``metrics`` wire op (and ``repro stats``) can ship them verbatim.
+
+Record shape (see ``docs/observability.md``)::
+
+    {"seq": 17,              # monotonically increasing per server
+     "ts": 1717171717.0,     # wall-clock UNIX seconds (for humans/logs)
+     "op": "execute_batch",  # wire op name
+     "elapsed_ms": 312.4,    # measured on the shared monotonic clock
+     "peer": "127.0.0.1:52114",
+     "user": "Carol",        # session user name, null when anonymous
+     "request_id": 93}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+DEFAULT_CAPACITY = 256
+DEFAULT_THRESHOLD_MS = 250.0
+
+
+class SlowOpLog:
+    """Thread-safe ring buffer of ops slower than ``threshold_ms``.
+
+    ``threshold_ms`` may be 0 to trace everything (tests, short debugging
+    sessions) or ``None``/negative to disable tracing entirely.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        threshold_ms: float | None = DEFAULT_THRESHOLD_MS,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._records: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._recorded_total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None and self.threshold_ms >= 0
+
+    def should_record(self, elapsed_ms: float) -> bool:
+        return self.enabled and elapsed_ms >= float(self.threshold_ms or 0.0)
+
+    def record(
+        self,
+        op: str,
+        elapsed_ms: float,
+        *,
+        peer: str = "?",
+        user: str | None = None,
+        request_id: int | None = None,
+    ) -> bool:
+        """Record one slow op (when over threshold); True when recorded."""
+        if not self.should_record(elapsed_ms):
+            return False
+        with self._lock:
+            self._seq += 1
+            self._recorded_total += 1
+            self._records.append({
+                "seq": self._seq,
+                "ts": time.time(),
+                "op": op,
+                "elapsed_ms": round(float(elapsed_ms), 3),
+                "peer": peer,
+                "user": user,
+                "request_id": request_id,
+            })
+        return True
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Oldest-to-newest copies of the retained records."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    @property
+    def recorded_total(self) -> int:
+        """Slow ops ever recorded (including ones the ring evicted)."""
+        with self._lock:
+            return self._recorded_total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

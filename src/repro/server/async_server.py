@@ -44,8 +44,10 @@ from typing import Any
 
 from repro.bdms.bdms import BeliefDBMS
 from repro.errors import BeliefDBError
+from repro.obs.clock import monotonic_s
+from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
 from repro.server import protocol
-from repro.server.protocol import ProtocolError, Request
+from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.server import BeliefServer
 from repro.server.session import ClientSession
 
@@ -81,10 +83,18 @@ class AsyncBeliefServer(BeliefServer):
         checkpoint_interval: float | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         worker_threads: int = DEFAULT_WORKER_THREADS,
+        max_sessions: int | None = None,
+        max_inflight_requests: int | None = None,
+        slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
+        slow_op_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         super().__init__(
             db, host=host, port=port, record_ops=record_ops,
             checkpoint_interval=checkpoint_interval,
+            max_sessions=max_sessions,
+            max_inflight_requests=max_inflight_requests,
+            slow_op_ms=slow_op_ms,
+            slow_op_capacity=slow_op_capacity,
         )
         if max_inflight < 1:
             raise BeliefDBError("max_inflight must be >= 1")
@@ -121,6 +131,7 @@ class AsyncBeliefServer(BeliefServer):
         if self.address is None:
             self.stop()
             raise BeliefDBError("async server did not bind within 30s")
+        self._started_at = monotonic_s()
         self._start_checkpoint_thread()
         return self
 
@@ -141,6 +152,7 @@ class AsyncBeliefServer(BeliefServer):
             self._executor = None
         self._loop = None
         self._aio_server = None
+        self._started_at = None
 
     @property
     def running(self) -> bool:
@@ -213,10 +225,14 @@ class AsyncBeliefServer(BeliefServer):
         with self._state_lock:
             self.stats["connections_total"] += 1
             self.stats["connections_active"] += 1
+        self._conn_counter_metric.inc()
         inflight = asyncio.Semaphore(self.max_inflight)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         try:
+            if self._over_session_limit():
+                await self._refuse_connection_async(reader, writer)
+                return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
                     payload = await protocol.read_frame_async(reader)
@@ -256,6 +272,23 @@ class AsyncBeliefServer(BeliefServer):
                 pass
             with self._state_lock:
                 self.stats["connections_active"] -= 1
+
+    async def _refuse_connection_async(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Async twin of :meth:`BeliefServer._refuse_connection`: answer an
+        over-limit connection's first request with ``SERVER_OVERLOADED``."""
+        self._count_shed("sessions")
+        try:
+            payload = await protocol.read_frame_async(reader)
+            if payload is None:
+                return
+            request = Request.from_wire(payload)
+            await protocol.write_frame_async(writer, Response.failure(
+                request.id, self._overload_error("sessions")
+            ).to_wire())
+        except (ProtocolError, OSError, asyncio.CancelledError):
+            pass
 
     async def _run_request(
         self,

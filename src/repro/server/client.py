@@ -791,6 +791,14 @@ class BeliefClient:
     def stats(self) -> dict[str, Any]:
         return self.call("stats")
 
+    def metrics(self) -> dict[str, Any]:
+        """The server's metric families + slow-op trace, JSON-plain.
+
+        Served without the database lock and exempt from admission-control
+        shedding, so it answers even when the server is overloaded.
+        """
+        return self.call("metrics")
+
     def kripke(self) -> str:
         return self.call("kripke")
 

@@ -79,7 +79,7 @@ OPS = frozenset({
     # queries
     "query", "believes", "world", "worlds",
     # introspection
-    "stats", "kripke", "describe",
+    "stats", "metrics", "kripke", "describe",
 })
 
 _LENGTH = struct.Struct(">I")

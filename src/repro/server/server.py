@@ -41,7 +41,9 @@ from repro.bdms.bdms import BeliefDBMS, PreparedStatement
 from repro.beliefsql.ast import SelectStatement, bind_statement
 from repro.beliefsql.parser import parse_beliefsql
 from repro.core.paths import format_path
-from repro.errors import BeliefDBError, TransactionError
+from repro.errors import BeliefDBError, ServerOverloadedError, TransactionError
+from repro.obs.clock import monotonic_s
+from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS, SlowOpLog
 from repro.server import protocol
 from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.session import ClientSession
@@ -66,12 +68,40 @@ class ReadWriteLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        # Per-mode wait/hold histogram children; None until bind_metrics(),
+        # which keeps the unbound lock at one attribute check per acquire.
+        self._wait_timers: dict[str, Any] | None = None
+        self._hold_timers: dict[str, Any] | None = None
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Start observing wait and hold times on ``registry``.
+
+        Wait time is how long an acquirer queued before getting the lock
+        (contention); hold time is how long it then kept it (the reason
+        everyone else waited). Both are labelled ``mode="read"|"write"``.
+        """
+        wait = registry.histogram(
+            "beliefdb_lock_wait_seconds",
+            "Time spent waiting to acquire the database readers-writer lock.",
+            labels=("mode",),
+        )
+        hold = registry.histogram(
+            "beliefdb_lock_hold_seconds",
+            "Time the database readers-writer lock was held per acquisition.",
+            labels=("mode",),
+        )
+        self._wait_timers = {m: wait.labels(mode=m) for m in ("read", "write")}
+        self._hold_timers = {m: hold.labels(mode=m) for m in ("read", "write")}
 
     def acquire_read(self) -> None:
+        timers = self._wait_timers
+        start = monotonic_s() if timers is not None else 0.0
         with self._condition:
             while self._writer or self._writers_waiting:
                 self._condition.wait()
             self._readers += 1
+        if timers is not None:
+            timers["read"].observe(monotonic_s() - start)
 
     def release_read(self) -> None:
         with self._condition:
@@ -80,6 +110,8 @@ class ReadWriteLock:
                 self._condition.notify_all()
 
     def acquire_write(self) -> None:
+        timers = self._wait_timers
+        start = monotonic_s() if timers is not None else 0.0
         with self._condition:
             self._writers_waiting += 1
             try:
@@ -88,6 +120,8 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        if timers is not None:
+            timers["write"].observe(monotonic_s() - start)
 
     def release_write(self) -> None:
         with self._condition:
@@ -95,20 +129,44 @@ class ReadWriteLock:
             self._condition.notify_all()
 
     class _Guard:
-        def __init__(self, acquire: Callable[[], None], release: Callable[[], None]):
+        __slots__ = ("_acquire", "_release", "_timer", "_start")
+
+        def __init__(
+            self,
+            acquire: Callable[[], None],
+            release: Callable[[], None],
+            timer: Any = None,
+        ):
             self._acquire, self._release = acquire, release
+            self._timer = timer
+            self._start = 0.0
 
         def __enter__(self) -> None:
             self._acquire()
+            if self._timer is not None:
+                self._start = monotonic_s()
 
         def __exit__(self, *exc_info: object) -> None:
+            if self._timer is None:
+                self._release()
+                return
+            elapsed = monotonic_s() - self._start
             self._release()
+            self._timer.observe(elapsed)
 
     def read(self) -> "ReadWriteLock._Guard":
-        return self._Guard(self.acquire_read, self.release_read)
+        timers = self._hold_timers
+        return self._Guard(
+            self.acquire_read, self.release_read,
+            None if timers is None else timers["read"],
+        )
 
     def write(self) -> "ReadWriteLock._Guard":
-        return self._Guard(self.acquire_write, self.release_write)
+        timers = self._hold_timers
+        return self._Guard(
+            self.acquire_write, self.release_write,
+            None if timers is None else timers["write"],
+        )
 
 
 def _jsonify(value: Any) -> Any:
@@ -140,6 +198,22 @@ class BeliefServer:
         background thread that checkpoints (snapshot + WAL prune, under the
         exclusive writer lock) every this-many seconds — but only when new
         WAL records have accumulated. None disables the thread.
+    max_sessions:
+        Admission control on connections: beyond this many concurrently
+        active sessions a new connection gets a structured
+        ``SERVER_OVERLOADED`` error in reply to its first request and is
+        closed, instead of silently piling onto the lock. None (default)
+        means unlimited.
+    max_inflight_requests:
+        Admission control on requests: when this many requests are already
+        executing server-wide, further requests are shed immediately with
+        ``SERVER_OVERLOADED`` instead of queueing on the database lock —
+        bounding latency under overload. ``ping`` and ``metrics`` are
+        exempt so health checks and scrapes survive. None means unlimited.
+    slow_op_ms / slow_op_capacity:
+        Threshold and ring-buffer size of the slow-op trace log (see
+        :class:`~repro.obs.trace.SlowOpLog`). ``slow_op_ms=None`` disables
+        tracing; ``0`` traces every op.
     """
 
     def __init__(
@@ -149,6 +223,10 @@ class BeliefServer:
         port: int = 0,
         record_ops: bool = False,
         checkpoint_interval: float | None = None,
+        max_sessions: int | None = None,
+        max_inflight_requests: int | None = None,
+        slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
+        slow_op_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         self.db = db
         self.host = host
@@ -156,6 +234,8 @@ class BeliefServer:
         self.lock = ReadWriteLock()
         self.record_ops = record_ops
         self.checkpoint_interval = checkpoint_interval
+        self.max_sessions = max_sessions
+        self.max_inflight_requests = max_inflight_requests
         self._checkpoint_thread: threading.Thread | None = None
         self._oplog: list[dict[str, Any]] = []
         self._oplog_seq = 0
@@ -175,7 +255,61 @@ class BeliefServer:
             "protocol_errors": 0,
             "checkpoints": 0,
             "checkpoint_errors": 0,
+            "overload_sheds": 0,
         }
+        # In-flight accounting has two speeds. With an admission limit the
+        # check-and-increment must be atomic across threads, so those
+        # requests pay a dedicated lock (dedicated: sharing _state_lock
+        # would couple its contention onto every request). Without a limit
+        # — the default, and the hot path the overhead budget is measured
+        # on — each dispatch thread tracks its own delta in a per-thread
+        # shard (GIL-safe, no lock) and readers sum both.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._inflight_shards: dict[int, list[int]] = {}
+        self._started_at: float | None = None
+        self.slow_ops = SlowOpLog(
+            capacity=slow_op_capacity, threshold_ms=slow_op_ms
+        )
+        # Adopt the shared database's registry so statement, durability,
+        # lock, and wire metrics all land in one process-wide namespace.
+        self.metrics = db.metrics
+        self.lock.bind_metrics(self.metrics)
+        self._op_hist = self.metrics.histogram(
+            "beliefdb_op_seconds",
+            "Wire operation latency from dispatch start to response built.",
+            labels=("op",),
+        )
+        self._ops_total = self.metrics.counter(
+            "beliefdb_ops_total",
+            "Wire operations dispatched, by op and outcome.",
+            labels=("op", "status"),
+        )
+        self._shed_counter = self.metrics.counter(
+            "beliefdb_overload_sheds_total",
+            "Requests/sessions shed by admission control, by reason.",
+            labels=("reason",),
+        )
+        self._conn_counter_metric = self.metrics.counter(
+            "beliefdb_connections_total",
+            "Connections ever accepted.",
+        )
+        self.metrics.gauge(
+            "beliefdb_sessions_active",
+            "Currently connected client sessions.",
+        ).set_function(lambda: self.stats["connections_active"])
+        self.metrics.gauge(
+            "beliefdb_inflight_requests",
+            "Requests currently executing (admitted, not yet answered).",
+        ).set_function(self._inflight_now)
+        self.metrics.gauge(
+            "beliefdb_uptime_seconds",
+            "Seconds since the server started serving (0 when stopped).",
+        ).set_function(self._uptime)
+        # Hot-path caches: label-child lookups resolved once per key, so a
+        # dispatched op costs dict hits instead of labels() lock hops.
+        self._op_timers: dict[str, Any] = {}
+        self._op_counters: dict[tuple[str, str], Any] = {}
 
     # ------------------------------------------------------------- lifecycle
 
@@ -188,6 +322,7 @@ class BeliefServer:
         listener.listen(64)
         self._listener = listener
         self.address = listener.getsockname()
+        self._started_at = monotonic_s()
         self._stopping.clear()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="belief-server-accept", daemon=True
@@ -255,6 +390,20 @@ class BeliefServer:
         self._listener = None
         self._accept_thread = None
         self._handler_threads.clear()
+        self._started_at = None
+
+    def _uptime(self) -> float:
+        started = self._started_at
+        return monotonic_s() - started if started is not None else 0.0
+
+    def _inflight_now(self) -> int:
+        """Requests executing right now: the admission-locked count plus
+        every per-thread shard (see the ctor comment on the two speeds)."""
+        with self._inflight_lock:
+            exact = self._inflight
+        return exact + sum(
+            shard[0] for shard in list(self._inflight_shards.values())
+        )
 
     def _checkpoint_loop(self) -> None:
         """Periodically snapshot the shared database (durable servers only).
@@ -306,6 +455,7 @@ class BeliefServer:
                 self._connections[conn_id] = conn
                 self.stats["connections_total"] += 1
                 self.stats["connections_active"] += 1
+            self._conn_counter_metric.inc()
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(conn_id, conn, f"{peer[0]}:{peer[1]}"),
@@ -316,11 +466,57 @@ class BeliefServer:
                 self._handler_threads[conn_id] = thread
             thread.start()
 
+    def _over_session_limit(self) -> bool:
+        """Is this (already counted) connection beyond ``max_sessions``?"""
+        if self.max_sessions is None:
+            return False
+        with self._state_lock:
+            return self.stats["connections_active"] > self.max_sessions
+
+    def _count_shed(self, reason: str) -> None:
+        with self._state_lock:
+            self.stats["overload_sheds"] += 1
+        self._shed_counter.labels(reason=reason).inc()
+
+    def _overload_error(self, reason: str) -> ServerOverloadedError:
+        if reason == "sessions":
+            return ServerOverloadedError(
+                f"server is at its session limit ({self.max_sessions}); "
+                "retry after backing off"
+            )
+        return ServerOverloadedError(
+            f"server is at its in-flight request limit "
+            f"({self.max_inflight_requests}); retry after backing off"
+        )
+
+    def _refuse_connection(self, conn: socket.socket) -> None:
+        """Answer an over-limit connection's first request with
+        ``SERVER_OVERLOADED``, then let the caller close it.
+
+        Reading one request first (instead of slamming the socket shut)
+        gives the client a structured, typed error to act on; a client that
+        never sends simply sees EOF.
+        """
+        self._count_shed("sessions")
+        try:
+            payload = protocol.read_frame(conn)
+            if payload is None:
+                return
+            request = Request.from_wire(payload)
+            protocol.write_frame(conn, Response.failure(
+                request.id, self._overload_error("sessions")
+            ).to_wire())
+        except (ProtocolError, OSError):
+            pass
+
     def _serve_connection(
         self, conn_id: int, conn: socket.socket, peer: str
     ) -> None:
         session = ClientSession(peer)
         try:
+            if self._over_session_limit():
+                self._refuse_connection(conn)
+                return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
                     payload = protocol.read_frame(conn)
@@ -358,6 +554,80 @@ class BeliefServer:
     # -------------------------------------------------------------- dispatch
 
     def _dispatch(self, session: ClientSession, request: Request) -> Response:
+        """Admission control + instrumentation around the op dispatch.
+
+        Both server cores funnel every request through here. The wrapper
+        sheds over-limit requests *before* they queue on the database lock
+        (bounded latency beats unbounded queueing), times the admitted ones
+        on the shared monotonic clock, and feeds the per-op histogram,
+        outcome counters, and the slow-op trace log.
+        """
+        op = request.op
+        shard: list[int] | None = None
+        if (
+            self.max_inflight_requests is not None
+            and op not in _SHED_EXEMPT_OPS
+        ):
+            with self._inflight_lock:
+                admitted = self._inflight < self.max_inflight_requests
+                if admitted:
+                    self._inflight += 1
+            if not admitted:
+                self._count_shed("inflight")
+                self._observe_op(op, "shed", None)
+                return Response.failure(
+                    request.id, self._overload_error("inflight")
+                )
+        else:
+            ident = threading.get_ident()
+            shard = self._inflight_shards.get(ident)
+            if shard is None:
+                shard = self._inflight_shards[ident] = [0]
+            shard[0] += 1
+        start = monotonic_s()
+        try:
+            response = self._dispatch_inner(session, request)
+        finally:
+            if shard is not None:
+                shard[0] -= 1
+            else:
+                with self._inflight_lock:
+                    self._inflight -= 1
+        elapsed = monotonic_s() - start
+        self._observe_op(op, "ok" if response.ok else "error", elapsed)
+        elapsed_ms = elapsed * 1000.0
+        if self.slow_ops.should_record(elapsed_ms):
+            self.slow_ops.record(
+                op, elapsed_ms,
+                peer=session.peer,
+                user=session.user_name,
+                request_id=request.id,
+            )
+        return response
+
+    def _observe_op(
+        self, op: str, status: str, elapsed_s: float | None
+    ) -> None:
+        """Feed one dispatched op into the counters (and histogram when
+        it actually executed). Child lookups are cached per key; the
+        benign race on the cache dicts just re-resolves the same child."""
+        key = (op, status)
+        counter = self._op_counters.get(key)
+        if counter is None:
+            counter = self._ops_total.labels(op=op, status=status)
+            self._op_counters[key] = counter
+        counter.inc()
+        if elapsed_s is None:
+            return
+        timer = self._op_timers.get(op)
+        if timer is None:
+            timer = self._op_hist.labels(op=op)
+            self._op_timers[op] = timer
+        timer.observe(elapsed_s)
+
+    def _dispatch_inner(
+        self, session: ClientSession, request: Request
+    ) -> Response:
         handler = _HANDLERS.get(request.op)
         if handler is None or request.op not in protocol.OPS:
             with self._state_lock:
@@ -368,6 +638,14 @@ class BeliefServer:
             )
         func, kind = handler
         try:
+            if request.op in _LOCKLESS_OPS:
+                # Served without the database lock: the metrics registry and
+                # slow-op log carry their own (leaf) locks, so scrapes stay
+                # responsive even when the writer lock is congested.
+                result = func(self, session, request.params)
+                with self._state_lock:
+                    self.stats["ops_served"] += 1
+                return Response.success(request.id, result)
             if request.op == "execute":
                 # Parse outside the lock so selects can share the read lock.
                 statement = session.rewrite(
@@ -775,8 +1053,27 @@ class BeliefServer:
     def _op_stats(self, session: ClientSession, params: dict[str, Any]) -> Any:
         snapshot = self.db.snapshot_stats()
         with self._state_lock:
-            snapshot["server"] = dict(self.stats)
+            server = dict(self.stats)
+        server["inflight_requests"] = self._inflight_now()
+        server["sessions_active"] = server["connections_active"]
+        server["uptime_seconds"] = round(self._uptime(), 3)
+        server["max_sessions"] = self.max_sessions
+        server["max_inflight_requests"] = self.max_inflight_requests
+        server["slow_ops_recorded"] = self.slow_ops.recorded_total
+        snapshot["server"] = server
         return snapshot
+
+    def _op_metrics(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        """The full registry + slow-op trace, JSON-plain.
+
+        Dispatched *without* the database lock (see ``_dispatch_inner``) and
+        exempt from request shedding, so observability survives overload —
+        the one time you need it most.
+        """
+        return {
+            "families": self.metrics.snapshot(),
+            "slow_ops": self.slow_ops.snapshot(),
+        }
 
     def _op_kripke(self, session: ClientSession, params: dict[str, Any]) -> Any:
         return self.db.kripke().describe()
@@ -826,9 +1123,19 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "world": (BeliefServer._op_world, "read"),
     "worlds": (BeliefServer._op_worlds, "read"),
     "stats": (BeliefServer._op_stats, "read"),
+    "metrics": (BeliefServer._op_metrics, "read"),  # lockless; see _dispatch
     "kripke": (BeliefServer._op_kripke, "read"),
     "describe": (BeliefServer._op_describe, "read"),
 }
+
+#: Ops served without taking the database lock at all (``ping`` touches no
+#: shared state; ``metrics`` reads structures with their own leaf locks).
+_LOCKLESS_OPS = frozenset({"ping", "metrics"})
+
+#: Ops admission control never sheds: health checks and scrapes must keep
+#: answering under overload (they bypass the database lock, so admitting
+#: them costs nothing).
+_SHED_EXEMPT_OPS = frozenset({"ping", "metrics"})
 
 
 def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:

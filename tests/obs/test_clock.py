@@ -1,0 +1,62 @@
+"""The shared monotonic clock — and the pin that ``Result.elapsed_ms``
+is sourced from it (one clock feeds the Result, the statement histograms,
+and the wire-op histograms; patch ``repro.obs.clock._now`` and every
+timing in the system moves together)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.obs import clock
+from repro.obs.clock import Stopwatch, elapsed_ms, elapsed_s, monotonic_s
+
+
+def _tick(monkeypatch, step_s: float):
+    """Replace the clock with one that advances ``step_s`` per reading."""
+    ticks = itertools.count()
+    monkeypatch.setattr(clock, "_now", lambda: next(ticks) * step_s)
+
+
+def test_stopwatch_reads_the_patchable_clock(monkeypatch):
+    _tick(monkeypatch, 0.25)
+    watch = Stopwatch()          # reading 0 -> start = 0.0
+    assert watch.elapsed_s() == pytest.approx(0.25)   # reading 1
+    assert watch.elapsed_ms() == pytest.approx(500.0)  # reading 2
+
+
+def test_module_helpers_share_the_same_clock(monkeypatch):
+    _tick(monkeypatch, 1.0)
+    start = monotonic_s()        # 0.0
+    assert elapsed_s(start) == pytest.approx(1.0)
+    assert elapsed_ms(start) == pytest.approx(2000.0)
+
+
+def test_real_clock_is_monotonic():
+    a = monotonic_s()
+    watch = Stopwatch()
+    assert watch.elapsed_s() >= 0.0
+    assert monotonic_s() >= a
+
+
+def test_result_elapsed_ms_sourced_from_shared_clock(monkeypatch):
+    """Satellite pin: ``Result.elapsed_ms`` and the statement histogram
+    must report the *same* Stopwatch reading — patching the clock moves
+    both by exactly the patched delta."""
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    db.add_user("Carol")
+    # Patch after construction: execute_prepared reads the clock exactly
+    # twice (Stopwatch start, then the single _observe_statement reading),
+    # so one 5 ms step elapses per statement.
+    _tick(monkeypatch, 0.005)
+    prepared = db.prepare("insert into Sightings values (?, ?, ?, ?, ?)")
+    result = db.execute_prepared(
+        prepared, ("s9", "Carol", "osprey", "2008-05-12", "HMP")
+    )
+    assert result.elapsed_ms == pytest.approx(5.0)
+    child = db.metrics.get("beliefdb_statement_seconds").labels(kind="insert")
+    assert child.count == 1
+    assert child.sum == pytest.approx(result.elapsed_ms / 1000.0)

@@ -1,0 +1,150 @@
+"""Prometheus text exposition format 0.0.4 validation.
+
+``_validate_exposition`` is a grammar checker for the subset this system
+emits: HELP/TYPE comment lines, sample lines with optional labels, histogram
+``_bucket``/``_sum``/``_count`` series. Every ``render_text()`` output in
+these tests must pass it line by line — so a formatting regression cannot
+land without a test noticing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# A label value: any escaped content between double quotes (\\, \", \n).
+_LABEL_VALUE = r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_LABELS = rf"\{{{_LABEL_NAME}={_LABEL_VALUE}(?:,{_LABEL_NAME}={_LABEL_VALUE})*\}}"
+_VALUE = r"(?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)|\+Inf|-Inf|NaN)"
+
+_HELP_RE = re.compile(rf"^# HELP {_METRIC_NAME} .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE {_METRIC_NAME} (?:counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(rf"^{_METRIC_NAME}(?:{_LABELS})? {_VALUE}$")
+
+
+def _validate_exposition(text: str) -> None:
+    """Assert every line of ``text`` parses as exposition format 0.0.4."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), f"bad HELP line: {line!r}"
+        elif line.startswith("# TYPE"):
+            assert _TYPE_RE.match(line), f"bad TYPE line: {line!r}"
+        else:
+            assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("ops_total", "Operations served.", labels=("op",)) \
+        .labels(op="ping").inc(3)
+    registry.gauge("inflight", "In-flight requests.").set(2)
+    hist = registry.histogram(
+        "latency_seconds", "Latency.", buckets=(0.001, 0.01, 0.1),
+    )
+    for v in (0.0005, 0.005, 0.05, 5.0):
+        hist.observe(v)
+    return registry
+
+
+def test_render_text_passes_grammar():
+    _validate_exposition(_sample_registry().render_text())
+
+
+def test_histogram_series_shape():
+    text = _sample_registry().render_text()
+    lines = text.splitlines()
+    buckets = [ln for ln in lines if ln.startswith("latency_seconds_bucket")]
+    assert buckets == [
+        'latency_seconds_bucket{le="0.001"} 1',
+        'latency_seconds_bucket{le="0.01"} 2',
+        'latency_seconds_bucket{le="0.1"} 3',
+        'latency_seconds_bucket{le="+Inf"} 4',
+    ]
+    assert "latency_seconds_count 4" in lines
+    sums = [ln for ln in lines if ln.startswith("latency_seconds_sum")]
+    assert len(sums) == 1
+
+
+def test_bucket_counts_are_cumulative_and_match_count():
+    registry = _sample_registry()
+    text = registry.render_text()
+    counts = [
+        int(ln.rsplit(" ", 1)[1])
+        for ln in text.splitlines()
+        if ln.startswith("latency_seconds_bucket")
+    ]
+    assert counts == sorted(counts), "bucket counts must be non-decreasing"
+    count_line = next(
+        ln for ln in text.splitlines()
+        if ln.startswith("latency_seconds_count")
+    )
+    assert counts[-1] == int(count_line.rsplit(" ", 1)[1])
+
+
+def test_help_and_type_precede_samples():
+    text = _sample_registry().render_text()
+    seen_for: dict[str, set[str]] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            seen_for.setdefault(line.split(" ")[2], set()).add("help")
+        elif line.startswith("# TYPE "):
+            seen_for.setdefault(line.split(" ")[2], set()).add("type")
+        else:
+            name = re.match(_METRIC_NAME, line).group(0)
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            key = base if base in seen_for else name
+            assert seen_for.get(key) == {"help", "type"}, line
+
+
+def test_label_value_escaping():
+    registry = MetricsRegistry()
+    counter = registry.counter("weird_total", "help", labels=("who",))
+    counter.labels(who='a"b\\c\nd').inc()
+    text = registry.render_text()
+    assert r'weird_total{who="a\"b\\c\nd"} 1' in text.splitlines()
+    _validate_exposition(text)
+
+
+def test_help_newline_escaping():
+    registry = MetricsRegistry()
+    registry.counter("x_total", "line one\nline two")
+    text = registry.render_text()
+    assert "# HELP x_total line one\\nline two" in text.splitlines()
+    _validate_exposition(text)
+
+
+def test_infinity_gauge_renders_plus_inf():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help")
+    gauge.set(math.inf)
+    text = registry.render_text()
+    assert "g +Inf" in text.splitlines()
+    _validate_exposition(text)
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().render_text() == ""
+
+
+def test_snapshot_is_json_plain_and_mirrors_exposition():
+    import json
+
+    registry = _sample_registry()
+    snapshot = registry.snapshot()
+    json.dumps(snapshot)  # must not raise
+    by_name = {family["name"]: family for family in snapshot}
+    hist = by_name["latency_seconds"]
+    assert hist["type"] == "histogram"
+    (sample,) = hist["samples"]
+    assert sample["count"] == 4
+    assert sample["buckets"][-1] == ["+Inf", 4]
+    assert by_name["ops_total"]["samples"][0] == {
+        "labels": {"op": "ping"}, "value": 3,
+    }

@@ -1,0 +1,53 @@
+"""The plain-HTTP /metrics listener."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpexp import CONTENT_TYPE, MetricsHTTPServer
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("demo_total", "Demo counter.").inc(7)
+    return reg
+
+
+def test_get_metrics_serves_exposition(registry):
+    with MetricsHTTPServer(registry, port=0) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            body = response.read().decode("utf-8")
+    assert "demo_total 7" in body.splitlines()
+
+
+def test_scrape_reflects_live_updates(registry):
+    with MetricsHTTPServer(registry, port=0) as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        urllib.request.urlopen(url).read()
+        registry.get("demo_total").inc(3)
+        body = urllib.request.urlopen(url).read().decode("utf-8")
+    assert "demo_total 10" in body.splitlines()
+
+
+def test_other_paths_404(registry):
+    with MetricsHTTPServer(registry, port=0) as server:
+        url = f"http://127.0.0.1:{server.port}/definitely-not-metrics"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url)
+        assert excinfo.value.code == 404
+
+
+def test_stop_releases_the_port(registry):
+    server = MetricsHTTPServer(registry, port=0).start()
+    port = server.port
+    server.stop()
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=1)

@@ -1,0 +1,246 @@
+"""The metrics core: counters, gauges, histograms, registry semantics.
+
+The bucket-boundary and quantile tests pin conventions the rest of the
+system depends on (``le`` semantics, the Prometheus ``histogram_quantile``
+interpolation rule, the exact-sample ``percentile`` rule); the hammer test
+pins thread safety — no lost increments under contention.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+# ------------------------------------------------------------------ counters
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("test_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+
+
+def test_counter_labels_are_independent_children():
+    counter = Counter("ops_total", "help", labels=("op",))
+    counter.labels(op="ping").inc()
+    counter.labels(op="ping").inc()
+    counter.labels(op="stats").inc()
+    assert counter.labels(op="ping").value == 2
+    assert counter.labels(op="stats").value == 1
+    assert [key for key, _ in counter.children()] == [("ping",), ("stats",)]
+
+
+def test_labelled_family_rejects_direct_and_wrong_labels():
+    counter = Counter("ops_total", "help", labels=("op",))
+    with pytest.raises(ValueError, match="use .labels"):
+        counter.inc()
+    with pytest.raises(ValueError, match="takes labels"):
+        counter.labels(operation="ping")
+
+
+def test_invalid_metric_and_label_names_rejected():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("0bad", "help")
+    with pytest.raises(ValueError, match="invalid label name"):
+        Counter("fine_total", "help", labels=("bad-label",))
+
+
+# -------------------------------------------------------------------- gauges
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("inflight", "help")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 4
+
+
+def test_gauge_set_function_computes_at_collect_time():
+    gauge = Gauge("uptime", "help")
+    state = {"v": 1.0}
+    gauge.set_function(lambda: state["v"])
+    assert gauge.value == 1.0
+    state["v"] = 42.0
+    assert gauge.value == 42.0
+
+
+# ---------------------------------------------------------- histogram buckets
+
+
+def test_bucket_boundary_le_semantics():
+    """An observation equal to a bound lands in that bound's bucket."""
+    hist = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+    hist.observe(1.0)   # le="1" bucket
+    hist.observe(1.5)   # le="2"
+    hist.observe(2.0)   # le="2"
+    hist.observe(5.0)   # le="5"
+    hist.observe(5.1)   # +Inf overflow
+    child = hist._require_unlabelled()
+    assert child.cumulative() == [1, 3, 4, 5]
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(14.6)
+
+
+def test_default_latency_buckets_are_strictly_increasing():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(set(DEFAULT_LATENCY_BUCKETS))
+    assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(0.0001)
+    assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+    assert list(COUNT_BUCKETS) == [2 ** i for i in range(11)]
+
+
+def test_histogram_rejects_bad_bucket_layouts():
+    with pytest.raises(ValueError, match="strictly increase"):
+        Histogram("h", "help", buckets=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="strictly increase"):
+        Histogram("h", "help", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError, match="at least one bucket"):
+        Histogram("h", "help", buckets=())
+
+
+def test_trailing_inf_bucket_is_stripped():
+    hist = Histogram("h", "help", buckets=(1.0, 2.0, float("inf")))
+    assert hist.bounds == (1.0, 2.0)
+
+
+# -------------------------------------------------------- histogram quantiles
+
+
+def test_quantile_interpolates_within_bucket():
+    """Prometheus convention pinned: rank = q*count, linear within bucket.
+
+    10 observations all in the (1.0, 2.0] bucket: p50 has rank 5, which is
+    halfway through the bucket's 10 observations -> 1.0 + 0.5*(2.0-1.0).
+    """
+    hist = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+    for _ in range(10):
+        hist.observe(1.5)
+    assert hist.quantile(0.5) == pytest.approx(1.5)
+    assert hist.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_quantile_overflow_reports_largest_finite_bound():
+    hist = Histogram("h", "help", buckets=(1.0, 2.0))
+    hist.observe(100.0)
+    assert hist.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_empty_histogram_is_zero():
+    hist = Histogram("h", "help")
+    assert hist.quantile(0.5) == 0.0
+
+
+def test_quantile_spread_across_buckets():
+    hist = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        hist.observe(value)
+    # rank(0.75) = 3 -> cumulative [1, 3, 4]: the le=2 bucket wins exactly
+    # at its upper edge.
+    assert hist.quantile(0.75) == pytest.approx(2.0)
+    # rank(0.25) = 1 -> first bucket, full fraction: its upper bound.
+    assert hist.quantile(0.25) == pytest.approx(1.0)
+
+
+# -------------------------------------------------------- percentile (exact)
+
+
+def test_percentile_convention_pinned():
+    assert percentile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+    assert percentile([1, 2, 3, 4], 0.0) == 1
+    assert percentile([1, 2, 3, 4], 1.0) == 4
+    assert percentile([4, 1, 3, 2], 0.5) == pytest.approx(2.5)  # sorts first
+    assert percentile([7], 0.99) == 7
+    assert percentile([], 0.5) == 0.0
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_get_or_create_returns_same_family():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "help")
+    b = registry.counter("x_total", "other help ignored")
+    assert a is b
+
+
+def test_registry_type_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x", "help")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        registry.gauge("x", "help")
+
+
+def test_registry_label_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x_total", "help", labels=("op",))
+    with pytest.raises(ValueError, match="registered with labels"):
+        registry.counter("x_total", "help", labels=("kind",))
+
+
+def test_registry_histogram_bucket_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.histogram("h", "help", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError, match="registered with buckets"):
+        registry.histogram("h", "help", buckets=(1.0, 3.0))
+    assert registry.histogram("h", "help", buckets=(1.0, 2.0)).bounds == (
+        1.0, 2.0,
+    )
+
+
+def test_registry_families_sorted_and_get():
+    registry = MetricsRegistry()
+    registry.counter("b_total", "help")
+    registry.gauge("a", "help")
+    assert [f.name for f in registry.families()] == ["a", "b_total"]
+    assert registry.get("a") is not None
+    assert registry.get("missing") is None
+
+
+# ------------------------------------------------------------------- threads
+
+
+def test_concurrent_hammer_loses_no_increments():
+    """8 threads x 5000 increments/observations: totals must be exact."""
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total", "help", labels=("t",))
+    hist = registry.histogram("hammer_seconds", "help", buckets=(0.5, 1.5))
+    gauge = registry.gauge("hammer_gauge", "help")
+    threads, per_thread, n_threads = [], 5000, 8
+
+    def work(tid: int) -> None:
+        child = counter.labels(t=str(tid % 2))
+        for i in range(per_thread):
+            child.inc()
+            hist.observe(float(i % 2))
+            gauge.inc()
+
+    for tid in range(n_threads):
+        threads.append(threading.Thread(target=work, args=(tid,)))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = sum(child.value for _, child in counter.children())
+    assert total == per_thread * n_threads
+    assert hist.count == per_thread * n_threads
+    assert gauge.value == per_thread * n_threads
+    # Bucket counts must also be exact: even i -> 0.0 (first bucket),
+    # odd i -> 1.0 (second bucket).
+    child = hist._require_unlabelled()
+    assert child.cumulative()[-1] == per_thread * n_threads
+    assert child.cumulative()[0] == per_thread * n_threads // 2

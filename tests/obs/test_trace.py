@@ -1,0 +1,57 @@
+"""The slow-op trace ring buffer."""
+
+from __future__ import annotations
+
+from repro.obs.trace import SlowOpLog
+
+
+def test_threshold_filters_and_zero_traces_everything():
+    log = SlowOpLog(threshold_ms=100.0)
+    assert not log.record("ping", 5.0)
+    assert log.record("commit", 150.0)
+    assert len(log) == 1
+
+    trace_all = SlowOpLog(threshold_ms=0)
+    assert trace_all.record("ping", 0.001)
+    assert trace_all.enabled
+
+
+def test_none_and_negative_thresholds_disable():
+    for threshold in (None, -1.0):
+        log = SlowOpLog(threshold_ms=threshold)
+        assert not log.enabled
+        assert not log.record("commit", 10_000.0)
+        assert len(log) == 0
+
+
+def test_ring_evicts_oldest_but_counts_all():
+    log = SlowOpLog(capacity=3, threshold_ms=0)
+    for i in range(5):
+        log.record(f"op{i}", float(i))
+    records = log.snapshot()
+    assert [r["op"] for r in records] == ["op2", "op3", "op4"]
+    assert [r["seq"] for r in records] == [3, 4, 5]  # seq never resets
+    assert log.recorded_total == 5
+    assert len(log) == 3
+
+
+def test_record_shape_and_rounding():
+    log = SlowOpLog(threshold_ms=0)
+    log.record(
+        "execute_batch", 12.34567,
+        peer="127.0.0.1:5000", user="Carol", request_id=7,
+    )
+    (record,) = log.snapshot()
+    assert record["op"] == "execute_batch"
+    assert record["elapsed_ms"] == 12.346
+    assert record["peer"] == "127.0.0.1:5000"
+    assert record["user"] == "Carol"
+    assert record["request_id"] == 7
+    assert isinstance(record["ts"], float)
+
+
+def test_snapshot_returns_copies():
+    log = SlowOpLog(threshold_ms=0)
+    log.record("ping", 1.0)
+    log.snapshot()[0]["op"] = "tampered"
+    assert log.snapshot()[0]["op"] == "ping"

@@ -1,0 +1,173 @@
+"""Admission control: session-count and in-flight-request shedding.
+
+Both server cores must refuse work *before* it queues on the database
+lock, with a typed ``ServerOverloadedError`` the client can branch on —
+and the observability ops (``ping``, ``metrics``) must keep answering
+while the server is saturated, or the operator goes blind exactly when
+they need the instruments most.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.errors import ServerOverloadedError
+from repro.server.async_server import AsyncBeliefServer
+from repro.server.client import BeliefClient
+from repro.server.server import BeliefServer
+
+CORES = [BeliefServer, AsyncBeliefServer]
+
+
+def _db() -> BeliefDBMS:
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    db.add_user("Carol")
+    return db
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_session_limit_sheds_with_typed_error(core):
+    with core(_db(), max_sessions=1) as server:
+        first = BeliefClient(*server.address)
+        try:
+            assert first.call("ping") == "pong"
+            second = BeliefClient(*server.address)
+            try:
+                with pytest.raises(ServerOverloadedError) as excinfo:
+                    second.call("ping")
+            finally:
+                second.close()
+            assert "session limit (1)" in str(excinfo.value)
+            # The admitted session is unaffected.
+            assert first.call("ping") == "pong"
+            sheds = {
+                s["labels"]["reason"]: s["value"]
+                for f in first.metrics()["families"]
+                if f["name"] == "beliefdb_overload_sheds_total"
+                for s in f["samples"]
+            }
+            assert sheds["sessions"] >= 1
+            assert first.stats()["server"]["overload_sheds"] >= 1
+        finally:
+            first.close()
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_session_limit_frees_slots_on_disconnect(core):
+    with core(_db(), max_sessions=1) as server:
+        first = BeliefClient(*server.address)
+        first.call("ping")
+        first.close()
+        assert _wait_until(lambda: server.stats["connections_active"] == 0)
+        second = BeliefClient(*server.address)
+        try:
+            assert second.call("ping") == "pong"
+        finally:
+            second.close()
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_inflight_limit_sheds_but_observability_survives(core):
+    with core(_db(), max_inflight_requests=2) as server:
+        server.lock.acquire_write()  # every "users" call now queues
+        blocked_results: list[str] = []
+
+        def blocked_call() -> None:
+            client = BeliefClient(*server.address)
+            try:
+                client.call("users")
+                blocked_results.append("ok")
+            except ServerOverloadedError:
+                blocked_results.append("shed")
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=blocked_call) for _ in range(2)]
+        probe = BeliefClient(*server.address)
+        try:
+            for thread in threads:
+                thread.start()
+            assert _wait_until(lambda: server._inflight == 2)
+
+            # Capacity is exhausted: a data op is shed immediately…
+            with pytest.raises(ServerOverloadedError) as excinfo:
+                probe.call("users")
+            assert "in-flight request limit (2)" in str(excinfo.value)
+            # …but the shed-exempt observability ops still answer.
+            assert probe.call("ping") == "pong"
+            payload = probe.metrics()
+            gauges = {
+                f["name"]: f["samples"][0]["value"]
+                for f in payload["families"]
+                if f["name"] in ("beliefdb_inflight_requests",
+                                 "beliefdb_sessions_active")
+            }
+            # 2 blocked data ops + the (shed-exempt, but still counted)
+            # metrics scrape reading the gauge.
+            assert gauges["beliefdb_inflight_requests"] == 3
+
+            server.lock.release_write()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert blocked_results == ["ok", "ok"]
+            assert _wait_until(lambda: server._inflight == 0)
+
+            # The shed was counted, under its own reason label.
+            sheds = {
+                s["labels"]["reason"]: s["value"]
+                for f in probe.metrics()["families"]
+                if f["name"] == "beliefdb_overload_sheds_total"
+                for s in f["samples"]
+            }
+            assert sheds["inflight"] >= 1
+            statuses = {
+                (s["labels"]["op"], s["labels"]["status"]): s["value"]
+                for f in probe.metrics()["families"]
+                if f["name"] == "beliefdb_ops_total"
+                for s in f["samples"]
+            }
+            assert statuses.get(("users", "shed")) == 1
+            assert statuses.get(("users", "ok")) == 2
+        finally:
+            probe.close()
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_no_limits_means_no_shedding(core):
+    with core(_db()) as server:
+        assert server.max_sessions is None
+        assert server.max_inflight_requests is None
+        clients = [BeliefClient(*server.address) for _ in range(4)]
+        try:
+            for client in clients:
+                assert client.call("ping") == "pong"
+            assert clients[0].stats()["server"]["overload_sheds"] == 0
+        finally:
+            for client in clients:
+                client.close()
+
+
+def test_overloaded_error_round_trips_typed():
+    """The wire error name maps back to the typed exception class."""
+    with BeliefServer(_db(), max_sessions=0) as server:
+        client = BeliefClient(*server.address)
+        try:
+            with pytest.raises(ServerOverloadedError) as excinfo:
+                client.call("ping")
+        finally:
+            client.close()
+        assert excinfo.value.code == "SERVER_OVERLOADED"
