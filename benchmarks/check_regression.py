@@ -49,6 +49,12 @@ def main(argv: list[str] | None = None) -> int:
         "--factor", type=float, default=None,
         help="override the baseline file's max_regression_factor",
     )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="PREFIX",
+        help="check only metrics whose dotted name starts with PREFIX "
+             "(repeatable) — lets a job that ran one benchmark file gate "
+             "just its own section, e.g. --only shard.",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -68,6 +74,17 @@ def main(argv: list[str] | None = None) -> int:
     if factor is None:
         factor = float(baseline.get("max_regression_factor", 3.0))
     metrics = baseline.get("metrics", {})
+    if args.only:
+        metrics = {
+            name: ref for name, ref in metrics.items()
+            if any(name.startswith(prefix) for prefix in args.only)
+        }
+        if not metrics:
+            print(
+                f"no tracked metric matches --only {args.only}",
+                file=sys.stderr,
+            )
+            return 2
     if not metrics:
         print("baseline tracks no metrics — nothing to check", file=sys.stderr)
         return 2

@@ -6,9 +6,11 @@ Commands:
 * ``demo``     — replay the paper's Sect. 2 running example and print the
   worlds, queries, and Kripke structure (same as examples/quickstart.py);
 * ``overhead`` — a quick storage-overhead measurement (mini Table 1 cell);
-* ``serve``    — run the multi-user belief server on a TCP port;
+* ``serve``    — run the multi-user belief server on a TCP port
+  (``--shards N`` runs a partitioned worker fleet behind a router);
 * ``connect``  — interactive shell against a running belief server;
-* ``stats``    — pretty-print a running server's stats and metrics tables.
+* ``stats``    — pretty-print a running server's stats and metrics tables;
+* ``shard-status`` — per-shard health/load table from a running router.
 """
 
 from __future__ import annotations
@@ -68,6 +70,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import BeliefDBError
     from repro.server import BeliefServer
 
+    if args.shards > 0:
+        return _cmd_serve_sharded(args)
     schema = (
         experiment_schema() if args.schema == "experiment"
         else sightings_schema()
@@ -96,6 +100,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "max_sessions": args.max_sessions,
         "max_inflight_requests": args.max_inflight_requests,
         "slow_op_ms": args.slow_op_ms,
+        "max_frame_bytes": args.max_frame_bytes,
     }
     if args.use_async:
         from repro.server.async_server import AsyncBeliefServer
@@ -155,6 +160,116 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: a worker fleet behind one router port."""
+    import time
+
+    from repro.shard import ShardCluster, WorkerSpec
+
+    spec = WorkerSpec(
+        schema=args.schema,
+        backend=args.backend,
+        use_async=args.use_async,
+        wal_sync=args.wal_sync,
+        checkpoint_interval=(
+            args.checkpoint_interval if args.data_dir is not None else None
+        ),
+        max_inflight=args.max_inflight,
+        max_sessions=args.max_sessions,
+        max_inflight_requests=args.max_inflight_requests,
+        slow_op_ms=args.slow_op_ms,
+        max_frame_bytes=args.max_frame_bytes,
+    )
+    cluster = ShardCluster(
+        args.shards,
+        spec=spec,
+        worker_kind=args.worker_kind,
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        max_sessions=args.max_sessions,
+        max_inflight_requests=args.max_inflight_requests,
+        slow_op_ms=args.slow_op_ms,
+        max_frame_bytes=args.max_frame_bytes,
+    )
+    cluster.start()
+    assert cluster.address is not None
+    metrics_http = None
+    if args.metrics_port is not None:
+        from repro.obs.httpexp import start_metrics_server
+
+        metrics_http = start_metrics_server(
+            cluster.router.metrics, port=args.metrics_port, host=args.host
+        )
+        print(
+            f"metrics exposition on "
+            f"http://{metrics_http.address[0]}:{metrics_http.port}/metrics",
+            flush=True,
+        )
+    print(
+        f"belief server listening on "
+        f"{cluster.address[0]}:{cluster.address[1]} "
+        f"(schema={args.schema}, backend={args.backend}, "
+        f"sharded: {args.shards} {args.worker_kind} workers; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if metrics_http is not None:
+            metrics_http.stop()
+        cluster.stop()
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    """``repro shard-status``: one row per shard from a running router."""
+    from repro.bench.harness import format_table
+    from repro.errors import BeliefDBError
+    from repro.server.client import BeliefClient, ConnectionLost
+
+    try:
+        client = BeliefClient(args.host, args.port)
+    except (OSError, ConnectionLost) as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        status = client.call("shard_status")
+    except BeliefDBError as exc:
+        print(f"error: {exc} (is {args.host}:{args.port} a shard router?)",
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    router = status.get("router", {})
+    print(
+        f"{status['n_shards']} shards ({status['worker_kind']} workers), "
+        f"router sessions={router.get('sessions_active', '?')} "
+        f"ops={router.get('ops_served', '?')}"
+    )
+    print(format_table(
+        ("shard", "address", "healthy", "epoch", "kind", "pid",
+         "restarts", "ops_total"),
+        [
+            (
+                row["shard"],
+                ":".join(str(x) for x in row["address"])
+                if row["address"] else "-",
+                row["healthy"], row["epoch"], row["kind"],
+                row["pid"] if row["pid"] is not None else "-",
+                row["restarts"], int(row["ops_total"]),
+            )
+            for row in status["shards"]
+        ],
+        title="shards",
+    ))
+    return 0
+
+
 def _histogram_quantile(buckets: list, q: float) -> float:
     """``histogram_quantile`` over wire-form buckets ``[[le, cum], ...]``.
 
@@ -192,8 +307,35 @@ def _render_stats(stats: dict, metrics: dict) -> str:
     sections.append(format_table(
         ("field", "value"),
         sorted((k, v if v is not None else "-") for k, v in server.items()),
-        title="server",
+        title="server (fleet totals)" if "shards" in stats else "server",
     ))
+    router = stats.get("router")
+    if isinstance(router, dict) and router:
+        sections.append(format_table(
+            ("field", "value"),
+            sorted(
+                (k, v if v is not None else "-") for k, v in router.items()
+            ),
+            title="router",
+        ))
+    shards = stats.get("shards")
+    if isinstance(shards, dict) and shards:
+        rows = []
+        for shard_id in sorted(shards, key=lambda s: (len(s), s)):
+            info = shards[shard_id]
+            if info.get("unavailable"):
+                rows.append((shard_id, "down", "-", "-", "-"))
+            else:
+                rows.append((
+                    shard_id, "up",
+                    info.get("sessions_active", 0),
+                    info.get("ops_served", 0),
+                    info.get("op_errors", 0),
+                ))
+        sections.append(format_table(
+            ("shard", "state", "sessions", "ops", "errors"),
+            rows, title="shards",
+        ))
     cache = stats.get("statement_cache", {})
     if cache:
         sections.append(format_table(
@@ -222,8 +364,12 @@ def _render_stats(stats: dict, metrics: dict) -> str:
             count = sample["count"]
             if not count:
                 continue
+            op = sample["labels"].get("op", "?")
+            shard = sample["labels"].get("shard")
+            if shard is not None:  # router-merged metrics: qualify per shard
+                op = f"{op}@{shard}"
             rows.append((
-                sample["labels"].get("op", "?"),
+                op,
                 count,
                 round(sample["sum"] / count * 1000.0, 3),
                 round(_histogram_quantile(sample["buckets"], 0.5) * 1000.0, 3),
@@ -363,6 +509,22 @@ def main(argv: list[str] | None = None) -> int:
         help="trace ops slower than MS into the slow-op ring buffer "
              "(0 traces everything, negative disables; default 250)",
     )
+    serve.add_argument(
+        "--max-frame-bytes", type=int, default=None, metavar="BYTES",
+        help="wire frame ceiling: frames larger than BYTES are refused "
+             "with a typed FRAME_TOO_LARGE error (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="sharded mode: run N worker servers partitioned by belief "
+             "world behind a router on --port (default 0: single server)",
+    )
+    serve.add_argument(
+        "--worker-kind", choices=("thread", "process"), default="process",
+        help="sharded mode: real 'python -m repro serve' subprocesses with "
+             "crash isolation and per-shard WAL recovery (default), or "
+             "lighter in-process worker threads",
+    )
     connect = sub.add_parser("connect", help="shell against a belief server")
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=5433)
@@ -377,6 +539,12 @@ def main(argv: list[str] | None = None) -> int:
         "--watch", type=float, default=None, metavar="SECS",
         help="refresh every SECS seconds until Ctrl-C",
     )
+    shard_status = sub.add_parser(
+        "shard-status",
+        help="one-line-per-shard health/load from a running shard router",
+    )
+    shard_status.add_argument("--host", default="127.0.0.1")
+    shard_status.add_argument("--port", type=int, default=5433)
     args = parser.parse_args(argv)
     handler = {
         "repl": _cmd_repl,
@@ -385,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "connect": _cmd_connect,
         "stats": _cmd_stats,
+        "shard-status": _cmd_shard_status,
     }[args.command]
     return handler(args)
 

@@ -126,6 +126,51 @@ class ServerOverloadedError(BeliefDBError):
     code = "SERVER_OVERLOADED"
 
 
+class FrameTooLargeError(BeliefDBError):
+    """A wire frame exceeded the configured ``max_frame_bytes`` ceiling.
+
+    Travels the wire as the structured ``FRAME_TOO_LARGE`` error. On the
+    server side an oversized *response* is replaced by this error (the
+    connection survives and the request id is answered); an oversized
+    *request* within the recoverable window is drained, answered with this
+    error, and the connection survives too. Only lengths far beyond the
+    ceiling — where the stream cannot be resynchronized safely — still fail
+    closed with :class:`~repro.server.protocol.ProtocolError`.
+    """
+
+    #: Stable machine-readable code clients can match without parsing text.
+    code = "FRAME_TOO_LARGE"
+
+
+class CrossShardTransactionError(TransactionError):
+    """A transaction tried to touch more than one shard.
+
+    Raised by the shard router: the first staged DML pins the transaction to
+    the shard that owns its belief world, and any later statement routing to
+    a different shard is rejected with the structured ``CROSS_SHARD_TXN``
+    error. The offending statement was **not** staged; the transaction
+    itself stays open on its pinned shard and may still be committed or
+    rolled back.
+    """
+
+    #: Stable machine-readable code clients can match without parsing text.
+    code = "CROSS_SHARD_TXN"
+
+
+class ShardUnavailableError(BeliefDBError):
+    """The shard that owns the requested belief world is down.
+
+    Raised by the shard router instead of hanging when a worker process has
+    crashed and the coordinator has not finished restarting it. Travels the
+    wire as the structured ``SHARD_UNAVAILABLE`` error; the request was not
+    executed, so the client may safely retry after backing off — acknowledged
+    writes on the crashed worker are WAL-durable and survive the restart.
+    """
+
+    #: Stable machine-readable code clients can match without parsing text.
+    code = "SHARD_UNAVAILABLE"
+
+
 class RejectedUpdateError(BeliefDBError):
     """An insert/delete on the belief store was rejected (Alg. 4 returned false).
 

@@ -43,7 +43,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.bdms.bdms import BeliefDBMS
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, FrameTooLargeError
 from repro.obs.clock import monotonic_s
 from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
 from repro.server import protocol
@@ -87,6 +87,7 @@ class AsyncBeliefServer(BeliefServer):
         max_inflight_requests: int | None = None,
         slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
         slow_op_capacity: int = DEFAULT_CAPACITY,
+        max_frame_bytes: int | None = None,
     ) -> None:
         super().__init__(
             db, host=host, port=port, record_ops=record_ops,
@@ -95,6 +96,7 @@ class AsyncBeliefServer(BeliefServer):
             max_inflight_requests=max_inflight_requests,
             slow_op_ms=slow_op_ms,
             slow_op_capacity=slow_op_capacity,
+            max_frame_bytes=max_frame_bytes,
         )
         if max_inflight < 1:
             raise BeliefDBError("max_inflight must be >= 1")
@@ -235,7 +237,9 @@ class AsyncBeliefServer(BeliefServer):
                 return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
-                    payload = await protocol.read_frame_async(reader)
+                    payload = await protocol.read_frame_async(
+                        reader, self.max_frame_bytes
+                    )
                 except (ProtocolError, OSError):
                     with self._state_lock:
                         self.stats["protocol_errors"] += 1
@@ -280,14 +284,17 @@ class AsyncBeliefServer(BeliefServer):
         over-limit connection's first request with ``SERVER_OVERLOADED``."""
         self._count_shed("sessions")
         try:
-            payload = await protocol.read_frame_async(reader)
+            payload = await protocol.read_frame_async(
+                reader, self.max_frame_bytes
+            )
             if payload is None:
                 return
             request = Request.from_wire(payload)
             await protocol.write_frame_async(writer, Response.failure(
                 request.id, self._overload_error("sessions")
-            ).to_wire())
-        except (ProtocolError, OSError, asyncio.CancelledError):
+            ).to_wire(), self.max_frame_bytes)
+        except (ProtocolError, FrameTooLargeError, OSError,
+                asyncio.CancelledError):
             pass
 
     async def _run_request(
@@ -311,12 +318,23 @@ class AsyncBeliefServer(BeliefServer):
                 response = await loop.run_in_executor(
                     self._executor, self._dispatch, session, request
                 )
-                frame = protocol.encode_frame(response.to_wire())
+                try:
+                    frame = protocol.encode_frame(
+                        response.to_wire(), self.max_frame_bytes
+                    )
+                except FrameTooLargeError as exc:
+                    # The response outgrew the ceiling; substitute a small
+                    # typed error frame so the connection survives — same
+                    # behavior as the threaded core.
+                    frame = protocol.encode_frame(
+                        Response.failure(request.id, exc).to_wire(),
+                        self.max_frame_bytes,
+                    )
             except ProtocolError:
-                # The response cannot be framed (e.g. it exceeds
-                # MAX_FRAME_BYTES). Fail closed exactly like the threaded
-                # core: drop the connection — leaving it open would park
-                # the client on a reply that can never arrive.
+                # The response cannot be framed at all (not serializable).
+                # Fail closed exactly like the threaded core: drop the
+                # connection — leaving it open would park the client on a
+                # reply that can never arrive.
                 with self._state_lock:
                     self.stats["protocol_errors"] += 1
                 writer.close()

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 import repro.errors as _errors
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, FrameTooLargeError
 from repro.server import protocol
 from repro.server.protocol import ProtocolError, Request, Response
 
@@ -120,16 +120,19 @@ def _estimated_row_bytes(row: "list[Any]") -> int:
 
 
 def iter_batch_chunks(
-    param_rows: Sequence[Sequence[Any]], chunk_rows: int
+    param_rows: Sequence[Sequence[Any]], chunk_rows: int,
+    max_chunk_bytes: int = MAX_BATCH_CHUNK_BYTES,
 ) -> "list[list[list[Any]]]":
     """Split a batch into wire-sized chunks (an empty batch is one chunk,
     so the statement still gets validated server-side).
 
     Chunks are bounded by ``chunk_rows`` AND by estimated encoded size
-    (:data:`MAX_BATCH_CHUNK_BYTES`), so wide rows cannot push a chunk past
-    the frame ceiling. A single row larger than the budget still travels
-    alone — if it alone cannot be framed, the send raises a local
-    :class:`ProtocolError` without touching the connection.
+    (``max_chunk_bytes``, default a third of the default frame ceiling), so
+    wide rows cannot push a chunk past the frame ceiling. A single row
+    larger than the budget still travels alone — if it alone cannot be
+    framed, the send raises a local
+    :class:`~repro.errors.FrameTooLargeError` without touching the
+    connection.
     """
     chunks: list[list[list[Any]]] = []
     current: list[list[Any]] = []
@@ -139,7 +142,7 @@ def iter_batch_chunks(
         row_bytes = _estimated_row_bytes(row)
         if current and (
             len(current) >= max(1, chunk_rows)
-            or current_bytes + row_bytes > MAX_BATCH_CHUNK_BYTES
+            or current_bytes + row_bytes > max_chunk_bytes
         ):
             chunks.append(current)
             current, current_bytes = [], 0
@@ -258,9 +261,14 @@ class BeliefClient:
         timeout: float = 30.0,
         auto_reconnect: bool = False,
         max_inflight: int = 64,
+        max_frame_bytes: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        self.max_frame_bytes = (
+            protocol.MAX_FRAME_BYTES if max_frame_bytes is None
+            else int(max_frame_bytes)
+        )
         self.timeout = timeout
         self.auto_reconnect = auto_reconnect
         self.max_inflight = max(1, max_inflight)
@@ -363,11 +371,13 @@ class BeliefClient:
             self._request_id += 1
             request = Request(id=self._request_id, op=op, params=params)
             try:
-                protocol.write_frame(self._sock, request.to_wire())
-            except ProtocolError:
+                protocol.write_frame(
+                    self._sock, request.to_wire(), self.max_frame_bytes
+                )
+            except (ProtocolError, FrameTooLargeError):
                 # A LOCAL encoding failure (unserializable parameter, frame
-                # over the 1 MiB ceiling): encode_frame raised before a
-                # single byte reached the wire, so the connection — and any
+                # over the ceiling): encode_frame raised before a single
+                # byte reached the wire, so the connection — and any
                 # pipelined requests on it — are untouched. Surface the
                 # real error instead of tearing the session down.
                 raise
@@ -393,7 +403,9 @@ class BeliefClient:
                     ) from exc
                 self._reconnect_locked()
                 try:
-                    protocol.write_frame(self._sock, request.to_wire())
+                    protocol.write_frame(
+                        self._sock, request.to_wire(), self.max_frame_bytes
+                    )
                 except (OSError, ProtocolError) as retry_exc:
                     self._drop()
                     raise ConnectionLost(
@@ -448,7 +460,7 @@ class BeliefClient:
             )
             return
         try:
-            payload = protocol.read_frame(self._sock)
+            payload = protocol.read_frame(self._sock, self.max_frame_bytes)
         except (OSError, ProtocolError) as exc:
             self._drop(ConnectionLost(
                 self._response_lost(f"connection to server lost: {exc}")
@@ -711,7 +723,8 @@ class BeliefClient:
         """
         call_params = batch_statement_params(statement)
         payload: dict[str, Any] | None = None
-        for chunk in iter_batch_chunks(param_rows, chunk_rows):
+        chunk_bytes = self.max_frame_bytes // 3
+        for chunk in iter_batch_chunks(param_rows, chunk_rows, chunk_bytes):
             payload = merge_batch_payload(payload, self.call(
                 "execute_batch", param_rows=chunk, **call_params,
             ))

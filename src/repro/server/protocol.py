@@ -54,12 +54,24 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import BeliefDBError
+from repro.errors import BeliefDBError, FrameTooLargeError
 
-#: Hard ceiling on a frame's payload size. Large enough for any realistic
+#: Default ceiling on a frame's payload size. Large enough for any realistic
 #: result set here, small enough that a garbage length prefix cannot make the
-#: reader allocate gigabytes.
+#: reader allocate gigabytes. Every frame function below accepts a
+#: ``max_frame_bytes`` override (``repro serve --max-frame-bytes`` plumbs it
+#: end to end); ``None`` means this default.
 MAX_FRAME_BYTES = 1 << 20
+
+#: Oversize handling is asymmetric by design. *Outgoing* frames that exceed
+#: the ceiling raise the typed :class:`~repro.errors.FrameTooLargeError`
+#: before a single byte reaches the wire — a server substitutes a small
+#: structured error response (the connection survives), and a client surfaces
+#: the error locally (the connection, and any pipelined requests on it, are
+#: untouched). *Incoming* announced lengths over the ceiling still fail
+#: closed with :class:`ProtocolError` and no allocation: trusting a garbage
+#: length prefix enough to drain it would let one bad frame park the reader
+#: on bytes that may never arrive.
 
 #: Every operation the server understands. The protocol layer validates that
 #: ``op`` is *a* string; membership is enforced by the server so that protocol
@@ -80,6 +92,8 @@ OPS = frozenset({
     "query", "believes", "world", "worlds",
     # introspection
     "stats", "metrics", "kripke", "describe",
+    # sharding (answered by the router; a plain worker reports unknown op)
+    "shard_status",
 })
 
 _LENGTH = struct.Struct(">I")
@@ -185,25 +199,33 @@ def _expect_keys(
 # ------------------------------------------------------------------- encoding
 
 
-def encode_frame(payload: dict[str, Any]) -> bytes:
-    """Serialize one frame: length prefix + JSON body."""
+def _ceiling(max_frame_bytes: int | None) -> int:
+    return MAX_FRAME_BYTES if max_frame_bytes is None else int(max_frame_bytes)
+
+
+def encode_frame(
+    payload: dict[str, Any], max_frame_bytes: int | None = None
+) -> bytes:
+    """Serialize one frame: length prefix + JSON body.
+
+    Raises the typed :class:`~repro.errors.FrameTooLargeError` when the
+    encoded body exceeds the ceiling, so callers can substitute a structured
+    error response instead of tearing the connection down.
+    """
+    limit = _ceiling(max_frame_bytes)
     try:
         body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"payload is not JSON-serializable: {exc}") from exc
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+    if len(body) > limit:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds the frame ceiling "
+            f"({limit} bytes)"
         )
     return _LENGTH.pack(len(body)) + body
 
 
-def decode_frame(body: bytes) -> dict[str, Any]:
-    """Parse a frame body (the bytes *after* the length prefix); fail closed."""
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
-        )
+def _parse_body(body: bytes) -> dict[str, Any]:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -213,6 +235,21 @@ def decode_frame(body: bytes) -> dict[str, Any]:
             f"frame payload must be a JSON object, got {type(payload).__name__}"
         )
     return payload
+
+
+def decode_frame(
+    body: bytes, max_frame_bytes: int | None = None
+) -> dict[str, Any]:
+    """Parse a frame body (the bytes *after* the length prefix); fail closed."""
+    limit = _ceiling(max_frame_bytes)
+    if len(body) > limit:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds the frame ceiling "
+            f"({limit} bytes)"
+        )
+    return _parse_body(body)
+
+
 
 
 # ---------------------------------------------------------------- socket I/O
@@ -235,33 +272,39 @@ def _read_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket) -> dict[str, Any] | None:
+def read_frame(
+    sock: socket.socket, max_frame_bytes: int | None = None
+) -> dict[str, Any] | None:
     """Read one frame from a socket; None when the peer closed cleanly."""
+    limit = _ceiling(max_frame_bytes)
     prefix = _read_exact(sock, _LENGTH.size)
     if prefix is None:
         return None
     (length,) = _LENGTH.unpack(prefix)
-    if length > MAX_FRAME_BYTES:
+    if length > limit:
         raise ProtocolError(
-            f"announced frame of {length} bytes exceeds "
-            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+            f"announced frame of {length} bytes exceeds the frame ceiling "
+            f"({limit} bytes)"
         )
     body = _read_exact(sock, length) if length else b""
     if body is None:
         raise ProtocolError("connection closed between length prefix and body")
-    return decode_frame(body)
+    return _parse_body(body)
 
 
-def write_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+def write_frame(
+    sock: socket.socket, payload: dict[str, Any],
+    max_frame_bytes: int | None = None,
+) -> None:
     """Encode and send one frame."""
-    sock.sendall(encode_frame(payload))
+    sock.sendall(encode_frame(payload, max_frame_bytes))
 
 
 # --------------------------------------------------------------- asyncio I/O
 
 
 async def read_frame_async(
-    reader: asyncio.StreamReader,
+    reader: asyncio.StreamReader, max_frame_bytes: int | None = None
 ) -> dict[str, Any] | None:
     """Read one frame from an asyncio stream; None on clean EOF.
 
@@ -269,6 +312,7 @@ async def read_frame_async(
     frame boundary; mid-frame truncation, oversized lengths, and malformed
     bodies raise :class:`ProtocolError`.
     """
+    limit = _ceiling(max_frame_bytes)
     try:
         prefix = await reader.readexactly(_LENGTH.size)
     except asyncio.IncompleteReadError as exc:
@@ -279,10 +323,10 @@ async def read_frame_async(
             f"{_LENGTH.size} bytes of length prefix)"
         ) from exc
     (length,) = _LENGTH.unpack(prefix)
-    if length > MAX_FRAME_BYTES:
+    if length > limit:
         raise ProtocolError(
-            f"announced frame of {length} bytes exceeds "
-            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+            f"announced frame of {length} bytes exceeds the frame ceiling "
+            f"({limit} bytes)"
         )
     try:
         body = await reader.readexactly(length) if length else b""
@@ -290,12 +334,13 @@ async def read_frame_async(
         raise ProtocolError(
             "connection closed between length prefix and body"
         ) from exc
-    return decode_frame(body)
+    return _parse_body(body)
 
 
 async def write_frame_async(
-    writer: asyncio.StreamWriter, payload: dict[str, Any]
+    writer: asyncio.StreamWriter, payload: dict[str, Any],
+    max_frame_bytes: int | None = None,
 ) -> None:
     """Encode and send one frame on an asyncio stream (drains the buffer)."""
-    writer.write(encode_frame(payload))
+    writer.write(encode_frame(payload, max_frame_bytes))
     await writer.drain()

@@ -41,7 +41,12 @@ from repro.bdms.bdms import BeliefDBMS, PreparedStatement
 from repro.beliefsql.ast import SelectStatement, bind_statement
 from repro.beliefsql.parser import parse_beliefsql
 from repro.core.paths import format_path
-from repro.errors import BeliefDBError, ServerOverloadedError, TransactionError
+from repro.errors import (
+    BeliefDBError,
+    FrameTooLargeError,
+    ServerOverloadedError,
+    TransactionError,
+)
 from repro.obs.clock import monotonic_s
 from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS, SlowOpLog
 from repro.server import protocol
@@ -216,6 +221,12 @@ class BeliefServer:
         tracing; ``0`` traces every op.
     """
 
+    #: Ops admission control never sheds: health checks and scrapes must
+    #: keep answering under overload (they bypass the database lock, so
+    #: admitting them costs nothing). A class attribute so the shard router
+    #: can extend the set (it adds ``shard_status``).
+    shed_exempt_ops: frozenset = frozenset({"ping", "metrics"})
+
     def __init__(
         self,
         db: BeliefDBMS,
@@ -227,10 +238,15 @@ class BeliefServer:
         max_inflight_requests: int | None = None,
         slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
         slow_op_capacity: int = DEFAULT_CAPACITY,
+        max_frame_bytes: int | None = None,
     ) -> None:
         self.db = db
         self.host = host
         self.port = port
+        self.max_frame_bytes = (
+            protocol.MAX_FRAME_BYTES if max_frame_bytes is None
+            else int(max_frame_bytes)
+        )
         self.lock = ReadWriteLock()
         self.record_ops = record_ops
         self.checkpoint_interval = checkpoint_interval
@@ -499,14 +515,14 @@ class BeliefServer:
         """
         self._count_shed("sessions")
         try:
-            payload = protocol.read_frame(conn)
+            payload = protocol.read_frame(conn, self.max_frame_bytes)
             if payload is None:
                 return
             request = Request.from_wire(payload)
             protocol.write_frame(conn, Response.failure(
                 request.id, self._overload_error("sessions")
-            ).to_wire())
-        except (ProtocolError, OSError):
+            ).to_wire(), self.max_frame_bytes)
+        except (ProtocolError, FrameTooLargeError, OSError):
             pass
 
     def _serve_connection(
@@ -519,7 +535,7 @@ class BeliefServer:
                 return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
-                    payload = protocol.read_frame(conn)
+                    payload = protocol.read_frame(conn, self.max_frame_bytes)
                 except (ProtocolError, OSError):
                     with self._state_lock:
                         self.stats["protocol_errors"] += 1
@@ -534,7 +550,20 @@ class BeliefServer:
                     break
                 response = self._dispatch(session, request)
                 try:
-                    protocol.write_frame(conn, response.to_wire())
+                    protocol.write_frame(
+                        conn, response.to_wire(), self.max_frame_bytes
+                    )
+                except FrameTooLargeError as exc:
+                    # The *response* outgrew the ceiling; substitute a small
+                    # typed error frame so the connection survives.
+                    try:
+                        protocol.write_frame(
+                            conn,
+                            Response.failure(request.id, exc).to_wire(),
+                            self.max_frame_bytes,
+                        )
+                    except (ProtocolError, FrameTooLargeError, OSError):
+                        break
                 except (ProtocolError, OSError):
                     break
         finally:
@@ -566,7 +595,7 @@ class BeliefServer:
         shard: list[int] | None = None
         if (
             self.max_inflight_requests is not None
-            and op not in _SHED_EXEMPT_OPS
+            and op not in self.shed_exempt_ops
         ):
             with self._inflight_lock:
                 admitted = self._inflight < self.max_inflight_requests
@@ -785,7 +814,9 @@ class BeliefServer:
 
     def _op_add_user(self, session: ClientSession, params: dict[str, Any]) -> Any:
         name = params.get("name")
-        uid = self.db.add_user(name)
+        # An explicit uid pins the assignment — the shard router uses this to
+        # replicate one user identically across every worker's registry.
+        uid = self.db.add_user(name, uid=params.get("uid"))
         self._record({"op": "add_user", "name": name, "uid": uid})
         return uid
 
@@ -1132,10 +1163,9 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
 #: shared state; ``metrics`` reads structures with their own leaf locks).
 _LOCKLESS_OPS = frozenset({"ping", "metrics"})
 
-#: Ops admission control never sheds: health checks and scrapes must keep
-#: answering under overload (they bypass the database lock, so admitting
-#: them costs nothing).
-_SHED_EXEMPT_OPS = frozenset({"ping", "metrics"})
+#: Module-level alias of :attr:`BeliefServer.shed_exempt_ops` (the class
+#: attribute is authoritative; the router core overrides it).
+_SHED_EXEMPT_OPS = BeliefServer.shed_exempt_ops
 
 
 def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:

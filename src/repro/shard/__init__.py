@@ -1,0 +1,42 @@
+"""Sharded belief store: hash-ring partitioning, worker fleet, router.
+
+Scale-out composition of the existing single-node server: N complete
+belief servers (the *workers*, each with its own storage engine and WAL)
+partitioned by belief-world head, supervised by a :class:`Coordinator`,
+and fronted by a :class:`BeliefRouter` that speaks the unchanged wire
+protocol. :class:`ShardCluster` assembles the whole thing in one call —
+``repro serve --shards N`` is a thin wrapper around it.
+"""
+
+from repro.shard.cluster import ShardCluster
+from repro.shard.coordinator import (
+    Coordinator,
+    ProcessWorker,
+    ShardDirectory,
+    ThreadWorker,
+    WorkerSpec,
+)
+from repro.shard.partitioning import (
+    CONTENT_KEY,
+    HashRing,
+    canonical_key,
+    path_head,
+    statement_head,
+)
+from repro.shard.router import BeliefRouter, RouterSession
+
+__all__ = [
+    "BeliefRouter",
+    "CONTENT_KEY",
+    "Coordinator",
+    "HashRing",
+    "ProcessWorker",
+    "RouterSession",
+    "ShardCluster",
+    "ShardDirectory",
+    "ThreadWorker",
+    "WorkerSpec",
+    "canonical_key",
+    "path_head",
+    "statement_head",
+]

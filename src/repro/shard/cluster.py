@@ -1,0 +1,92 @@
+"""One-call assembly of a sharded belief store: fleet + router.
+
+:class:`ShardCluster` wires a :class:`~repro.shard.coordinator.Coordinator`
+(the worker fleet and its supervisor) to a
+:class:`~repro.shard.router.BeliefRouter` (the single wire endpoint),
+sharing one metrics registry so ``metrics``/Prometheus exposition covers
+router ops, per-shard health gauges, and restart counters in one scrape.
+
+    with ShardCluster(n_shards=4) as cluster:
+        host, port = cluster.address
+        ...  # any existing client works against (host, port)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
+from repro.shard.coordinator import Coordinator, WorkerSpec
+from repro.shard.router import BeliefRouter
+
+
+class ShardCluster:
+    """A coordinator-supervised worker fleet behind one router endpoint."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        spec: WorkerSpec | None = None,
+        worker_kind: str = "thread",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        data_dir: Any = None,
+        max_sessions: int | None = None,
+        max_inflight_requests: int | None = None,
+        slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
+        slow_op_capacity: int = DEFAULT_CAPACITY,
+        max_frame_bytes: int | None = None,
+        ping_interval: float = 0.25,
+        ping_timeout: float = 2.0,
+    ) -> None:
+        # One registry for the whole cluster: the coordinator's shard_up /
+        # shard_load / restart metrics register alongside the router's own
+        # families, so one metrics op (or Prometheus scrape) sees the fleet.
+        registry = MetricsRegistry()
+        self.coordinator = Coordinator(
+            n_shards,
+            spec=spec,
+            worker_kind=worker_kind,
+            data_dir=data_dir,
+            ping_interval=ping_interval,
+            ping_timeout=ping_timeout,
+            registry=registry,
+        )
+        self.router = BeliefRouter(
+            self.coordinator,
+            host=host,
+            port=port,
+            max_sessions=max_sessions,
+            max_inflight_requests=max_inflight_requests,
+            slow_op_ms=slow_op_ms,
+            slow_op_capacity=slow_op_capacity,
+            max_frame_bytes=max_frame_bytes,
+            registry=registry,
+        )
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        return self.router.address
+
+    @property
+    def n_shards(self) -> int:
+        return self.coordinator.n_shards
+
+    def start(self) -> "ShardCluster":
+        self.coordinator.start()
+        self.coordinator.wait_healthy()
+        self.router.start()
+        return self
+
+    def stop(self) -> None:
+        try:
+            self.router.stop()
+        finally:
+            self.coordinator.stop()
+
+    def __enter__(self) -> "ShardCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

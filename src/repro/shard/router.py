@@ -1,0 +1,1266 @@
+"""The shard router: one wire endpoint in front of the worker fleet.
+
+The router speaks the exact same wire protocol as a single belief server —
+every existing client, ``connect()`` connection, Cursor, and transaction
+path works unchanged against it — but executes nothing itself. Each request
+is classified and either:
+
+* **routed to one shard** — DML, ``believes``/``world`` lookups, and
+  anything else addressed by a belief path. The path *head* (the outermost
+  believer) picks the shard via the consistent-hash ring, so a user's whole
+  world tree lives together;
+* **fanned out to every shard** — selects, BCQ queries, ``worlds``,
+  ``users``, ``stats``, ``metrics``; results are merged (and re-paged
+  through router-side cursors, so large merged results still stream in
+  frame-sized pages);
+* **answered locally** — ``ping``, ``whoami``, session state, paging of
+  router-held cursors, and the new ``shard_status`` op.
+
+Consistency rules:
+
+* **Users are global.** User creation broadcasts an explicitly-pinned uid
+  to every shard, so names and uids resolve identically everywhere; a shard
+  that was down during a create is healed on first contact.
+* **Transactions are single-shard.** ``begin`` is router-local; the first
+  staged DML pins the transaction to its statement's shard; a later
+  statement routing elsewhere gets a typed ``CROSS_SHARD_TXN`` error (the
+  statement is *not* staged, the transaction stays open and usable).
+* **A down shard is a typed error, not a hang.** Routing to an unhealthy or
+  restarting shard raises ``SHARD_UNAVAILABLE`` immediately; the
+  coordinator's restart brings the shard back with its WAL replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from repro.beliefsql.ast import (
+    BeliefSpec,
+    DeleteStatement,
+    InsertStatement,
+    Literal,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.beliefsql.parser import parse_beliefsql
+from repro.errors import (
+    BeliefDBError,
+    CrossShardTransactionError,
+    SchemaError,
+    ShardUnavailableError,
+    TransactionError,
+    UnknownUserError,
+)
+from repro.obs.clock import monotonic_s
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
+from repro.server import protocol
+from repro.server.client import (
+    BeliefClient,
+    ConnectionLost,
+    _estimated_row_bytes,
+    merge_batch_payload,
+)
+from repro.server.protocol import Request, Response
+from repro.server.server import (
+    BeliefServer,
+    ClientSession,
+    _page_size,
+    _require,
+)
+from repro.shard.coordinator import Coordinator
+from repro.shard.partitioning import (
+    CONTENT_KEY,
+    HashRing,
+    path_head,
+    statement_head,
+)
+
+#: Router-held cursors per session (oldest evicted beyond this) — same
+#: bound as the worker-side session cursor registry.
+MAX_ROUTER_CURSORS = 32
+
+#: Shard-count buckets for the fan-out histogram (how many shards one
+#: request touched). Linear — fleets are small.
+_FANOUT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+_DML_TYPES = (InsertStatement, DeleteStatement, UpdateStatement)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterStatement:
+    """A prepared statement as the router sees it: text + parsed form.
+
+    The router keeps the *original* SQL and its AST; the session default
+    path is applied at execute time (exactly like the single server's
+    prepare-vs-execute split) by rewriting the text and forwarding it
+    one-shot — the worker's own statement cache makes re-preparation cheap.
+    """
+
+    sql: str
+    statement: Statement
+    kind: str
+    param_count: int
+    columns: tuple[str, ...]
+
+
+class _RouterState:
+    """Duck-typed stand-in for the BDMS the base server core expects.
+
+    The router reuses :class:`BeliefServer`'s accept loop, framing, session
+    lifecycle, admission control, and instrumentation — everything except
+    the database. This stub satisfies the three attributes the inherited
+    machinery touches (``metrics``, ``backend``, ``durability``).
+    """
+
+    backend = "engine"
+    durability = None
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
+
+
+class RouterSession:
+    """Router-side state of one client connection.
+
+    Wraps the base :class:`ClientSession` (identity, default path, prepared
+    statements) and adds what only the router needs: the *raw* belief path
+    for routing (user names, not uids), the per-shard upstream connections,
+    the transaction pin, and router-held cursors for merged fan-out results.
+    Served by the threaded core, so one session's requests are serial — no
+    locking needed here.
+    """
+
+    def __init__(self, base: ClientSession) -> None:
+        self.base = base
+        #: The default path in raw (name) form — what routing hashes on.
+        self.raw_path: tuple[Any, ...] = ()
+        #: The logged-in user's name (routing key when the path is empty).
+        self.user_raw: Any | None = None
+        #: shard -> (client, directory epoch at connect time).
+        self.upstreams: dict[int, tuple[BeliefClient, int]] = {}
+        self.in_txn = False
+        #: Shard the open transaction is pinned to (None until first DML).
+        self.txn_shard: int | None = None
+        #: cursor id -> (merged rows, offset of next unsent row).
+        self.cursors: OrderedDict[int, tuple[list, int]] = OrderedDict()
+        self._cursor_seq = 0
+
+    # ----------------------------------------------------------- upstreams
+
+    def drop_upstream(self, shard: int) -> None:
+        entry = self.upstreams.pop(shard, None)
+        if entry is not None:
+            try:
+                entry[0].close()
+            except Exception:  # noqa: BLE001 — already broken
+                pass
+
+    def teardown(self) -> bool:
+        """Connection died: close upstreams; a pinned transaction dies with
+        its upstream connection (the worker discards it). Installed over
+        the base session's ``abandon_transaction`` hook."""
+        for shard in list(self.upstreams):
+            self.drop_upstream(shard)
+        had_txn = self.in_txn
+        self.in_txn = False
+        self.txn_shard = None
+        return had_txn
+
+    def reset_txn(self) -> None:
+        self.in_txn = False
+        self.txn_shard = None
+
+    # ------------------------------------------------------------- cursors
+
+    def register_cursor(self, rows: list, offset: int) -> int:
+        self._cursor_seq += 1
+        self.cursors[self._cursor_seq] = (rows, offset)
+        while len(self.cursors) > MAX_ROUTER_CURSORS:
+            self.cursors.popitem(last=False)
+        return self._cursor_seq
+
+    def fetch_rows(
+        self, cursor_id: Any, count: int, byte_budget: int
+    ) -> tuple[list, bool]:
+        """Next page, bounded by ``count`` rows AND estimated bytes — a
+        merged fan-out result must page under the frame ceiling no matter
+        how wide its rows are. Auto-closes at the end, like the worker."""
+        entry = self.cursors.get(cursor_id)
+        if entry is None:
+            raise BeliefDBError(f"unknown cursor {cursor_id!r}")
+        rows, offset = entry
+        batch, end = _page_slice(rows, offset, count, byte_budget)
+        if end < len(rows):
+            self.cursors[cursor_id] = (rows, end)
+            return batch, True
+        del self.cursors[cursor_id]
+        return batch, False
+
+    def close_cursor(self, cursor_id: Any) -> bool:
+        return self.cursors.pop(cursor_id, None) is not None
+
+
+def _page_slice(
+    rows: list, offset: int, max_rows: int, byte_budget: int
+) -> tuple[list, int]:
+    """``rows[offset:...]`` capped by row count and estimated wire bytes
+    (always at least one row, so paging can never stall)."""
+    end = offset
+    total = 0
+    while end < len(rows) and end - offset < max_rows:
+        size = _estimated_row_bytes(rows[end])
+        if end > offset and total + size > byte_budget:
+            break
+        total += size
+        end += 1
+    return rows[offset:end], end
+
+
+class BeliefRouter(BeliefServer):
+    """The fleet's single wire endpoint (threaded core, no database).
+
+    Inherits all of :class:`BeliefServer`'s networking — accept loop,
+    framing with the configurable ceiling, session lifecycle, admission
+    control, metrics/slow-op instrumentation — and replaces the dispatch
+    layer with routing. Admission exempts ``shard_status`` alongside
+    ``ping``/``metrics``: fleet health must be visible under overload.
+    """
+
+    shed_exempt_ops = BeliefServer.shed_exempt_ops | {"shard_status"}
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int | None = None,
+        max_inflight_requests: int | None = None,
+        slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
+        slow_op_capacity: int = DEFAULT_CAPACITY,
+        max_frame_bytes: int | None = None,
+        upstream_timeout: float = 30.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(
+            _RouterState(registry),  # type: ignore[arg-type] — duck-typed stub
+            host=host, port=port,
+            max_sessions=max_sessions,
+            max_inflight_requests=max_inflight_requests,
+            slow_op_ms=slow_op_ms, slow_op_capacity=slow_op_capacity,
+            max_frame_bytes=max_frame_bytes,
+        )
+        self.coordinator = coordinator
+        self.ring = HashRing(coordinator.n_shards)
+        self.upstream_timeout = upstream_timeout
+        #: The global user registry mirror: every create goes through the
+        #: router (broadcast with a pinned uid), so these maps converge to
+        #: the union of every shard's user table.
+        self._users_by_name: dict[str, Any] = {}
+        self._users_by_uid: dict[Any, str] = {}
+        self._user_lock = threading.Lock()
+        self._fanout_hist = self.metrics.histogram(
+            "beliefdb_router_fanout_shards",
+            "Shards touched by one fanned-out (scatter-gather) request.",
+            buckets=_FANOUT_BUCKETS,
+        )
+        self._forward_hist = self.metrics.histogram(
+            "beliefdb_router_forward_seconds",
+            "Upstream round-trip latency per forwarded request, by shard.",
+            labels=("shard",),
+        )
+        self._forward_counter = self.metrics.counter(
+            "beliefdb_router_forwards_total",
+            "Requests forwarded to workers, by shard and outcome.",
+            labels=("shard", "status"),
+        )
+
+    # ------------------------------------------------------------- dispatch
+
+    def _router_session(self, session: ClientSession) -> RouterSession:
+        rsession = getattr(session, "router_state", None)
+        if rsession is None:
+            rsession = RouterSession(session)
+            session.router_state = rsession  # type: ignore[attr-defined]
+            # The serve loop calls abandon_transaction() when the
+            # connection dies — hook upstream teardown into it.
+            session.abandon_transaction = rsession.teardown  # type: ignore[method-assign]
+        return rsession
+
+    def _dispatch_inner(
+        self, session: ClientSession, request: Request
+    ) -> Response:
+        handler = _ROUTER_HANDLERS.get(request.op)
+        if handler is None or request.op not in protocol.OPS:
+            with self._state_lock:
+                self.stats["op_errors"] += 1
+            return Response.failure(
+                request.id,
+                BeliefDBError(f"unknown operation {request.op!r}"),
+            )
+        rsession = self._router_session(session)
+        try:
+            result = handler(self, rsession, request.params)
+            with self._state_lock:
+                self.stats["ops_served"] += 1
+            return Response.success(request.id, result)
+        except Exception as exc:  # noqa: BLE001 — every op error travels back
+            with self._state_lock:
+                self.stats["op_errors"] += 1
+            return Response.failure(request.id, exc)
+
+    # ------------------------------------------------------------ upstreams
+
+    def _upstream(self, rsession: RouterSession, shard: int) -> BeliefClient:
+        """The session's connection to one shard, rebuilt when the
+        directory epoch moved (worker restarted) or the socket died."""
+        address, epoch = self.coordinator.directory.lookup(shard)
+        cached = rsession.upstreams.get(shard)
+        if cached is not None:
+            client, cached_epoch = cached
+            if cached_epoch == epoch and not client.closed:
+                return client
+            rsession.drop_upstream(shard)
+        try:
+            client = BeliefClient(
+                *address, connect_retries=3, retry_delay=0.05,
+                timeout=self.upstream_timeout, auto_reconnect=False,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+        except (ConnectionLost, OSError) as exc:
+            raise ShardUnavailableError(
+                f"shard {shard} refused a connection ({exc}); the worker "
+                "may be restarting — retry"
+            ) from exc
+        rsession.upstreams[shard] = (client, epoch)
+        return client
+
+    def _forward(
+        self, rsession: RouterSession, shard: int, op: str, **params: Any
+    ) -> Any:
+        return self._forward_fn(
+            rsession, shard, op, lambda client: client.call(op, **params)
+        )
+
+    def _forward_fn(
+        self,
+        rsession: RouterSession,
+        shard: int,
+        op: str,
+        fn: Any,
+    ) -> Any:
+        """Run ``fn(upstream_client)`` with shard bookkeeping: latency and
+        outcome metrics, connection-loss translation to SHARD_UNAVAILABLE,
+        and the unknown-user self-heal for shards that missed a create."""
+        status = "ok"
+        start = monotonic_s()
+        try:
+            client = self._upstream(rsession, shard)
+            try:
+                return fn(client)
+            except UnknownUserError:
+                if not self._heal_users(client):
+                    raise
+                return fn(client)
+        except ConnectionLost as exc:
+            rsession.drop_upstream(shard)
+            if rsession.in_txn and rsession.txn_shard == shard:
+                # The upstream transaction died with its connection; the
+                # worker discards it. Clear the pin so the session is not
+                # stuck addressing a transaction that no longer exists.
+                rsession.reset_txn()
+            status = "unavailable"
+            raise ShardUnavailableError(
+                f"shard {shard} connection lost mid-request ({exc}); the "
+                "worker may be restarting — the request is safe to retry"
+            ) from exc
+        except ShardUnavailableError:
+            status = "unavailable"
+            raise
+        except Exception:
+            status = "error"
+            raise
+        finally:
+            elapsed = monotonic_s() - start
+            label = str(shard)
+            self._forward_counter.labels(shard=label, status=status).inc()
+            self._forward_hist.labels(shard=label).observe(elapsed)
+
+    def _heal_users(self, client: BeliefClient) -> bool:
+        """Replay the router's user registry onto one worker.
+
+        A shard that was down during user creation missed the broadcast;
+        the first op that trips over the gap lands here. Re-registering
+        with pinned uids is idempotent (already-registered raises
+        SchemaError, which just means that entry is fine)."""
+        healed = False
+        for name, uid in list(self._users_by_name.items()):
+            try:
+                client.call("add_user", name=name, uid=uid)
+                healed = True
+            except SchemaError:
+                pass  # already there — converged
+            except BeliefDBError:
+                return healed
+        return healed
+
+    def _fanout(
+        self,
+        rsession: RouterSession,
+        op: str,
+        shards: Sequence[int] | None = None,
+        **params: Any,
+    ) -> list[tuple[int, Any]]:
+        """Scatter one read to ``shards`` (default: every shard); raises
+        SHARD_UNAVAILABLE if any target is down (a partial read would
+        silently drop worlds)."""
+        if shards is None:
+            shards = list(range(self.ring.n_shards))
+        results = [
+            (shard, self._forward(rsession, shard, op, **params))
+            for shard in shards
+        ]
+        self._fanout_hist.observe(float(len(shards)))
+        return results
+
+    # -------------------------------------------------------------- routing
+
+    def _route_key(self, head: Any) -> Any:
+        """Normalize a path head for the ring: uids hash as their user's
+        name (both spellings of one user must land on one shard)."""
+        if not isinstance(head, str):
+            name = self._users_by_uid.get(head)
+            if name is not None:
+                return name
+        elif head in self._users_by_name:
+            return head
+        return head
+
+    def _raw_effective(
+        self, rsession: RouterSession, raw_path: Sequence[Any] | None
+    ) -> tuple[Any, ...]:
+        if raw_path is None:
+            return rsession.raw_path
+        return tuple(raw_path)
+
+    def _shard_for_path(
+        self, rsession: RouterSession, raw_path: Sequence[Any] | None
+    ) -> int:
+        head = path_head(raw_path, rsession.raw_path, rsession.user_raw)
+        return self.ring.shard_for(self._route_key(head))
+
+    def _select_shards(
+        self,
+        rsession: RouterSession,
+        statement: SelectStatement,
+        bind: Sequence[Any],
+    ) -> list[int]:
+        """The shards a select's worlds live on.
+
+        Every from item names exactly one world — the content world when
+        it carries no BELIEF prefix — and a world is resident on exactly
+        one shard. So the common single-world select forwards to one
+        shard with exact single-node semantics, and only a select joining
+        worlds that happen to live on different shards fans out.
+        """
+        shards = set()
+        for item in statement.items:
+            # Prefix-less from items read the plain content world — the
+            # session default path applies to DML only, never to reads.
+            head = statement_head(item.belief.path, tuple(bind), (), None)
+            shards.add(self.ring.shard_for(self._route_key(head)))
+        return sorted(shards) or [self.ring.shard_for(CONTENT_KEY)]
+
+    def _shard_for_statement(
+        self,
+        rsession: RouterSession,
+        statement: Statement,
+        bind: Sequence[Any],
+    ) -> int:
+        belief = getattr(statement, "belief", None)
+        path = belief.path if belief is not None else ()
+        head = statement_head(
+            path, tuple(bind), rsession.raw_path, rsession.user_raw
+        )
+        return self.ring.shard_for(self._route_key(head))
+
+    def _rewrite(
+        self, rsession: RouterSession, statement: Statement
+    ) -> Statement:
+        """Prepend the session default path to prefix-less DML — the router
+        version of ``ClientSession.rewrite``, using raw *names* so the
+        forwarded text resolves identically on any worker."""
+        if not rsession.raw_path:
+            return statement
+        if not isinstance(statement, _DML_TYPES):
+            return statement
+        if statement.belief.path:
+            return statement
+        spec = BeliefSpec(
+            path=tuple(Literal(user) for user in rsession.raw_path),
+            negated=statement.belief.negated,
+        )
+        return dataclasses.replace(statement, belief=spec)
+
+    # ---------------------------------------------------------------- users
+
+    def _remember_user(self, uid: Any, name: str) -> None:
+        self._users_by_name[name] = uid
+        self._users_by_uid[uid] = name
+
+    def _refresh_users(self, rsession: RouterSession) -> None:
+        """Pull every reachable shard's user table into the mirror."""
+        for shard in self.coordinator.directory.healthy_shards():
+            try:
+                listing = self._forward(rsession, shard, "users")
+            except (ShardUnavailableError, BeliefDBError):
+                continue
+            for uid, name in listing:
+                self._remember_user(uid, name)
+
+    def _lookup_user(self, user: Any) -> tuple[Any, str] | None:
+        if isinstance(user, str) and user in self._users_by_name:
+            uid = self._users_by_name[user]
+            return uid, self._users_by_uid[uid]
+        if user in self._users_by_uid:
+            return user, self._users_by_uid[user]
+        return None
+
+    def _resolve_user(
+        self, rsession: RouterSession, user: Any, create: bool
+    ) -> tuple[Any, str]:
+        found = self._lookup_user(user)
+        if found is None:
+            self._refresh_users(rsession)
+            found = self._lookup_user(user)
+        if found is not None:
+            return found
+        if not create or not isinstance(user, str):
+            raise UnknownUserError(f"unknown user reference {user!r}")
+        return self._create_user(rsession, user)
+
+    def _next_uid(self) -> int:
+        numeric = [u for u in self._users_by_uid if isinstance(u, int)]
+        return (max(numeric) + 1) if numeric else 1
+
+    def _create_user(
+        self, rsession: RouterSession, name: str | None, uid: Any = None
+    ) -> tuple[Any, str]:
+        """Create a user on EVERY shard under one router-wide lock.
+
+        The uid is allocated by the router and *pinned* on each worker, so
+        the fleet's uid space stays identical regardless of which shards
+        were reachable when. Shards down right now are healed on first
+        contact (see :meth:`_heal_users`)."""
+        with self._user_lock:
+            if name is not None:
+                known = self._users_by_name.get(name)
+                if known is not None:
+                    if uid is not None and known != uid:
+                        raise SchemaError(
+                            f"user name {name!r} already registered"
+                        )
+                    return known, name
+            if uid is None:
+                uid = self._next_uid()
+            display = name if name is not None else str(uid)
+            broadcast_to = self.coordinator.directory.healthy_shards()
+            if not broadcast_to:
+                raise ShardUnavailableError(
+                    "no shard is available to register the user on"
+                )
+            for shard in broadcast_to:
+                try:
+                    self._forward(
+                        rsession, shard, "add_user", name=name, uid=uid
+                    )
+                except SchemaError:
+                    # Already registered there (an earlier partial
+                    # broadcast, or a heal beat us to it) — converged.
+                    pass
+            self._remember_user(uid, display)
+            return uid, display
+
+    # ------------------------------------------------------------ op bodies
+
+    def _route_ping(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        return "pong"
+
+    def _describe(self, rsession: RouterSession) -> dict[str, Any]:
+        desc = rsession.base.describe()
+        desc["cursors"] = len(rsession.cursors)
+        if not rsession.in_txn:
+            desc["transaction"] = None
+        elif rsession.txn_shard is None:
+            desc["transaction"] = {"statements": 0, "rows": 0}
+        else:
+            # The pinned worker session holds the real staged counts.
+            upstream = self._forward(rsession, rsession.txn_shard, "whoami")
+            desc["transaction"] = upstream["transaction"]
+        return desc
+
+    def _route_login(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        user = _require(params, "user")
+        create = bool(params.get("create", False))
+        uid, name = self._resolve_user(rsession, user, create)
+        rsession.base.login(uid, name)
+        rsession.user_raw = name
+        rsession.raw_path = (name,)
+        return self._describe(rsession)
+
+    def _route_logout(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        rsession.base.logout()
+        rsession.user_raw = None
+        rsession.raw_path = ()
+        return self._describe(rsession)
+
+    def _route_whoami(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        return self._describe(rsession)
+
+    def _route_set_path(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        path = _require(params, "path")
+        if not isinstance(path, (list, tuple)):
+            raise BeliefDBError("set_path expects a list of users")
+        resolved = []
+        raw = []
+        for user in path:
+            uid, name = self._resolve_user(rsession, user, create=False)
+            resolved.append(uid)
+            raw.append(name)
+        rsession.base.set_path(tuple(resolved))
+        rsession.raw_path = tuple(raw)
+        return self._describe(rsession)
+
+    def _route_add_user(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        uid, _ = self._create_user(
+            rsession, params.get("name"), uid=params.get("uid")
+        )
+        return uid
+
+    def _route_users(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        self._refresh_users(rsession)
+        return [
+            [uid, name]
+            for uid, name in sorted(
+                self._users_by_uid.items(), key=lambda kv: repr(kv[0])
+            )
+        ]
+
+    # --------------------------------------------------------- routed writes
+
+    def _statement_route(
+        self, rsession: RouterSession, op: str, params: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        relation = _require(params, "relation")
+        values = _require(params, "values")
+        if not isinstance(values, (list, tuple)):
+            raise BeliefDBError("values must be a list")
+        raw_path = params.get("path")
+        if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+            raise BeliefDBError("path must be a list of users (or null)")
+        shard = self._shard_for_path(rsession, raw_path)
+        explicit = list(self._raw_effective(rsession, raw_path))
+        return shard, {
+            "relation": relation,
+            "values": list(values),
+            "path": explicit,  # always explicit: workers hold no session
+            "sign": params.get("sign", "+"),
+        }
+
+    def _route_insert(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        if rsession.in_txn:
+            raise TransactionError(
+                "the insert op is not transactional; use "
+                "execute_prepared inside a transaction"
+            )
+        shard, forwarded = self._statement_route(rsession, "insert", params)
+        return self._forward(rsession, shard, "insert", **forwarded)
+
+    def _route_delete(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        if rsession.in_txn:
+            raise TransactionError(
+                "the delete op is not transactional; use "
+                "execute_prepared inside a transaction"
+            )
+        shard, forwarded = self._statement_route(rsession, "delete", params)
+        return self._forward(rsession, shard, "delete", **forwarded)
+
+    def _route_believes(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        shard, forwarded = self._statement_route(rsession, "believes", params)
+        return self._forward(rsession, shard, "believes", **forwarded)
+
+    def _route_world(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        raw_path = params.get("path")
+        shard = self._shard_for_path(rsession, raw_path)
+        explicit = list(self._raw_effective(rsession, raw_path))
+        return self._forward(rsession, shard, "world", path=explicit)
+
+    def _route_execute(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        sql = _require(params, "sql")
+        statement = parse_beliefsql(sql)
+        if isinstance(statement, SelectStatement):
+            merged: list = []
+            targets = self._select_shards(rsession, statement, ())
+            for _, rows in self._fanout(
+                rsession, "execute", shards=targets, sql=sql
+            ):
+                merged.extend(rows)
+            return merged
+        if rsession.in_txn:
+            raise TransactionError(
+                "the legacy execute op predates transactions and cannot "
+                "run DML inside one; use execute_prepared (or "
+                "commit/rollback first)"
+            )
+        rewritten = self._rewrite(rsession, statement)
+        shard = self._shard_for_statement(rsession, rewritten, ())
+        return self._forward(rsession, shard, "execute", sql=str(rewritten))
+
+    # ------------------------------------------------- prepared statements
+
+    def _route_prepare(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        sql = _require(params, "sql")
+        statement = parse_beliefsql(sql)
+        # Metadata (kind, arity, columns) comes from a reference worker —
+        # prepare there, read the envelope, release the handle. The router
+        # keeps only text + AST; see RouterStatement.
+        shards = self.coordinator.directory.healthy_shards()
+        if not shards:
+            raise ShardUnavailableError("no shard is available to prepare on")
+        shard = shards[0]
+        info = self._forward(rsession, shard, "prepare", sql=sql)
+        self._forward(rsession, shard, "close_statement", stmt=info["stmt"])
+        prepared = RouterStatement(
+            sql=sql,
+            statement=statement,
+            kind=info["kind"],
+            param_count=info["param_count"],
+            columns=tuple(info["columns"]),
+        )
+        stmt_id = rsession.base.register_statement(prepared)
+        return {
+            "stmt": stmt_id,
+            "kind": prepared.kind,
+            "param_count": prepared.param_count,
+            "columns": list(prepared.columns),
+        }
+
+    def _route_close_statement(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        return {
+            "closed": rsession.base.close_statement(_require(params, "stmt"))
+        }
+
+    def _resolve_router_statement(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> RouterStatement:
+        if "stmt" in params:
+            prepared = rsession.base.statement(params["stmt"])
+            if not isinstance(prepared, RouterStatement):
+                raise BeliefDBError(
+                    f"unknown prepared statement {params['stmt']!r}"
+                )
+            return prepared
+        if "sql" in params:
+            sql = _require(params, "sql")
+            statement = parse_beliefsql(sql)
+            kind = (
+                "select" if isinstance(statement, SelectStatement)
+                else type(statement).__name__[: -len("Statement")].lower()
+            )
+            return RouterStatement(
+                sql=sql, statement=statement, kind=kind,
+                param_count=0, columns=(),
+            )
+        raise BeliefDBError("execute_prepared needs 'stmt' or 'sql'")
+
+    @staticmethod
+    def _bind_params(params: dict[str, Any]) -> tuple[Any, ...]:
+        bind = params.get("params", [])
+        if not isinstance(bind, (list, tuple)):
+            raise BeliefDBError("params must be a list")
+        return tuple(bind)
+
+    def _route_execute_prepared(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        prepared = self._resolve_router_statement(rsession, params)
+        bind = self._bind_params(params)
+        max_rows = _page_size(params, "max_rows")
+        if isinstance(prepared.statement, SelectStatement):
+            return self._fanout_select(
+                rsession, prepared.statement, prepared.sql, bind, max_rows
+            )
+        rewritten = self._rewrite(rsession, prepared.statement)
+        shard = self._shard_for_statement(rsession, rewritten, bind)
+        if rsession.in_txn:
+            self._pin_txn(rsession, shard)
+            return self._forward(
+                rsession, shard, "execute_prepared",
+                sql=str(rewritten), params=list(bind),
+            )
+        return self._forward(
+            rsession, shard, "execute_prepared",
+            sql=str(rewritten), params=list(bind), max_rows=max_rows,
+        )
+
+    #: First worker page of a fan-out select: small on purpose, to sample
+    #: row width before the byte-adaptive drain picks real page sizes.
+    FANOUT_PROBE_ROWS = 8
+
+    def _drain_budgeted(
+        self, client: BeliefClient, payload: dict[str, Any]
+    ) -> list:
+        """Drain a worker's paged select without ever asking for a page
+        that could overflow the frame ceiling: page sizes adapt to the
+        measured row width, targeting ceiling/3 bytes per page (the same
+        safety factor the batching client uses)."""
+        rows = list(payload["rows"])
+        cursor_id = payload.get("cursor")
+        has_more = bool(payload.get("has_more"))
+        budget = max(1024, self.max_frame_bytes // 3)
+        while has_more and cursor_id is not None:
+            recent = rows[-32:]
+            if recent:
+                avg = max(
+                    1,
+                    sum(_estimated_row_bytes(r) for r in recent)
+                    // len(recent),
+                )
+                n = min(512, max(1, budget // avg))
+            else:
+                n = self.FANOUT_PROBE_ROWS
+            page = client.fetch(cursor_id, n)
+            rows.extend(page["rows"])
+            has_more = bool(page["has_more"])
+        return rows
+
+    def _fanout_select(
+        self,
+        rsession: RouterSession,
+        statement: SelectStatement,
+        sql: str,
+        bind: tuple[Any, ...],
+        max_rows: int,
+    ) -> dict[str, Any]:
+        """Route a select to the shards its worlds live on — one shard in
+        the common case — gather+drain each one's pages, and re-page the
+        merged rows through a router-held cursor."""
+        rows: list = []
+        columns: list[str] | None = None
+        elapsed_ms = 0.0
+        shards = self._select_shards(rsession, statement, bind)
+        for shard in shards:
+            def gather(client: BeliefClient) -> tuple[dict[str, Any], list]:
+                payload = client.execute_prepared(
+                    sql, list(bind), max_rows=self.FANOUT_PROBE_ROWS
+                )
+                return payload, self._drain_budgeted(client, payload)
+
+            payload, shard_rows = self._forward_fn(
+                rsession, shard, "execute_prepared", gather
+            )
+            if columns is None:
+                columns = list(payload["columns"])
+            elapsed_ms += payload["elapsed_ms"]
+            rows.extend(shard_rows)
+        self._fanout_hist.observe(float(len(shards)))
+        first, end = _page_slice(rows, 0, max_rows, self.max_frame_bytes // 3)
+        cursor_id = (
+            rsession.register_cursor(rows, end) if end < len(rows) else None
+        )
+        return {
+            "kind": "select",
+            "columns": columns or [],
+            "rowcount": len(rows),
+            "status": f"SELECT {len(rows)}",
+            "elapsed_ms": round(elapsed_ms, 3),
+            "rows": first,
+            "cursor": cursor_id,
+            "has_more": cursor_id is not None,
+        }
+
+    def _route_execute_batch(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        prepared = self._resolve_router_statement(rsession, params)
+        if isinstance(prepared.statement, SelectStatement):
+            raise BeliefDBError("execute_batch is for DML, not select")
+        rows = _require(params, "param_rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(row, (list, tuple)) for row in rows
+        ):
+            raise BeliefDBError("param_rows must be a list of lists")
+        rewritten = self._rewrite(rsession, prepared.statement)
+        groups: dict[int, list[list[Any]]] = {}
+        for row in rows:
+            shard = self._shard_for_statement(rsession, rewritten, tuple(row))
+            groups.setdefault(shard, []).append(list(row))
+        if not groups:
+            # An empty batch still validates the statement server-side.
+            groups = {self._shard_for_path(rsession, None): []}
+        sql = str(rewritten)
+        if rsession.in_txn:
+            if len(groups) > 1:
+                raise CrossShardTransactionError(
+                    f"batch rows route to shards {sorted(groups)} but a "
+                    "transaction is single-shard; split the batch or run "
+                    "it outside the transaction — nothing was staged"
+                )
+            (shard, shard_rows), = groups.items()
+            self._pin_txn(rsession, shard)
+            return self._forward(
+                rsession, shard, "execute_batch",
+                sql=sql, param_rows=shard_rows,
+            )
+        payload: dict[str, Any] | None = None
+        for shard in sorted(groups):
+            payload = merge_batch_payload(payload, self._forward(
+                rsession, shard, "execute_batch",
+                sql=sql, param_rows=groups[shard],
+            ))
+        assert payload is not None
+        return payload
+
+    # --------------------------------------------------------- transactions
+
+    def _pin_txn(self, rsession: RouterSession, shard: int) -> None:
+        """First staged DML pins the transaction to its shard; a statement
+        routing elsewhere is rejected typed and NOT staged — the open
+        transaction survives untouched."""
+        if rsession.txn_shard is None:
+            self._forward(rsession, shard, "begin")
+            rsession.txn_shard = shard
+        elif rsession.txn_shard != shard:
+            raise CrossShardTransactionError(
+                f"this transaction is pinned to shard {rsession.txn_shard} "
+                f"(where its first statement staged), but this statement "
+                f"routes to shard {shard}; commit or rollback first — the "
+                "statement was not staged"
+            )
+
+    def _route_begin(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        if rsession.in_txn:
+            raise TransactionError(
+                "a transaction is already open on this session"
+            )
+        rsession.in_txn = True
+        rsession.txn_shard = None
+        return self._describe(rsession)
+
+    def _route_commit(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        if not rsession.in_txn:
+            raise TransactionError(
+                "no transaction is open — nothing to commit"
+            )
+        shard = rsession.txn_shard
+        rsession.reset_txn()  # consumed whatever the outcome, like take_transaction
+        if shard is None:
+            # Empty transaction: run begin+commit on the session's home
+            # shard so the reply is the worker's exact commit envelope.
+            home = self._shard_for_path(rsession, None)
+            self._forward(rsession, home, "begin")
+            return self._forward(rsession, home, "commit")
+        return self._forward(rsession, shard, "commit")
+
+    def _route_rollback(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        if not rsession.in_txn:
+            raise TransactionError(
+                "no transaction is open — nothing to roll back"
+            )
+        shard = rsession.txn_shard
+        rsession.reset_txn()
+        if shard is None:
+            return {"discarded": 0}
+        return self._forward(rsession, shard, "rollback")
+
+    # -------------------------------------------------------------- paging
+
+    def _route_fetch(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        count = _page_size(params, "n")
+        rows, has_more = rsession.fetch_rows(
+            _require(params, "cursor"), count, self.max_frame_bytes // 3
+        )
+        return {"rows": rows, "has_more": has_more}
+
+    def _route_close_cursor(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        return {"closed": rsession.close_cursor(_require(params, "cursor"))}
+
+    # ------------------------------------------------------- fan-out reads
+
+    def _route_query(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        bcq = _require(params, "bcq")
+        merged: list = []
+        for _, rows in self._fanout(rsession, "query", bcq=bcq):
+            merged.extend(rows)
+        return merged
+
+    def _route_worlds(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        # Each *user* world lives on exactly one shard, but every shard
+        # carries its own (mostly empty) ε content world — merge by path,
+        # summing statement counts (exact: non-owners contribute zeros).
+        by_path: dict[tuple, dict[str, Any]] = {}
+        for _, worlds in self._fanout(rsession, "worlds"):
+            for world in worlds:
+                key = tuple(world["path"])
+                entry = by_path.get(key)
+                if entry is None:
+                    by_path[key] = dict(world)
+                else:
+                    entry["positives"] += world["positives"]
+                    entry["negatives"] += world["negatives"]
+        return [
+            by_path[key]
+            for key in sorted(by_path, key=lambda p: (len(p), repr(p)))
+        ]
+
+    def _route_kripke(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        parts = [
+            f"=== shard {shard} ===\n{text}"
+            for shard, text in self._fanout(rsession, "kripke")
+        ]
+        return "\n\n".join(parts)
+
+    def _route_describe(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        parts = [
+            f"=== shard {shard} ===\n{text}"
+            for shard, text in self._fanout(rsession, "describe")
+        ]
+        return "\n\n".join(parts)
+
+    # --------------------------------------------------------- observability
+
+    def _router_server_stats(self) -> dict[str, Any]:
+        with self._state_lock:
+            server = dict(self.stats)
+        server["inflight_requests"] = self._inflight_now()
+        server["sessions_active"] = server["connections_active"]
+        server["uptime_seconds"] = round(self._uptime(), 3)
+        server["max_sessions"] = self.max_sessions
+        server["max_inflight_requests"] = self.max_inflight_requests
+        server["slow_ops_recorded"] = self.slow_ops.recorded_total
+        return server
+
+    def _route_stats(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        """The fleet-wide stats aggregate: counters summed across shards,
+        gauges maxed, plus per-shard sections and the router's own."""
+        merged: dict[str, Any] = {}
+        per_shard: dict[str, Any] = {}
+        reached = 0
+        for shard in range(self.ring.n_shards):
+            try:
+                payload = self._forward(rsession, shard, "stats")
+            except ShardUnavailableError:
+                per_shard[str(shard)] = {"unavailable": True}
+                continue
+            reached += 1
+            per_shard[str(shard)] = payload.get("server", {})
+            _merge_stats_tree(merged, payload)
+        # Every shard carries its own ε content world; the fleet has one.
+        worlds = merged.get("worlds")
+        if isinstance(worlds, int) and reached > 1:
+            merged["worlds"] = worlds - (reached - 1)
+        annotations = merged.get("annotations", 0)
+        if isinstance(annotations, int) and annotations > 0:
+            merged["relative_overhead"] = round(
+                merged.get("total_rows", 0) / annotations, 4
+            )
+        cache = merged.get("statement_cache")
+        if isinstance(cache, dict):
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            cache["hit_rate"] = (
+                cache.get("hits", 0) / lookups if lookups else 0.0
+            )
+        merged["shards"] = per_shard
+        merged["shards_reached"] = reached
+        merged["router"] = self._router_server_stats()
+        return merged
+
+    def _route_metrics(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        """Every shard's metric families plus the router's own, each sample
+        tagged with a ``shard`` label (``"router"`` for local families)."""
+        families: dict[str, dict[str, Any]] = {}
+
+        def fold(snapshot: list[dict[str, Any]], shard_label: str) -> None:
+            for family in snapshot:
+                entry = families.get(family["name"])
+                if entry is None:
+                    names = list(family["label_names"])
+                    if "shard" not in names:
+                        names.append("shard")
+                    entry = {
+                        "name": family["name"],
+                        "type": family["type"],
+                        "help": family["help"],
+                        "label_names": names,
+                        "samples": [],
+                    }
+                    families[family["name"]] = entry
+                for sample in family["samples"]:
+                    tagged = dict(sample)
+                    # Families already shard-labelled (the coordinator's
+                    # health gauges, router forward latency) keep theirs.
+                    if "shard" not in sample["labels"]:
+                        tagged["labels"] = {
+                            **sample["labels"], "shard": shard_label,
+                        }
+                    entry["samples"].append(tagged)
+
+        fold(self.metrics.snapshot(), "router")
+        for shard in self.coordinator.directory.healthy_shards():
+            try:
+                payload = self._forward(rsession, shard, "metrics")
+            except (ShardUnavailableError, BeliefDBError):
+                continue
+            fold(payload.get("families", []), str(shard))
+        return {
+            "families": list(families.values()),
+            "slow_ops": self.slow_ops.snapshot(),
+        }
+
+    def _route_shard_status(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        status = self.coordinator.status()
+        status["ring"] = {
+            "n_shards": self.ring.n_shards,
+            "vnodes": self.ring.vnodes,
+        }
+        with self._state_lock:
+            sessions = self.stats["connections_active"]
+            ops = self.stats["ops_served"]
+        status["router"] = {
+            "address": list(self.address) if self.address else None,
+            "sessions_active": sessions,
+            "ops_served": ops,
+        }
+        return status
+
+
+#: Keys merged with max() instead of sum() across shard stats payloads
+#: (point-in-time gauges, latency quantiles, and fleet-replicated counts
+#: like the user table, where summing lies).
+_STATS_MAX_KEYS = frozenset({
+    "uptime_seconds", "p50_ms", "p99_ms", "capacity", "size", "users",
+})
+
+#: Keys where the first shard's value stands for the fleet (config echoes).
+_STATS_FIRST_KEYS = frozenset({
+    "backend", "eager", "strict", "max_sessions", "max_inflight_requests",
+})
+
+
+def _merge_stats_tree(into: dict[str, Any], payload: dict[str, Any]) -> None:
+    """Fold one shard's stats payload into the running aggregate: dicts
+    recurse, numbers sum (or max for gauge-like keys), everything else
+    keeps the first shard's value."""
+    for key, value in payload.items():
+        if key not in into:
+            into[key] = dict(value) if isinstance(value, dict) else value
+            if isinstance(value, dict):
+                merged_child: dict[str, Any] = {}
+                _merge_stats_tree(merged_child, value)
+                into[key] = merged_child
+            continue
+        current = into[key]
+        if isinstance(value, dict) and isinstance(current, dict):
+            _merge_stats_tree(current, value)
+        elif key in _STATS_FIRST_KEYS:
+            continue
+        elif (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            and isinstance(current, (int, float))
+            and not isinstance(current, bool)
+        ):
+            if key in _STATS_MAX_KEYS:
+                into[key] = max(current, value)
+            else:
+                into[key] = current + value
+        # else: keep the first value (strings, bools, lists)
+
+
+#: op name -> router handler (unbound; called as handler(router, rsession,
+#: params)). Covers every wire op, including the router-only shard_status.
+_ROUTER_HANDLERS = {
+    "ping": BeliefRouter._route_ping,
+    "login": BeliefRouter._route_login,
+    "logout": BeliefRouter._route_logout,
+    "whoami": BeliefRouter._route_whoami,
+    "set_path": BeliefRouter._route_set_path,
+    "add_user": BeliefRouter._route_add_user,
+    "users": BeliefRouter._route_users,
+    "insert": BeliefRouter._route_insert,
+    "delete": BeliefRouter._route_delete,
+    "execute": BeliefRouter._route_execute,
+    "prepare": BeliefRouter._route_prepare,
+    "close_statement": BeliefRouter._route_close_statement,
+    "execute_prepared": BeliefRouter._route_execute_prepared,
+    "execute_batch": BeliefRouter._route_execute_batch,
+    "begin": BeliefRouter._route_begin,
+    "commit": BeliefRouter._route_commit,
+    "rollback": BeliefRouter._route_rollback,
+    "fetch": BeliefRouter._route_fetch,
+    "close_cursor": BeliefRouter._route_close_cursor,
+    "query": BeliefRouter._route_query,
+    "believes": BeliefRouter._route_believes,
+    "world": BeliefRouter._route_world,
+    "worlds": BeliefRouter._route_worlds,
+    "stats": BeliefRouter._route_stats,
+    "metrics": BeliefRouter._route_metrics,
+    "kripke": BeliefRouter._route_kripke,
+    "describe": BeliefRouter._route_describe,
+    "shard_status": BeliefRouter._route_shard_status,
+}

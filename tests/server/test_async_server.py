@@ -255,19 +255,21 @@ def test_durable_async_server_checkpoints(tmp_path):
         recovered.close()
 
 
-def test_unframeable_response_drops_connection_instead_of_hanging(server):
-    """A response that cannot be framed (> MAX_FRAME_BYTES) must fail
-    closed like the threaded core — dropping the connection — not leave
-    the client parked forever on a reply that can never be written."""
+def test_unframeable_response_gets_typed_error_and_connection_survives(server):
+    """A response that cannot be framed (> max_frame_bytes) is replaced by
+    a small typed FRAME_TOO_LARGE error frame — the client gets a real
+    error to act on and the connection keeps working."""
+    from repro.errors import FrameTooLargeError
+
     big = "x" * 300_000
     with BeliefClient(*server.address) as client:
         for i in range(4):
             client.insert("Sightings", [f"s{i}", "Carol", big, "d", "l"])
-        with pytest.raises(ConnectionLost):
+        with pytest.raises(FrameTooLargeError, match="frame ceiling"):
             # The legacy execute op returns ALL rows in one frame: ~1.2 MiB
             # here, over the 1 MiB ceiling.
             client.execute("select S.sid, S.species from Sightings as S")
-    assert server.stats["protocol_errors"] >= 1
+        assert client.ping()  # same connection, still serving
 
 
 def test_stats_op_reports_server_counters(server):

@@ -315,7 +315,7 @@ def test_send_failure_with_inflight_never_resends(monkeypatch):
             real_write = protocol_module.write_frame
             calls = {"n": 0}
 
-            def failing_write(sock, payload):
+            def failing_write(sock, payload, max_frame_bytes=None):
                 calls["n"] += 1
                 raise OSError("wire cut")
 
@@ -384,12 +384,14 @@ def test_wide_rows_chunk_by_bytes(client):
 
 
 def test_unframeable_row_fails_locally_without_killing_connection(client):
-    """A single row too large for any frame raises the real ProtocolError
-    — no connection teardown, no reconnect-and-retry of the same frame."""
-    from repro.server.protocol import MAX_FRAME_BYTES, ProtocolError
+    """A single row too large for any frame raises the typed
+    FrameTooLargeError locally — no connection teardown, no
+    reconnect-and-retry of the same frame."""
+    from repro.errors import FrameTooLargeError
+    from repro.server.protocol import MAX_FRAME_BYTES
 
     huge = "x" * (MAX_FRAME_BYTES + 1024)
-    with pytest.raises(ProtocolError, match="exceeds MAX_FRAME_BYTES"):
+    with pytest.raises(FrameTooLargeError, match="frame ceiling"):
         client.execute_batch(
             "insert into Sightings values (?,?,?,?,?)",
             [["h1", "Carol", huge, "d", "l"]],

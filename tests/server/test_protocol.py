@@ -8,6 +8,7 @@ import threading
 
 import pytest
 
+from repro.errors import FrameTooLargeError
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -119,13 +120,29 @@ def test_malformed_responses_rejected(payload):
 def test_oversized_payload_rejected_on_encode():
     huge = {"id": 1, "op": "execute",
             "params": {"sql": "x" * (MAX_FRAME_BYTES + 1)}}
-    with pytest.raises(ProtocolError):
+    with pytest.raises(FrameTooLargeError, match="frame ceiling"):
         encode_frame(huge)
 
 
 def test_oversized_body_rejected_on_decode():
-    with pytest.raises(ProtocolError):
+    with pytest.raises(FrameTooLargeError, match="frame ceiling"):
         decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+def test_frame_ceiling_is_configurable():
+    payload = {"id": 1, "op": "execute", "params": {"sql": "x" * 4096}}
+    with pytest.raises(FrameTooLargeError, match="frame ceiling"):
+        encode_frame(payload, max_frame_bytes=1024)
+    # The same payload frames fine under the default ceiling ...
+    frame = encode_frame(payload)
+    # ... and a raised ceiling admits bodies the default would reject.
+    big = {"id": 1, "op": "execute",
+           "params": {"sql": "x" * (MAX_FRAME_BYTES + 1)}}
+    assert decode_frame(
+        encode_frame(big, max_frame_bytes=4 * MAX_FRAME_BYTES)[4:],
+        max_frame_bytes=4 * MAX_FRAME_BYTES,
+    )["params"]["sql"]
+    assert len(frame) < MAX_FRAME_BYTES
 
 
 def test_unserializable_payload_rejected():

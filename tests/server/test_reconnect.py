@@ -177,7 +177,7 @@ def test_send_failure_never_resends_session_handles(db, monkeypatch):
             real_write = protocol_module.write_frame
             calls = {"n": 0}
 
-            def failing_write(sock, payload):
+            def failing_write(sock, payload, max_frame_bytes=None):
                 calls["n"] += 1
                 raise OSError("connection reset by peer")
 
