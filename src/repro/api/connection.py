@@ -25,9 +25,11 @@ write-lock acquisition, one WAL fsync) or :meth:`Connection.rollback`
 discards it. ``with conn.transaction():`` wraps begin/commit and rolls
 back when the block raises; ``connect(..., autocommit=False)`` starts a
 transaction implicitly at the first statement and requires an explicit
-``commit``. Reads always see the last committed state — staged writes are
-invisible everywhere, including to the session that staged them — and a
-staged statement's Result carries ``rowcount == -1`` and a ``... STAGED``
+``commit``. Selects inside an open transaction read **through the write
+buffer**: the session sees its own staged writes overlaid on the last
+committed snapshot (read-your-own-writes), while every other session
+keeps seeing only committed state — see ``docs/concurrency.md``. A staged
+statement's Result carries ``rowcount == -1`` and a ``... STAGED``
 status, identically embedded and remote. Closing a connection (or losing
 it) discards an open transaction; it is **never** silently retried.
 
@@ -329,12 +331,19 @@ class EmbeddedConnection(Connection):
             raise BeliefDBError("connection is closed")
         self._implicit_begin()
         prepared = self._prepared(sql)
-        if self._session.in_transaction and prepared.kind != "select":
-            # Staged, not applied: the session rewrite is captured *now*
-            # (login/set_path after staging does not retarget it), the
-            # binding is validated now, and nothing touches the store
-            # until commit.
-            return self._session.transaction().stage(prepared, params)
+        if self._session.in_transaction:
+            txn = self._session.transaction()
+            if prepared.kind != "select":
+                # Staged, not applied: the session rewrite is captured *now*
+                # (login/set_path after staging does not retarget it), the
+                # binding is validated now, and nothing touches the store
+                # until commit.
+                return txn.stage(prepared, params)
+            # Read-your-own-writes: selects inside the transaction read
+            # through the write buffer (committed snapshot + staged DML).
+            return self.db.execute_prepared(
+                prepared, params, version=txn.read_version()
+            )
         return self.db.execute_prepared(prepared, params)
 
     def _run_many(

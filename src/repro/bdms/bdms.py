@@ -14,14 +14,16 @@ backend:
 * ``"naive"`` — the Def. 14 reference evaluator (slow; for testing);
 * ``"lazy"`` — query-time default application on a lazy store (Sect. 6.3).
 
-Thread safety: a :class:`BeliefDBMS` is **not** internally synchronized.
-Concurrent callers must serialize access externally — the network layer in
-:mod:`repro.server` does so with a readers-writer lock. (The prepared-
-statement cache is the one exception: it has its own internal lock, so
-``prepare`` alone is safe to call concurrently.) Note that on the
-``"sqlite"`` backend even queries mutate state (the mirror is resynced
-lazily inside the query path), so they need the *exclusive* side of any
-such lock.
+Thread safety (MVCC): the store is **multi-versioned**. Every write path
+runs under an internal write mutex and bumps the version epoch; every
+read pins an immutable copy-on-write snapshot of the store
+(:mod:`repro.storage.mvcc`) and evaluates against it — so queries are
+safe to run concurrently with writes, never block behind them, and always
+see a single-version-consistent state. Writers still serialize against
+each other (the network layer's writer-preference lock additionally
+orders them for the op log). On the ``"sqlite"`` backend each pinned
+version lazily owns its own mirror, so even sqlite reads no longer need
+exclusive access. See ``docs/concurrency.md`` for the full model.
 
 Two styles of use. The facade, with SQL text and typed results::
 
@@ -61,12 +63,14 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Literal, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
     from repro.durability.manager import DurabilityManager
 
+from repro.bdms.dml import apply_delete, apply_update
 from repro.bdms.result import Result
 from repro.bdms.transaction import Transaction
 from repro.beliefsql.ast import (
@@ -89,8 +93,8 @@ from repro.beliefsql.compiler import (
 from repro.beliefsql.parser import parse_beliefsql
 from repro.core.database import BeliefDatabase
 from repro.core.kripke import KripkeStructure, canonical_kripke
-from repro.core.paths import BeliefPath, User
-from repro.core.schema import ExternalSchema, GroundTuple, Value
+from repro.core.paths import User
+from repro.core.schema import ExternalSchema, Value
 from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement, Sign
 from repro.core.worlds import BeliefWorld
 from repro.errors import (
@@ -108,7 +112,7 @@ from repro.query.naive import evaluate_naive
 from repro.query.parser import parse_bcq
 from repro.query.sql_gen import evaluate_sql
 from repro.query.translate import evaluate_translated
-from repro.relational.sqlite_backend import SqliteMirror
+from repro.storage.mvcc import Version, VersionManager
 from repro.storage.store import BeliefStore
 from repro.storage.updates import delete_tuple, insert_statement, insert_tuple
 
@@ -195,8 +199,11 @@ class BeliefDBMS:
         self.backend = backend
         self.strict = strict
         self.store = BeliefStore(schema, eager=eager)
-        self._mirror: SqliteMirror | None = None
-        self._mirror_dirty = True
+        # MVCC: every write runs under this mutex and bumps the epoch;
+        # every read pins a copy-on-write snapshot (see read_view()). The
+        # RLock nests — statement execution calls insert()/delete() inside
+        # an already-held write section.
+        self._write_mutex = threading.RLock()
         self._stmt_cache: OrderedDict[Any, PreparedStatement] = OrderedDict()
         self._stmt_cache_size = max(0, stmt_cache_size)
         self._stmt_lock = threading.Lock()
@@ -233,6 +240,9 @@ class BeliefDBMS:
             event: cache_events.labels(event=event)
             for event in ("hit", "miss", "eviction", "invalidation")
         }
+        #: The MVCC version manager: epoch counter, snapshot cache, pin
+        #: accounting, and version GC (``mvcc_*`` metrics).
+        self.versions = VersionManager(metrics=self.metrics)
         if durability is not None:
             self.attach_durability(durability)
 
@@ -265,7 +275,8 @@ class BeliefDBMS:
         """
         if self._durability is None:
             raise BeliefDBError("no durability manager attached")
-        return self._durability.checkpoint(self)
+        with self._write_mutex:
+            return self._durability.checkpoint(self)
 
     def restore(self) -> dict[str, Any]:
         """Discard in-memory state and rebuild it from disk.
@@ -276,11 +287,15 @@ class BeliefDBMS:
         """
         if self._durability is None:
             raise BeliefDBError("no durability manager attached")
-        self.store = BeliefStore(self.schema, eager=self.store.eager)
-        self._mirror = None
-        self._mirror_dirty = True
-        self.invalidate_statements()
-        return self._durability.recover(self).as_dict()
+        with self._write_mutex:
+            self.store = BeliefStore(self.schema, eager=self.store.eager)
+            self.invalidate_statements()
+            try:
+                return self._durability.recover(self).as_dict()
+            finally:
+                # The live store was replaced wholesale: drop every cached
+                # version so no new pin reuses a fork of the old object.
+                self.versions.invalidate()
 
     def close(self) -> None:
         """Flush and release durable resources (no-op when ephemeral)."""
@@ -331,13 +346,46 @@ class BeliefDBMS:
         if manager.records_since_checkpoint < self._checkpoint_retry_after:
             return
         try:
-            manager.checkpoint(self)
+            with self._write_mutex:
+                manager.checkpoint(self)
             self._checkpoint_retry_after = 0
         except Exception:  # noqa: BLE001 — the logged write already stands
             self._checkpoint_failures += 1
             self._checkpoint_retry_after = (
                 manager.records_since_checkpoint + manager.checkpoint_every
             )
+
+    # ------------------------------------------------------------------- MVCC
+
+    def pin_version(self) -> Version:
+        """Pin the current store version; pair with :meth:`release_version`.
+
+        Takes the write mutex briefly so a pin can never observe a write
+        in progress — the fork is exactly the state the last completed
+        write left behind (the epoch's frozen snapshot).
+        """
+        with self._write_mutex:
+            return self.versions.pin(self.store)
+
+    def release_version(self, version: Version) -> None:
+        """Drop one pin; a retired, fully-released version is GC'd."""
+        self.versions.release(version)
+
+    @contextmanager
+    def read_view(self):
+        """``with db.read_view() as v:`` — a pinned immutable snapshot.
+
+        ``v.store`` is a fully functional :class:`BeliefStore` frozen at
+        ``v.epoch``; reads against it never take a lock and never observe
+        concurrent writers. Hold it only as long as one logical read —
+        long-lived holders (watch loops) must re-pin per iteration, or the
+        version GC cannot reclaim retired snapshots.
+        """
+        version = self.pin_version()
+        try:
+            yield version
+        finally:
+            self.release_version(version)
 
     # ------------------------------------------------------------------ users
 
@@ -349,14 +397,17 @@ class BeliefDBMS:
         any compiled artifact that captured a stale resolution).
         """
         self._check_durable_writable()
-        self._mirror_dirty = True
-        self.invalidate_statements()
-        assigned = self.store.add_user(name=name, uid=uid)
-        self._log_durable({
-            "op": "add_user",
-            "uid": assigned,
-            "name": self.store.user_name(assigned),
-        })
+        with self._write_mutex:
+            self.invalidate_statements()
+            try:
+                assigned = self.store.add_user(name=name, uid=uid)
+            finally:
+                self.versions.bump()
+            self._log_durable({
+                "op": "add_user",
+                "uid": assigned,
+                "name": self.store.user_name(assigned),
+            })
         return assigned
 
     def users(self) -> dict[User, str]:
@@ -383,19 +434,24 @@ class BeliefDBMS:
         with explicit beliefs raise (strict) or return False.
         """
         self._check_durable_writable()
-        resolved = tuple(self.store.resolve_user(u) for u in path)
-        t = self.schema.tuple(relation, *values)
-        ok = insert_tuple(self.store, resolved, t, Sign.coerce(sign))
-        if ok:
-            self._mirror_dirty = True
-            self._log_durable({
-                "op": "insert",
-                "path": list(resolved),
-                "relation": relation,
-                "values": list(t.values),
-                "sign": str(Sign.coerce(sign)),
-            })
-        elif self.strict:
+        with self._write_mutex:
+            resolved = tuple(self.store.resolve_user(u) for u in path)
+            t = self.schema.tuple(relation, *values)
+            try:
+                ok = insert_tuple(self.store, resolved, t, Sign.coerce(sign))
+            finally:
+                # Bump even on rejection: idWorld may have materialized new
+                # worlds before the conflict was detected.
+                self.versions.bump()
+            if ok:
+                self._log_durable({
+                    "op": "insert",
+                    "path": list(resolved),
+                    "relation": relation,
+                    "values": list(t.values),
+                    "sign": str(Sign.coerce(sign)),
+                })
+        if not ok and self.strict:
             raise RejectedUpdateError(
                 f"insert rejected: {t} with sign {Sign.coerce(sign)} conflicts "
                 f"with explicit beliefs at path {resolved!r} (or is a duplicate)"
@@ -411,19 +467,22 @@ class BeliefDBMS:
     ) -> bool:
         """Delete one explicit belief statement (implicit ones cannot be)."""
         self._check_durable_writable()
-        resolved = tuple(self.store.resolve_user(u) for u in path)
-        t = self.schema.tuple(relation, *values)
-        ok = delete_tuple(self.store, resolved, t, Sign.coerce(sign))
-        if ok:
-            self._mirror_dirty = True
-            self._log_durable({
-                "op": "delete",
-                "path": list(resolved),
-                "relation": relation,
-                "values": list(t.values),
-                "sign": str(Sign.coerce(sign)),
-            })
-        elif self.strict:
+        with self._write_mutex:
+            resolved = tuple(self.store.resolve_user(u) for u in path)
+            t = self.schema.tuple(relation, *values)
+            try:
+                ok = delete_tuple(self.store, resolved, t, Sign.coerce(sign))
+            finally:
+                self.versions.bump()
+            if ok:
+                self._log_durable({
+                    "op": "delete",
+                    "path": list(resolved),
+                    "relation": relation,
+                    "values": list(t.values),
+                    "sign": str(Sign.coerce(sign)),
+                })
+        if not ok and self.strict:
             raise RejectedUpdateError(
                 f"delete rejected: no explicit statement for {t} at {resolved!r}"
             )
@@ -431,29 +490,40 @@ class BeliefDBMS:
 
     # ------------------------------------------------------------------ queries
 
-    def query(self, query: BCQuery | str) -> set[tuple]:
-        """Answer a belief conjunctive query (object or textual form)."""
+    def query(
+        self, query: BCQuery | str, version: Version | None = None
+    ) -> set[tuple]:
+        """Answer a belief conjunctive query (object or textual form).
+
+        Evaluates against a pinned immutable snapshot: with ``version``
+        omitted, a version is pinned for the duration of this one query;
+        callers composing several reads into one consistent view pin once
+        via :meth:`read_view` and pass the version through.
+        """
         if isinstance(query, str):
             query = parse_bcq(query, self.schema)
         query.check_safe(self.schema)
-        if self.backend == "engine":
-            return evaluate_translated(self.store, query)
-        if self.backend == "sqlite":
-            return evaluate_sql(self.store, query, self._synced_mirror())
-        if self.backend == "lazy":
-            return evaluate_lazy(self.store, query)
-        return evaluate_naive(
-            self.store.explicit_db, query, users=self.store.users()
-        )
+        if version is not None:
+            return self._query_version(query, version)
+        with self.read_view() as pinned:
+            return self._query_version(query, pinned)
 
-    def _synced_mirror(self) -> SqliteMirror:
-        if self._mirror is None:
-            self._mirror = SqliteMirror()
-            self._mirror_dirty = True
-        if self._mirror_dirty:
-            self._mirror.sync(self.store.engine)
-            self._mirror_dirty = False
-        return self._mirror
+    def _query_version(self, query: BCQuery, version: Version) -> set[tuple]:
+        """Evaluate one checked query against a pinned snapshot."""
+        store = version.store
+        if self.backend == "engine":
+            return evaluate_translated(store, query)
+        if self.backend == "sqlite":
+            # The per-version mirror is shared by every reader of this
+            # version; first use pays one sync, the lock serializes the
+            # sqlite connection (never the writer, never other versions).
+            with version.mirror_lock:
+                return evaluate_sql(store, query, version.synced_mirror())
+        if self.backend == "lazy":
+            return evaluate_lazy(store, query)
+        return evaluate_naive(
+            store.explicit_db, query, users=store.users()
+        )
 
     # ------------------------------------------------------------------ BeliefSQL
 
@@ -565,13 +635,20 @@ class BeliefDBMS:
         return dropped
 
     def execute_prepared(
-        self, prepared: PreparedStatement, params: Sequence[Value] = ()
+        self,
+        prepared: PreparedStatement,
+        params: Sequence[Value] = (),
+        version: Version | None = None,
     ) -> Result:
         """Bind ``params`` into a prepared statement and execute it.
 
         This is the primitive everything else reduces to: binding is a cheap
         structural substitution into the compiled artifact, so one
         ``prepare`` serves many parameter vectors.
+
+        ``version`` (selects only) evaluates against that pinned snapshot
+        instead of pinning a fresh one — how transactional sessions read
+        through their write buffer (:meth:`Transaction.read_version`).
         """
         watch = Stopwatch()
         compiled = prepared.compiled
@@ -579,16 +656,20 @@ class BeliefDBMS:
         if isinstance(compiled, CompiledSelect):
             query = compiled.bind(params)
             if query is not None:
-                rows = sorted(self.query(query), key=repr)
+                rows = sorted(self.query(query, version=version), key=repr)
             rowcount = len(rows)
         else:
             # DML: the statement is WAL-logged here as one replayable
             # template + parameter record; suppress the per-tuple records
             # the nested insert()/delete() calls would otherwise emit.
             self._check_durable_writable()
-            rowcount = self._execute_dml_row(compiled, params)
-            if rowcount:
-                self._log_durable(_execute_entry(prepared.sql, params))
+            with self._write_mutex:
+                try:
+                    rowcount = self._execute_dml_row(compiled, params)
+                finally:
+                    self.versions.bump()
+                if rowcount:
+                    self._log_durable(_execute_entry(prepared.sql, params))
         elapsed_ms = self._observe_statement(prepared.kind, watch)
         return Result(
             kind=prepared.kind,
@@ -629,21 +710,25 @@ class BeliefDBMS:
         compiled = prepared.compiled
         rowcounts: list[int] = []
         entries: list[dict[str, Any]] = []
-        try:
-            for params in param_rows:
-                rowcount = self._execute_dml_row(compiled, params)
-                if rowcount:
-                    entries.append(_execute_entry(prepared.sql, params))
-                rowcounts.append(rowcount)
-        except BeliefDBError as exc:
-            # Strict mode stops at the first rejected row. Callers (the
-            # server's op log) need to know how much of the batch landed.
-            exc.partial_rowcounts = rowcounts  # type: ignore[attr-defined]
-            raise
-        finally:
-            # Log whatever was applied even when a later row raised (strict
-            # mode): memory and log must agree on the applied prefix.
-            self._log_durable_batch(entries)
+        with self._write_mutex:
+            try:
+                for params in param_rows:
+                    rowcount = self._execute_dml_row(compiled, params)
+                    if rowcount:
+                        entries.append(_execute_entry(prepared.sql, params))
+                    rowcounts.append(rowcount)
+            except BeliefDBError as exc:
+                # Strict mode stops at the first rejected row. Callers (the
+                # server's op log) need to know how much of the batch landed.
+                exc.partial_rowcounts = rowcounts  # type: ignore[attr-defined]
+                raise
+            finally:
+                # One epoch bump for the whole batch: readers see the batch
+                # prefix exactly as the log records it.
+                self.versions.bump()
+                # Log whatever was applied even when a later row raised
+                # (strict mode): memory and log must agree on the prefix.
+                self._log_durable_batch(entries)
         total = sum(rowcounts)
         elapsed_ms = self._observe_statement(prepared.kind, watch)
         return Result(
@@ -726,57 +811,71 @@ class BeliefDBMS:
                 elapsed_ms=self._observe_statement("commit", watch),
             )
         self._check_durable_writable()
-        # Undo capture: the explicit annotations + users are the complete
-        # logical state (snapshots persist exactly this); references only,
-        # so the capture is O(annotations) pointer copies per commit.
-        # Deliberate tradeoff: inverse-delta undo does not compose with the
-        # eager closure (one insert ripples implicit beliefs across worlds),
-        # and the capture must precede the first mutation — mid-apply
-        # failures can occur even in non-strict mode (unknown users, schema
-        # violations), so strict-only capture would be unsound.
-        undo_users = list(self.store.users().items())
-        undo_statements = list(self.store.explicit_statements())
-        entries: list[dict[str, Any]] = []
-        applied_statements = 0
-        total = 0
-        try:
-            for s in staged:
-                for params in s.param_rows:
-                    rowcount = self._execute_dml_row(
-                        s.prepared.compiled, params
-                    )
-                    total += rowcount
-                    if rowcount:
-                        entries.append(
-                            _execute_entry(s.prepared.sql, params)
-                        )
-                applied_statements += 1
-        except BeliefDBError as exc:
-            # Apply-time failure: nothing was logged, so rolling memory
-            # back really does leave the database unchanged.
-            self._rollback_rebuild(undo_users, undo_statements)
-            txn._mark("aborted")
-            self._note_txn("aborted")
-            raise TransactionAbortedError(
-                f"transaction aborted at statement "
-                f"{min(applied_statements + 1, len(staged))} of "
-                f"{len(staged)} and rolled back — the database is "
-                f"unchanged: {exc}"
-            ) from exc
-        # Durability AFTER a complete apply. On failure the DurabilityError
-        # propagates without touching memory — see the docstring for why a
-        # rollback here would be unsound (written frames can survive a
-        # failed fsync, so the next recovery may legitimately replay this
-        # never-acknowledged commit). The txn still reaches a terminal
-        # state ("failed": applied in memory, durability unknown) so the
-        # begun-vs-terminal ledger in snapshot_stats stays reconciled.
-        if entries and self._durability is not None and not self._in_recovery:
+        with self._write_mutex:
+            # Undo capture: the explicit annotations + users are the complete
+            # logical state (snapshots persist exactly this); references only,
+            # so the capture is O(annotations) pointer copies per commit.
+            # Deliberate tradeoff: inverse-delta undo does not compose with
+            # the eager closure (one insert ripples implicit beliefs across
+            # worlds), and the capture must precede the first mutation —
+            # mid-apply failures can occur even in non-strict mode (unknown
+            # users, schema violations), so strict-only capture would be
+            # unsound.
+            undo_users = list(self.store.users().items())
+            undo_statements = list(self.store.explicit_statements())
+            entries: list[dict[str, Any]] = []
+            applied_statements = 0
+            total = 0
             try:
-                self._durability.log_transaction(entries)
-            except BeliefDBError:
-                txn._mark("failed")
-                self._note_txn("failed")
-                raise
+                for s in staged:
+                    for params in s.param_rows:
+                        rowcount = self._execute_dml_row(
+                            s.prepared.compiled, params
+                        )
+                        total += rowcount
+                        if rowcount:
+                            entries.append(
+                                _execute_entry(s.prepared.sql, params)
+                            )
+                    applied_statements += 1
+            except BeliefDBError as exc:
+                # Apply-time failure: nothing was logged, so rolling memory
+                # back really does leave the database unchanged (the rebuild
+                # ends by invalidating cached versions, so no new pin can
+                # observe the aborted prefix).
+                self._rollback_rebuild(undo_users, undo_statements)
+                txn._mark("aborted")
+                self._note_txn("aborted")
+                raise TransactionAbortedError(
+                    f"transaction aborted at statement "
+                    f"{min(applied_statements + 1, len(staged))} of "
+                    f"{len(staged)} and rolled back — the database is "
+                    f"unchanged: {exc}"
+                ) from exc
+            # One epoch bump for the whole transaction: the commit installs
+            # the new version atomically — a reader pins either the full
+            # pre-commit or the full post-commit state, never a prefix
+            # (mid-apply pins block on the write mutex held here).
+            self.versions.bump()
+            # Durability AFTER a complete apply. On failure the
+            # DurabilityError propagates without touching memory — see the
+            # docstring for why a rollback here would be unsound (written
+            # frames can survive a failed fsync, so the next recovery may
+            # legitimately replay this never-acknowledged commit). The txn
+            # still reaches a terminal state ("failed": applied in memory,
+            # durability unknown) so the begun-vs-terminal ledger in
+            # snapshot_stats stays reconciled.
+            if (
+                entries
+                and self._durability is not None
+                and not self._in_recovery
+            ):
+                try:
+                    self._durability.log_transaction(entries)
+                except BeliefDBError:
+                    txn._mark("failed")
+                    self._note_txn("failed")
+                    raise
         txn.applied_entries = entries
         txn._mark("committed")
         self._note_txn("committed")
@@ -830,8 +929,6 @@ class BeliefDBMS:
         from repro.durability.snapshot import statement_order
 
         self.store = BeliefStore(self.schema, eager=self.store.eager)
-        self._mirror = None
-        self._mirror_dirty = True
         self.invalidate_statements()
         for uid, name in users:
             self.store.add_user(name=name, uid=uid)
@@ -841,6 +938,9 @@ class BeliefDBMS:
                     "transaction rollback failed to rebuild the pre-commit "
                     f"state: {statement} re-rejected"
                 )
+        # Same wholesale-replacement rule as restore(): cached versions of
+        # the discarded store must not serve new pins.
+        self.versions.invalidate()
 
     def execute_sql(self, sql: str, params: Sequence[Value] = ()) -> Result:
         """Execute one BeliefSQL statement with ``?`` parameters; typed result."""
@@ -895,62 +995,36 @@ class BeliefDBMS:
     def _execute_insert(self, op: CompiledInsert) -> bool:
         return self.insert(op.path, op.relation, op.values, op.sign)
 
-    def _matching_statements(
-        self, path: BeliefPath, relation: str, sign: Sign, predicate
-    ) -> list[GroundTuple]:
-        """Entailed tuples of the world at ``path`` with this sign, filtered."""
-        world = self.store.entailed_world(path)
-        pool = world.positives if sign is POSITIVE else world.negatives
-        return [t for t in pool if t.relation == relation and predicate(t)]
-
     def _execute_delete(self, op: CompiledDelete) -> int:
         """Delete the *explicit* statements matching the WHERE clause."""
-        path = tuple(self.store.resolve_user(u) for u in op.path)
-        explicit = self.store.explicit_db.explicit_world(path)
-        pool = explicit.positives if op.sign is POSITIVE else explicit.negatives
-        doomed = [
-            t for t in pool if t.relation == op.relation and op.predicate(t)
-        ]
-        count = 0
-        for t in sorted(doomed, key=repr):
-            if delete_tuple(self.store, path, t, op.sign):
-                count += 1
-        if count:
-            self._mirror_dirty = True
-        return count
+        return apply_delete(self.store, op)
 
     def _execute_update(self, op: CompiledUpdate) -> int:
-        """Update beliefs: re-assert matching tuples with new attribute values.
+        """Update beliefs: re-assert matching tuples with new values.
 
-        Matching considers the *entailed* world (so updating a default belief
-        turns it into an explicit one); matched explicit statements are
-        replaced, matched implicit ones are overridden by the new explicit
-        statement (Sect. 5.3 "delete operations follow a similar semantics").
+        Semantics live in :func:`repro.bdms.dml.apply_update`, shared with
+        the transaction read view.
         """
-        path = tuple(self.store.resolve_user(u) for u in op.path)
-        matches = self._matching_statements(
-            path, op.relation, op.sign, op.predicate
-        )
-        explicit = self.store.explicit_db.explicit_signs(path)
-        count = 0
-        for t in sorted(matches, key=repr):
-            replacement = self.schema.replace(t, **dict(op.assignments))
-            if replacement == t:
-                continue
-            if (t, op.sign) in explicit:
-                delete_tuple(self.store, path, t, op.sign)
-            if insert_tuple(self.store, path, replacement, op.sign):
-                count += 1
-        if count:
-            self._mirror_dirty = True
-        return count
+        return apply_update(self.store, op)
 
     # ------------------------------------------------------------------ views
 
-    def world(self, path: Sequence[Any]) -> BeliefWorld:
-        """The entailed belief world at ``path`` (ids or names)."""
-        resolved = tuple(self.store.resolve_user(u) for u in path)
-        return self.store.entailed_world(resolved)
+    def world(
+        self, path: Sequence[Any], version: Version | None = None
+    ) -> BeliefWorld:
+        """The entailed belief world at ``path`` (ids or names).
+
+        Reads from a pinned snapshot — pass ``version`` to compose several
+        world reads into one single-version-consistent view.
+        """
+        if version is not None:
+            store = version.store
+            resolved = tuple(store.resolve_user(u) for u in path)
+            return store.entailed_world(resolved)
+        with self.read_view() as pinned:
+            store = pinned.store
+            resolved = tuple(store.resolve_user(u) for u in path)
+            return store.entailed_world(resolved)
 
     def believes(
         self,
@@ -1016,19 +1090,34 @@ class BeliefDBMS:
                 "p50_ms": round(child.quantile(0.5) * 1000.0, 3),
                 "p99_ms": round(child.quantile(0.99) * 1000.0, 3),
             }
+        # Store-derived numbers come from one pinned snapshot, so a stats
+        # call concurrent with writers still reports one consistent
+        # version (keyed below as "version"). The pin is released before
+        # returning — long-lived watch loops therefore never hold a
+        # version across iterations (the GC regression tests pin this).
+        with self.read_view() as pinned:
+            store = pinned.store
+            epoch = pinned.epoch
+            annotations = len(store.explicit_db)
+            total_rows = store.total_rows()
+            store_section = {
+                "eager": store.eager,
+                "users": len(store.users()),
+                "worlds": store.world_count(),
+                "annotations": annotations,
+                "total_rows": total_rows,
+                "relative_overhead": total_rows / max(1, annotations),
+                "row_counts": dict(store.row_counts()),
+            }
         return {
             "backend": self.backend,
-            "eager": self.store.eager,
             "strict": self.strict,
-            "users": len(self.users()),
-            "worlds": self.store.world_count(),
-            "annotations": self.annotation_count(),
-            "total_rows": self.size(),
-            "relative_overhead": self.relative_overhead(),
-            "row_counts": dict(self.store.row_counts()),
+            "version": epoch,
+            **store_section,
             "statement_cache": cache_stats,
             "statement_timing": timing,
             "transactions": txn_stats,
+            "mvcc": self.versions.snapshot_stats(),
             "auto_checkpoint_failures": self._checkpoint_failures,
             "durability": (
                 self._durability.stats()

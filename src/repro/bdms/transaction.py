@@ -22,10 +22,15 @@ commit start, the same deterministic rebuild recovery uses — and
 :class:`~repro.errors.TransactionAbortedError` is raised; nothing reaches
 the WAL.
 
-Reads inside an open transaction see the last *committed* state — staged
-writes are not visible anywhere, not even to the session that staged them
-(no read-your-own-writes; the buffer is write-only until commit). This is
-uniform across the embedded and remote deployment shapes.
+Reads inside an open transaction go **through the write buffer**: the
+session that staged a write sees it in its own selects
+(read-your-own-writes), while every other session keeps seeing the last
+committed state until the commit lands. This is uniform across the
+embedded and remote deployment shapes. Mechanically, :meth:`read_version`
+replays the staged statements onto a private copy-on-write fork of the
+current pinned snapshot (see :mod:`repro.bdms.dml`); the view is cached
+and rebuilt only when the buffer — or the committed epoch underneath
+it — changes.
 
 A Transaction object is not internally synchronized; its owner (an
 :class:`~repro.api.connection.Connection` or a server
@@ -37,9 +42,11 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.bdms.dml import apply_compiled
 from repro.bdms.result import Result
 from repro.core.schema import Value
 from repro.errors import TransactionError
+from repro.storage.mvcc import Version
 
 if TYPE_CHECKING:  # pragma: no cover — type-only import (avoids a cycle)
     from repro.bdms.bdms import BeliefDBMS, PreparedStatement
@@ -76,6 +83,10 @@ class Transaction:
         #: Filled by ``commit_transaction``: the WAL entries of the rows
         #: that actually affected the database (for the server's op log).
         self.applied_entries: list[dict[str, Any]] = []
+        #: Cached read view (committed snapshot + staged writes) and the
+        #: (epoch, statements, rows) key it was built for.
+        self._view: Version | None = None
+        self._view_key: tuple[int, int, int] | None = None
 
     # ---------------------------------------------------------------- state
 
@@ -136,7 +147,7 @@ class Transaction:
         if prepared.kind == "select":
             raise TransactionError(
                 "only DML can be staged in a transaction; selects execute "
-                "immediately against the last committed state"
+                "immediately against the session's read view"
             )
         rows = [tuple(row) for row in param_rows]
         # Eager validation: arity and value types fail here, at stage time,
@@ -154,6 +165,41 @@ class Transaction:
             elapsed_ms=elapsed_ms,
         )
 
+    # ------------------------------------------------------------- read view
+
+    def read_version(self) -> Version:
+        """This session's read view: committed snapshot + staged writes.
+
+        Pins the current version, forks it copy-on-write, and replays the
+        staged statements (non-strict — exactly the commit-time apply
+        semantics, see :mod:`repro.bdms.dml`) onto the private fork. The
+        result is wrapped in a :class:`~repro.storage.mvcc.Version` so the
+        normal query path — including the per-version sqlite mirror —
+        serves it unchanged. Cached until the buffer or the committed
+        epoch underneath it changes; never registered with the version
+        manager (no other session can pin it).
+        """
+        self._check_open()
+        key = (self.db.versions.epoch, self.statement_count, self.row_count)
+        if self._view is not None and self._view_key == key:
+            return self._view
+        self._drop_view()
+        with self.db.read_view() as pinned:
+            store = pinned.store.fork_snapshot()
+            epoch = pinned.epoch
+        for staged in self._staged:
+            for row in staged.param_rows:
+                apply_compiled(store, staged.prepared.compiled, row)
+        self._view = Version(epoch, store)
+        self._view_key = key
+        return self._view
+
+    def _drop_view(self) -> None:
+        if self._view is not None:
+            self._view.close()
+            self._view = None
+            self._view_key = None
+
     # ------------------------------------------------------------- lifecycle
 
     def statements(self) -> list[StagedStatement]:
@@ -168,6 +214,7 @@ class Transaction:
         self._check_open()
         dropped = len(self._staged)
         self._staged.clear()
+        self._drop_view()
         self._state = "rolled back"
         self.db._note_txn("rolled_back")
         return dropped
@@ -175,6 +222,7 @@ class Transaction:
     def _mark(self, state: str) -> None:
         """Internal: commit_transaction records the terminal state here."""
         self._state = state
+        self._drop_view()
 
     def __repr__(self) -> str:
         return (

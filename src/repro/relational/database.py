@@ -49,6 +49,22 @@ class RelationalDatabase:
     def __iter__(self) -> Iterator[Table]:
         return iter(self._tables.values())
 
+    # -- copy-on-write forks -----------------------------------------------------
+
+    def snapshot_fork(self) -> "RelationalDatabase":
+        """A database whose tables are copy-on-write forks of this one's.
+
+        O(tables) to build; the per-table row dicts stay shared until one
+        side mutates them (see :meth:`Table.snapshot_fork`). The MVCC layer
+        uses this to freeze a queryable version of the whole store.
+        """
+        fork = RelationalDatabase.__new__(RelationalDatabase)
+        fork.auto_index = self.auto_index
+        fork._tables = {
+            name: table.snapshot_fork() for name, table in self._tables.items()
+        }
+        return fork
+
     # -- stats -------------------------------------------------------------------
 
     def total_rows(self) -> int:

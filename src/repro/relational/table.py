@@ -6,6 +6,13 @@ evaluator asks for rows matching a set of bound columns; the table serves the
 request from the best matching index and filters the remainder, creating
 indexes on demand when profitable. This mirrors what the paper relies on from
 its RDBMS ("clustered indexes are available over the internal keys").
+
+Tables also support **copy-on-write forks** (:meth:`Table.snapshot_fork`),
+the storage primitive under the MVCC layer (:mod:`repro.storage.mvcc`): a
+fork shares the row dict with its origin until either side mutates, at
+which point the mutator copies the shared structures and diverges. Rowids
+are preserved across the copy, so the mutating side's existing indexes
+stay valid; the fork starts with no indexes and rebuilds them on demand.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ class Table:
         self._indexes: dict[tuple[int, ...], dict[tuple, set[int]]] = {}
         self._key_positions = schema.key_indexes
         self._key_values: dict[tuple, int] = {}
+        #: True while ``_rows``/``_key_values`` are shared with a fork.
+        self._shared = False
 
     # -- basic accessors ------------------------------------------------------
 
@@ -52,10 +61,42 @@ class Table:
     def contains_row(self, row: Row) -> bool:
         return any(r == row for r in self.match_columns(dict(enumerate(row))))
 
+    # -- copy-on-write forks ----------------------------------------------------
+
+    def snapshot_fork(self) -> "Table":
+        """A copy-on-write fork sharing this table's rows until either side
+        mutates.
+
+        Both sides are flagged shared; the first mutation on either copies
+        ``_rows``/``_key_values`` (two C-speed dict copies) and diverges.
+        The fork starts with no indexes — it rebuilds them lazily through
+        the normal auto-index path — while this side keeps its indexes,
+        which stay valid because rowids survive the dict copy.
+        """
+        fork = Table.__new__(Table)
+        fork.schema = self.schema
+        fork.auto_index = self.auto_index
+        fork._rows = self._rows
+        fork._next_rowid = self._next_rowid
+        fork._indexes = {}
+        fork._key_positions = self._key_positions
+        fork._key_values = self._key_values
+        fork._shared = True
+        self._shared = True
+        return fork
+
+    def _materialize(self) -> None:
+        """Unshare before a mutation: the writer pays the copy, never readers."""
+        if self._shared:
+            self._rows = dict(self._rows)
+            self._key_values = dict(self._key_values)
+            self._shared = False
+
     # -- mutation ---------------------------------------------------------------
 
     def insert(self, row: Iterable[Any]) -> int:
         """Insert a row; returns its rowid. Enforces the unique key if any."""
+        self._materialize()
         row = tuple(row)
         if len(row) != self.schema.arity:
             raise ValueError(
@@ -81,6 +122,7 @@ class Table:
             self.insert(row)
 
     def delete_rowid(self, rowid: int) -> Row:
+        self._materialize()
         row = self._rows.pop(rowid)
         if self._key_positions:
             self._key_values.pop(tuple(row[i] for i in self._key_positions), None)
@@ -108,8 +150,14 @@ class Table:
         return len(doomed)
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._key_values.clear()
+        if self._shared:
+            # Don't clear shared dicts in place — replace them.
+            self._rows = {}
+            self._key_values = {}
+            self._shared = False
+        else:
+            self._rows.clear()
+            self._key_values.clear()
         for index in self._indexes.values():
             index.clear()
 
@@ -123,6 +171,9 @@ class Table:
     def _create_index_positions(self, positions: tuple[int, ...]) -> None:
         if positions in self._indexes:
             return
+        # Build fully, then install: concurrent readers of a shared snapshot
+        # either miss the index (and scan) or see it complete — a duplicate
+        # concurrent build just installs an identical mapping.
         index: dict[tuple, set[int]] = defaultdict(set)
         for rowid, row in self._rows.items():
             index[tuple(row[i] for i in positions)].add(rowid)
@@ -181,7 +232,9 @@ class Table:
         """
         best: tuple[tuple[int, ...], dict[tuple, set[int]]] | None = None
         position_set = set(positions)
-        for index_positions, mapping in self._indexes.items():
+        # list(): concurrent readers of one shared snapshot may auto-build
+        # indexes while we iterate (builds install atomically below).
+        for index_positions, mapping in list(self._indexes.items()):
             if set(index_positions) <= position_set:
                 if best is None or len(index_positions) > len(best[0]):
                     best = (index_positions, mapping)

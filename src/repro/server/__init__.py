@@ -13,13 +13,15 @@ single-process :class:`~repro.bdms.bdms.BeliefDBMS` into a network service:
   ``insert into Sightings ...`` is implicitly annotated with the session
   user (the paper's "users see their own belief world" model);
 * :mod:`repro.server.server` — a threaded socket server multiplexing many
-  clients over one shared BDMS behind a readers-writer lock, with
-  ``prepare``/``execute_prepared``/``execute_batch`` ops (``?`` parameters,
-  structured result payloads) and ``fetch`` paging for large result sets;
+  clients over one shared BDMS (reads serve lock-free from pinned MVCC
+  versions, writes serialize on an exclusive lock — ``docs/concurrency
+  .md``), with ``prepare``/``execute_prepared``/``execute_batch`` ops
+  (``?`` parameters, structured result payloads) and ``fetch`` paging for
+  large result sets;
 * :mod:`repro.server.async_server` — the pipelined asyncio server core:
-  same ops, same lock, same sessions, but each connection keeps up to
-  ``max_inflight`` requests executing concurrently and responses return
-  out of order, correlated by request id;
+  same ops, same locking discipline, same sessions, but each connection
+  keeps up to ``max_inflight`` requests executing concurrently and
+  responses return out of order, correlated by request id;
 * :mod:`repro.server.client` — the blocking client library, now with
   :meth:`~repro.server.client.BeliefClient.submit` pipelining and batched
   :meth:`~repro.server.client.BeliefClient.execute_batch`;

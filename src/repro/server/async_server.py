@@ -2,8 +2,9 @@
 
 :class:`AsyncBeliefServer` serves the same wire protocol, ops, and
 concurrency *semantics* as the threaded :class:`~repro.server.server
-.BeliefServer` — one shared :class:`~repro.bdms.bdms.BeliefDBMS` behind the
-same readers-writer lock, the same per-session statement/cursor registries,
+.BeliefServer` — one shared :class:`~repro.bdms.bdms.BeliefDBMS` with the
+same discipline (MVCC-pinned lock-free reads, exclusively-locked writes),
+the same per-session statement/cursor registries,
 the same op log and background checkpoint thread — but replaces
 thread-per-connection blocking I/O with a single asyncio event loop and
 **request pipelining**:

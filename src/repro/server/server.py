@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import socket
 import threading
+from contextlib import nullcontext
 from typing import Any, Callable, Sequence
 
 from repro.bdms.bdms import BeliefDBMS, PreparedStatement
@@ -226,6 +227,12 @@ class BeliefServer:
     #: admitting them costs nothing). A class attribute so the shard router
     #: can extend the set (it adds ``shard_status``).
     shed_exempt_ops: frozenset = frozenset({"ping", "metrics"})
+
+    #: Bench/debug escape hatch: force reads back onto the readers-writer
+    #: lock (the pre-MVCC discipline) instead of serving them lock-free from
+    #: pinned versions. Used by the mixed-readwrite benchmark as the A/B
+    #: control; never set in production paths.
+    _force_locked_reads: bool = False
 
     def __init__(
         self,
@@ -676,7 +683,8 @@ class BeliefServer:
                     self.stats["ops_served"] += 1
                 return Response.success(request.id, result)
             if request.op == "execute":
-                # Parse outside the lock so selects can share the read lock.
+                # Parse before classifying so DML can be promoted to the
+                # write lock (selects run lock-free from a pinned version).
                 statement = session.rewrite(
                     parse_beliefsql(_require(request.params, "sql"))
                 )
@@ -698,7 +706,7 @@ class BeliefServer:
                 if prepared.kind != "select" and session.in_transaction:
                     # In-transaction DML stages into the session's write
                     # buffer — no shared state is touched, so staging
-                    # shares the read lock and readers are undisturbed.
+                    # runs on the read side and writers are undisturbed.
                     func = BeliefServer._op_stage
                     params = {
                         "prepared": prepared,
@@ -743,9 +751,19 @@ class BeliefServer:
                 )
             else:
                 params = request.params
-            guard = (
-                self.lock.write() if self._exclusive(kind) else self.lock.read()
-            )
+            if self._exclusive(kind):
+                guard: Any = self.lock.write()
+            elif (
+                request.op in _PINNED_READ_OPS
+                and not self._force_locked_reads
+            ):
+                # MVCC: these reads evaluate against a pinned copy-on-write
+                # version of the store (the BDMS pins one per call or the
+                # handler pins one explicitly), so they need no lock at all —
+                # a scan never blocks a writer and never observes one.
+                guard = nullcontext()
+            else:
+                guard = self.lock.read()
             with guard:
                 result = func(self, session, params)
             with self._state_lock:
@@ -757,9 +775,11 @@ class BeliefServer:
             return Response.failure(request.id, exc)
 
     def _exclusive(self, kind: str) -> bool:
-        # The sqlite backend resyncs its mirror inside the query path, so
-        # even reads mutate state there (thread-safety audit).
-        return kind == "write" or self.db.backend == "sqlite"
+        # Only writes need the exclusive lock. The sqlite backend used to be
+        # promoted here too (its shared mirror resynced inside the query
+        # path); per-version mirrors removed that — reads now sync a private
+        # mirror on their pinned snapshot, never shared with the writer.
+        return kind == "write"
 
     # ---------------------------------------------------------------- op log
 
@@ -855,9 +875,17 @@ class BeliefServer:
 
     def _op_execute(self, session: ClientSession, params: dict[str, Any]) -> Any:
         # ``statement`` was parsed and session-rewritten in _dispatch, outside
-        # the lock; DML arrives here under the write lock, selects under read.
+        # the lock; DML arrives here under the write lock, selects lock-free.
         statement = params["statement"]
-        result = self.db.execute_statement(statement)
+        if isinstance(statement, SelectStatement) and session.in_transaction:
+            # Legacy-op selects get the same read-your-own-writes view as
+            # execute_prepared (uniform across the two execute surfaces).
+            prepared = self.db.prepare_parsed(statement)
+            result = self.db.execute_prepared(
+                prepared, (), version=session.transaction().read_version()
+            ).legacy()
+        else:
+            result = self.db.execute_statement(statement)
         if not isinstance(statement, SelectStatement):
             self._record({"op": "execute", "sql": str(statement),
                           "ok": _jsonify(result)})
@@ -907,7 +935,12 @@ class BeliefServer:
     ) -> Any:
         prepared: PreparedStatement = params["prepared"]
         bind: tuple[Any, ...] = params["bind"]
-        result = self.db.execute_prepared(prepared, bind)
+        version = None
+        if prepared.kind == "select" and session.in_transaction:
+            # Read-your-own-writes: in-transaction selects evaluate against
+            # the session's private view (committed snapshot + staged DML).
+            version = session.transaction().read_version()
+        result = self.db.execute_prepared(prepared, bind, version=version)
         if prepared.kind != "select":
             bound = bind_statement(prepared.statement, bind)
             self._record({"op": "execute", "sql": str(bound),
@@ -1059,8 +1092,10 @@ class BeliefServer:
 
     def _op_world(self, session: ClientSession, params: dict[str, Any]) -> Any:
         path = session.effective_path(params.get("path"))
-        resolved = tuple(self.db.store.resolve_user(u) for u in path)
-        world = self.db.store.entailed_world(resolved)
+        with self.db.read_view() as version:
+            store = version.store
+            resolved = tuple(store.resolve_user(u) for u in path)
+            world = store.entailed_world(resolved)
         return {
             "path": _jsonify(resolved),
             "label": format_path(resolved),
@@ -1070,15 +1105,19 @@ class BeliefServer:
 
     def _op_worlds(self, session: ClientSession, params: dict[str, Any]) -> Any:
         out = []
-        for path in sorted(self.db.store.states(),
-                           key=lambda p: (len(p), repr(p))):
-            world = self.db.store.entailed_world(path)
-            out.append({
-                "path": _jsonify(path),
-                "label": format_path(path),
-                "positives": len(world.positives),
-                "negatives": len(world.negatives),
-            })
+        # One pin across the whole iteration: the listing is a consistent
+        # cut of a single version, no matter how many commits land mid-scan.
+        with self.db.read_view() as version:
+            store = version.store
+            for path in sorted(store.states(),
+                               key=lambda p: (len(p), repr(p))):
+                world = store.entailed_world(path)
+                out.append({
+                    "path": _jsonify(path),
+                    "label": format_path(path),
+                    "positives": len(world.positives),
+                    "negatives": len(world.negatives),
+                })
         return out
 
     def _op_stats(self, session: ClientSession, params: dict[str, Any]) -> Any:
@@ -1162,6 +1201,19 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
 #: Ops served without taking the database lock at all (``ping`` touches no
 #: shared state; ``metrics`` reads structures with their own leaf locks).
 _LOCKLESS_OPS = frozenset({"ping", "metrics"})
+
+#: Read ops that evaluate against a *pinned MVCC version* and therefore skip
+#: the readers-writer lock entirely (see ``_dispatch_inner``): the BDMS pins
+#: a copy-on-write snapshot per call (``query``/``believes``/select
+#: ``execute``/``execute_prepared``/``stats``) or the handler pins one
+#: explicitly across its whole iteration (``world``/``worlds``). Staging
+#: in-transaction DML rides the same ops and only touches the per-session
+#: buffer. ``kripke``/``describe`` and the session/catalog ops stay on the
+#: shared read lock — they read the live store directly.
+_PINNED_READ_OPS = frozenset({
+    "execute", "execute_prepared", "query", "believes",
+    "world", "worlds", "stats",
+})
 
 #: Module-level alias of :attr:`BeliefServer.shed_exempt_ops` (the class
 #: attribute is authoritative; the router core overrides it).

@@ -1,0 +1,260 @@
+"""Multi-version concurrency control over the belief store.
+
+The MVCC layer turns the mutable :class:`~repro.storage.store.BeliefStore`
+into a sequence of immutable **versions**. The live store advances through
+integer *epochs* — every committed write bumps the epoch — and readers
+**pin** a version: a copy-on-write fork of the store frozen at pin time
+(:meth:`BeliefStore.fork_snapshot`). Pinned reads therefore never take the
+write lock and never observe a concurrent writer's effects; a scan started
+at epoch *N* returns the epoch-*N* state no matter how many commits land
+mid-scan.
+
+Lifecycle of a version:
+
+1. **build** — the first pin at a given epoch forks the live store (under
+   the manager's mutex; O(registries), the row dicts stay shared);
+2. **share** — later pins at the same epoch reuse the cached fork, each
+   incrementing its pin count;
+3. **retire** — a write bumps the epoch, so the version stops being
+   current; it survives while readers still hold pins;
+4. **GC** — once its pin count reaches zero and it is no longer current,
+   the version is dropped (``mvcc_gc_reclaimed_total`` counts these). The
+   current epoch's version stays cached even at zero pins so back-to-back
+   reads with no interleaved write share one snapshot.
+
+Each version lazily owns a private :class:`SqliteMirror` for the
+``"sqlite"`` query backend — the first sqlite read per version pays one
+sync — which is what removes that backend's historical read-to-exclusive
+lock promotion.
+
+Metrics (all under the shared registry): ``beliefdb_mvcc_live_versions``,
+``beliefdb_mvcc_active_pins`` (gauges), ``beliefdb_mvcc_pins_total``,
+``beliefdb_mvcc_gc_reclaimed_total``, ``beliefdb_mvcc_snapshot_builds_total``
+(counters), and ``beliefdb_mvcc_snapshot_build_seconds`` (histogram).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.obs.clock import monotonic_s
+
+if TYPE_CHECKING:  # pragma: no cover — type-only imports (avoid cycles)
+    from repro.obs.metrics import MetricsRegistry
+    from repro.relational.sqlite_backend import SqliteMirror
+    from repro.storage.store import BeliefStore
+
+
+class Version:
+    """One immutable snapshot of the store, pinned by zero or more readers.
+
+    ``store`` is a copy-on-write fork frozen at ``epoch``; treat it as
+    read-only. ``pins`` is managed by the owning :class:`VersionManager`
+    under its mutex. The sqlite mirror is built on first use and shared by
+    every reader of this version (its own lock serializes them — sqlite
+    connections are not concurrency-friendly).
+    """
+
+    __slots__ = ("epoch", "store", "pins", "_mirror", "_mirror_lock")
+
+    def __init__(self, epoch: int, store: "BeliefStore") -> None:
+        self.epoch = epoch
+        self.store = store
+        self.pins = 0
+        self._mirror: "SqliteMirror | None" = None
+        # RLock: callers hold it across sync + query (one mirror, many
+        # reader threads); synced_mirror re-enters it harmlessly.
+        self._mirror_lock = threading.RLock()
+
+    def synced_mirror(self) -> "SqliteMirror":
+        """This version's sqlite mirror, synced exactly once (lazily)."""
+        from repro.relational.sqlite_backend import SqliteMirror
+
+        with self._mirror_lock:
+            if self._mirror is None:
+                mirror = SqliteMirror()
+                mirror.sync(self.store.engine)
+                self._mirror = mirror
+            return self._mirror
+
+    @property
+    def mirror_lock(self) -> threading.RLock:
+        """Serializes query execution on the shared per-version mirror."""
+        return self._mirror_lock
+
+    def close(self) -> None:
+        """Release non-GC'able resources (the sqlite connection, if built)."""
+        with self._mirror_lock:
+            if self._mirror is not None:
+                self._mirror.close()
+                self._mirror = None
+
+    def __repr__(self) -> str:
+        return f"<Version epoch={self.epoch} pins={self.pins}>"
+
+
+class VersionManager:
+    """Epoch counter + version cache + pin accounting + GC.
+
+    Owned by a :class:`~repro.bdms.bdms.BeliefDBMS`; the BDMS bumps the
+    epoch after every committed write and pins versions for every read.
+    The manager never holds a reference to the live store (the BDMS can
+    replace it wholesale on restore/rollback) — ``pin`` receives it.
+    """
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
+        self._mutex = threading.Lock()
+        self._epoch = 0
+        self._versions: dict[int, Version] = {}
+        self._stats = {
+            "pins_total": 0,
+            "snapshot_builds": 0,
+            "gc_reclaimed": 0,
+        }
+        self._pins_counter: Any = None
+        self._gc_counter: Any = None
+        self._builds_counter: Any = None
+        self._build_hist: Any = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        registry.gauge(
+            "beliefdb_mvcc_live_versions",
+            "Store versions currently cached (current + still-pinned).",
+        ).set_function(lambda: len(self._versions))
+        registry.gauge(
+            "beliefdb_mvcc_active_pins",
+            "Reader pins currently held across all live versions.",
+        ).set_function(self.active_pins)
+        self._pins_counter = registry.counter(
+            "beliefdb_mvcc_pins_total",
+            "Version pins ever taken by readers.",
+        )
+        self._gc_counter = registry.counter(
+            "beliefdb_mvcc_gc_reclaimed_total",
+            "Retired store versions reclaimed by the version GC.",
+        )
+        self._builds_counter = registry.counter(
+            "beliefdb_mvcc_snapshot_builds_total",
+            "Copy-on-write snapshot forks built (first pin per epoch).",
+        )
+        self._build_hist = registry.histogram(
+            "beliefdb_mvcc_snapshot_build_seconds",
+            "Time to fork a copy-on-write snapshot of the store.",
+        )
+
+    # ------------------------------------------------------------------ epochs
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch (bumped by every committed write)."""
+        return self._epoch
+
+    def bump(self) -> int:
+        """Advance the epoch after a committed write; GC newly-idle versions.
+
+        The caller (the BDMS) invokes this under its write mutex, after the
+        mutation is applied — so a pin taken at the new epoch forks the
+        post-write state.
+        """
+        with self._mutex:
+            self._epoch += 1
+            self._gc_locked()
+            return self._epoch
+
+    # -------------------------------------------------------------------- pins
+
+    def pin(self, store: "BeliefStore") -> Version:
+        """Pin (and build, if first) the version of the current epoch.
+
+        ``store`` must be the live store observed under the caller's write
+        mutex (or any context in which no write can land concurrently), so
+        the fork really is the epoch's frozen state. Pair every pin with a
+        :meth:`release`.
+        """
+        with self._mutex:
+            version = self._versions.get(self._epoch)
+            if version is None:
+                start = monotonic_s()
+                version = Version(self._epoch, store.fork_snapshot())
+                self._versions[self._epoch] = version
+                self._stats["snapshot_builds"] += 1
+                if self._builds_counter is not None:
+                    self._builds_counter.inc()
+                    self._build_hist.observe(monotonic_s() - start)
+            version.pins += 1
+            self._stats["pins_total"] += 1
+        if self._pins_counter is not None:
+            self._pins_counter.inc()
+        return version
+
+    def release(self, version: Version) -> None:
+        """Drop one pin; GC the version when retired and no longer pinned."""
+        with self._mutex:
+            version.pins -= 1
+            self._gc_locked()
+
+    @contextmanager
+    def pinned(self, store: "BeliefStore") -> Iterator[Version]:
+        """``with versions.pinned(db.store) as v:`` — pin, yield, release."""
+        version = self.pin(store)
+        try:
+            yield version
+        finally:
+            self.release(version)
+
+    # ---------------------------------------------------------------------- GC
+
+    def _gc_locked(self) -> None:
+        """Reclaim retired, unpinned versions. Caller holds the mutex."""
+        doomed = [
+            epoch
+            for epoch, version in self._versions.items()
+            if version.pins <= 0 and epoch != self._epoch
+        ]
+        for epoch in doomed:
+            self._versions.pop(epoch).close()
+        if doomed:
+            self._stats["gc_reclaimed"] += len(doomed)
+            if self._gc_counter is not None:
+                self._gc_counter.inc(len(doomed))
+
+    def invalidate(self) -> None:
+        """Forget every cached version (live store replaced wholesale).
+
+        Used by restore / rollback-rebuild: the epoch advances so already
+        pinned versions stay valid for their readers, but no new pin may
+        reuse a fork of the discarded store.
+        """
+        with self._mutex:
+            self._epoch += 1
+            self._gc_locked()
+
+    # ------------------------------------------------------------------- views
+
+    def live_versions(self) -> int:
+        with self._mutex:
+            return len(self._versions)
+
+    def active_pins(self) -> int:
+        with self._mutex:
+            return sum(v.pins for v in self._versions.values())
+
+    def snapshot_stats(self) -> dict[str, Any]:
+        """JSON-plain counters for ``BeliefDBMS.snapshot_stats()["mvcc"]``."""
+        with self._mutex:
+            return {
+                "epoch": self._epoch,
+                "live_versions": len(self._versions),
+                "active_pins": sum(v.pins for v in self._versions.values()),
+                **self._stats,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<VersionManager epoch={self._epoch} "
+            f"live={len(self._versions)}>"
+        )

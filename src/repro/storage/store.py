@@ -109,6 +109,41 @@ class BeliefStore:
         self._tuple_by_tid: dict[int, GroundTuple] = {}
         self._next_tid = 1
 
+    # ------------------------------------------------------------- snapshots
+
+    def fork_snapshot(self) -> "BeliefStore":
+        """An immutable-by-convention copy-on-write fork of the whole store.
+
+        The engine tables and the explicit mirror fork copy-on-write (rows
+        stay shared until one side mutates); the small registries are copied
+        eagerly — O(worlds + users + tuples) dict copies, paid once per
+        pinned version, never per write. The result is a fully functional
+        :class:`BeliefStore`, so every query backend evaluates against it
+        unchanged; the MVCC layer (:mod:`repro.storage.mvcc`) hands these
+        out as pinned versions and mutates only the live store.
+        """
+        fork = BeliefStore.__new__(BeliefStore)
+        fork.schema = self.schema
+        fork.eager = self.eager
+        fork.engine = self.engine.snapshot_fork()
+        fork.explicit_db = self.explicit_db.snapshot_fork()
+        fork._wid_by_path = dict(self._wid_by_path)
+        fork._path_by_wid = dict(self._path_by_wid)
+        fork._depth = dict(self._depth)
+        fork._s_parent = dict(self._s_parent)
+        fork._s_children = defaultdict(
+            set, {k: set(v) for k, v in self._s_children.items()}
+        )
+        fork._next_wid = self._next_wid
+        fork._edges = {wid: dict(per) for wid, per in self._edges.items()}
+        fork._users = dict(self._users)
+        fork._uid_by_name = dict(self._uid_by_name)
+        fork._next_uid = self._next_uid
+        fork._tid_by_tuple = dict(self._tid_by_tuple)
+        fork._tuple_by_tid = dict(self._tuple_by_tid)
+        fork._next_tid = self._next_tid
+        return fork
+
     # ------------------------------------------------------------------ users
 
     def add_user(self, name: str | None = None, uid: User | None = None) -> User:

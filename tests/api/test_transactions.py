@@ -37,7 +37,7 @@ def fresh(strict: bool = False, **kwargs):
 # ------------------------------------------------------------------ lifecycle
 
 
-def test_staged_dml_is_invisible_until_commit():
+def test_staged_dml_reads_through_the_write_buffer():
     conn = fresh()
     conn.begin()
     assert conn.in_transaction
@@ -45,8 +45,11 @@ def test_staged_dml_is_invisible_until_commit():
     assert result.rowcount == -1
     assert result.status == "INSERT STAGED"
     assert result.rows == []
-    # Reads — same session included — see the last committed state.
-    assert conn.execute(SELECT).rows == []
+    # Read-your-own-writes: the staging session sees its staged rows;
+    # everyone else keeps seeing the last committed state until commit.
+    assert conn.execute(SELECT).rows == [("s1",)]
+    other = connect(conn.db)
+    assert other.execute(SELECT).rows == []
     commit = conn.commit()
     assert commit.kind == "commit"
     assert commit.rowcount == 1
@@ -83,7 +86,8 @@ def test_executemany_stages_as_one_statement():
     )
     assert staged.rowcount == -1
     assert staged.status == "INSERT STAGED"
-    assert conn.execute(SELECT).rows == []
+    # The whole staged batch reads back through the write buffer.
+    assert len(conn.execute(SELECT).rows) == 5
     assert conn.commit().rowcount == 5
     assert len(conn.execute(SELECT).rows) == 5
 

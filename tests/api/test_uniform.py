@@ -140,7 +140,8 @@ def transactional_workload(conn: Connection) -> list:
     conn.add_user("Carol")
     cur = conn.cursor()
 
-    # Commit visibility: staged shape, invisible before, visible after.
+    # Commit visibility: staged shape; the staging session reads through
+    # its own write buffer pre-commit (read-your-own-writes).
     conn.begin()
     out.append(cur.execute(TXN_INSERT, TXN_ROW))
     out.append(cur.execute("select S.sid from Sightings as S", ()))
@@ -196,10 +197,10 @@ def test_transaction_semantics_uniform(core):
             observed = transactional_workload(conn)
     assert observed == reference
     # Spot-check the interesting waypoints rather than trusting equality
-    # alone: staged shape, invisibility, commit tally, final state.
+    # alone: staged shape, read-your-own-writes, commit tally, final state.
     assert observed[0].status == "INSERT STAGED"
     assert observed[0].rowcount == -1
-    assert observed[1].rows == []                       # invisible pre-commit
+    assert observed[1].rows == [("t1",)]    # read-your-own-writes pre-commit
     assert observed[2].kind == "commit"
     assert observed[2].rowcount == 1
     assert observed[3].rows == [("t1",)]                # visible post-commit
@@ -209,7 +210,7 @@ def test_transaction_semantics_uniform(core):
     assert observed[7] is False
     assert observed[8].rows == [("t1",)]
     assert observed[9].status == "INSERT STAGED"        # executemany staged
-    assert observed[10].rows == [("t1",)]               # still invisible
+    assert len(observed[10].rows) == 5      # staged batch already visible
     assert len(observed[11].rows) == 5                  # all 4 + t1 after
     assert observed[12] == "no-txn-commit-raises"
     assert observed[13] == "nested-begin-raises"

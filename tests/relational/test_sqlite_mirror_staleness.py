@@ -1,10 +1,12 @@
 """Regression guard for the lazy-resync contract of the sqlite backend.
 
 ``BeliefDBMS(backend="sqlite")`` mirrors the internal tables into sqlite
-wholesale and marks the mirror dirty on every mutation; the *next query* must
-resync before reading. These tests pin that contract: a query issued right
-after an insert/delete/update/add_user must see the new state, and a clean
-mirror must not be rebuilt needlessly.
+per MVCC *version*: the first sqlite query against a pinned version pays
+one wholesale sync, and every later query at the same epoch reuses that
+mirror untouched. These tests pin that contract: a query issued right
+after an insert/delete/update/add_user must see the new state (the write
+bumped the epoch, so a fresh version — and mirror — serves it), and a
+version's mirror must never be rebuilt while the epoch is unchanged.
 """
 
 from __future__ import annotations
@@ -77,28 +79,31 @@ def test_interleaved_updates_and_queries_never_stale(db):
         assert len(rows) == k + 1
 
 
-def test_mirror_not_resynced_when_clean(db):
+def test_mirror_not_resynced_within_a_version(db):
     db.insert(["Carol"], "Sightings", S1)
-    db.execute(Q_CAROL)  # forces the sync
-    assert db._mirror is not None and not db._mirror_dirty
-    synced_with = []
-    original = db._mirror.sync
-    db._mirror.sync = lambda source: synced_with.append(source) or original(source)
-    db.execute(Q_CAROL)
-    assert synced_with == []  # clean mirror: no wholesale rebuild
+    db.execute(Q_CAROL)  # builds + syncs the current version's mirror
+    with db.read_view() as version:
+        mirror = version.synced_mirror()
+        synced_with = []
+        original = mirror.sync
+        mirror.sync = (
+            lambda source: synced_with.append(source) or original(source)
+        )
+        db.execute(Q_CAROL)
+        assert synced_with == []  # same epoch: no wholesale rebuild
     db.insert(["Bob"], "Sightings", S2)
     db.execute(Q_CAROL)
-    assert len(synced_with) == 1  # dirty again after the write
+    # The write bumped the epoch; the old version's mirror stays untouched
+    # (a *new* version served the post-write query).
+    assert synced_with == []
 
 
-def test_rejected_insert_does_not_dirty_mirror():
-    strict_free = BeliefDBMS(sightings_schema(), backend="sqlite", strict=False)
-    strict_free.add_user("Carol")
-    strict_free.insert(["Carol"], "Sightings", S1)
-    strict_free.execute(Q_CAROL)
-    assert not strict_free._mirror_dirty
-    assert strict_free.insert(["Carol"], "Sightings", S1) is False  # duplicate
-    assert not strict_free._mirror_dirty
+def test_queries_at_one_epoch_share_one_mirror(db):
+    db.insert(["Carol"], "Sightings", S1)
+    db.execute(Q_CAROL)
+    with db.read_view() as v1, db.read_view() as v2:
+        assert v1 is v2  # same epoch → same cached version
+        assert v1.synced_mirror() is v2.synced_mirror()
 
 
 def test_sqlite_results_match_engine_backend(db):

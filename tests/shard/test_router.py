@@ -398,9 +398,11 @@ class TestAdmissionPropagation:
         with ShardCluster(n_shards=2, spec=spec) as cluster:
             # Plain selects route to the content world's home shard —
             # block THAT worker so both the blocker and the probe hit it.
+            # MVCC reads skip the RW lock, but pinning a version still
+            # passes through the BDMS write mutex — hold it to stall them.
             content = cluster.router.ring.shard_for(CONTENT_KEY)
             worker = cluster.coordinator.workers[content]
-            worker._server.lock.acquire_write()  # selects now queue
+            worker._server.db._write_mutex.acquire()  # selects now queue
             blocker = BeliefClient(*cluster.address)
             probe = BeliefClient(*cluster.address)
             try:
@@ -422,7 +424,7 @@ class TestAdmissionPropagation:
                 assert excinfo.value.code == "SERVER_OVERLOADED"
                 assert "in-flight request limit (1)" in str(excinfo.value)
             finally:
-                worker._server.lock.release_write()
+                worker._server.db._write_mutex.release()
                 pending.result()  # the blocked read completes fine
                 blocker.close()
                 probe.close()
@@ -431,7 +433,9 @@ class TestAdmissionPropagation:
         with ShardCluster(n_shards=2, max_inflight_requests=1) as cluster:
             content = cluster.router.ring.shard_for(CONTENT_KEY)
             worker = cluster.coordinator.workers[content]
-            worker._server.lock.acquire_write()
+            # Stall reads at the version-pin point (see above): MVCC
+            # selects never touch the worker's RW lock.
+            worker._server.db._write_mutex.acquire()
             blocker = BeliefClient(*cluster.address)
             probe = BeliefClient(*cluster.address)
             try:
@@ -452,7 +456,7 @@ class TestAdmissionPropagation:
                 assert probe.call("metrics")["families"]
                 assert probe.call("shard_status")["n_shards"] == 2
             finally:
-                worker._server.lock.release_write()
+                worker._server.db._write_mutex.release()
                 pending.result()
                 blocker.close()
                 probe.close()
