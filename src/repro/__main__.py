@@ -101,6 +101,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "max_inflight_requests": args.max_inflight_requests,
         "slow_op_ms": args.slow_op_ms,
         "max_frame_bytes": args.max_frame_bytes,
+        "wire": args.wire,
     }
     if args.use_async:
         from repro.server.async_server import AsyncBeliefServer
@@ -179,6 +180,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         max_inflight_requests=args.max_inflight_requests,
         slow_op_ms=args.slow_op_ms,
         max_frame_bytes=args.max_frame_bytes,
+        wire=args.wire,
     )
     cluster = ShardCluster(
         args.shards,
@@ -191,6 +193,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         max_inflight_requests=args.max_inflight_requests,
         slow_op_ms=args.slow_op_ms,
         max_frame_bytes=args.max_frame_bytes,
+        wire=args.wire,
     )
     cluster.start()
     assert cluster.address is not None
@@ -513,6 +516,14 @@ def main(argv: list[str] | None = None) -> int:
         "--max-frame-bytes", type=int, default=None, metavar="BYTES",
         help="wire frame ceiling: frames larger than BYTES are refused "
              "with a typed FRAME_TOO_LARGE error (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--wire", choices=("json", "binary", "auto"), default="auto",
+        help="frame codec policy: 'auto' (default) offers binary-v1 via "
+             "the hello handshake and keeps plain JSON for clients that "
+             "never send one; 'json' disables the binary codec entirely; "
+             "'binary' still *offers* both but marks intent (clients "
+             "choose; JSON remains the compatibility floor)",
     )
     serve.add_argument(
         "--shards", type=int, default=0, metavar="N",

@@ -8,6 +8,11 @@ single-process :class:`~repro.bdms.bdms.BeliefDBMS` into a network service:
 * :mod:`repro.server.protocol` — a length-prefixed JSON wire protocol
   (request / response / error frames) that fails closed on oversized or
   malformed input;
+* :mod:`repro.server.binproto` — the negotiated binary-v1 frame codec
+  (struct-packed header, compact tagged values, JSON escape hatch) and
+  the ``hello`` handshake that upgrades a connection onto it; JSON stays
+  the compatibility floor — clients that never send a hello are served
+  unchanged (``docs/wire-protocol.md``);
 * :mod:`repro.server.session` — per-connection sessions tracking the
   authenticated user and a default belief path, so a plain
   ``insert into Sightings ...`` is implicitly annotated with the session
@@ -46,6 +51,15 @@ Quickstart::
 
 from repro.server.async_client import AsyncBeliefClient
 from repro.server.async_server import AsyncBeliefServer
+from repro.server.binproto import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    HELLO_OP,
+    WIRE_MODES,
+    BinaryCodec,
+    JsonCodec,
+    codec_for,
+)
 from repro.server.client import (
     BeliefClient,
     PendingReply,
@@ -72,7 +86,12 @@ __all__ = [
     "AsyncBeliefServer",
     "BeliefClient",
     "BeliefServer",
+    "BinaryCodec",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "ClientSession",
+    "HELLO_OP",
+    "JsonCodec",
     "MAX_FRAME_BYTES",
     "PendingReply",
     "ProtocolError",
@@ -81,6 +100,8 @@ __all__ = [
     "RemoteStatement",
     "Request",
     "Response",
+    "WIRE_MODES",
+    "codec_for",
     "decode_frame",
     "encode_frame",
     "read_frame",

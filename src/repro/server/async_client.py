@@ -33,7 +33,7 @@ import asyncio
 from typing import Any, Sequence
 
 from repro.errors import BeliefDBError
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.client import (
     ConnectionLost,
     RemoteStatement,
@@ -58,9 +58,11 @@ class AsyncBeliefClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         max_inflight: int = 64,
+        codec: Any = binproto.JSON_CODEC,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._codec = codec
         self._request_id = 0
         #: request id -> future awaiting that response.
         self._pending: dict[int, asyncio.Future] = {}
@@ -75,8 +77,18 @@ class AsyncBeliefClient:
         port: int = 5433,
         timeout: float = 30.0,
         max_inflight: int = 64,
+        wire: str = "auto",
     ) -> "AsyncBeliefClient":
-        """Open a connection; raises :class:`ConnectionLost` on failure."""
+        """Open a connection; raises :class:`ConnectionLost` on failure.
+
+        ``wire`` negotiates the frame codec before the reader task starts
+        (the one moment the connection is guaranteed quiet): ``auto``
+        upgrades to binary when the server offers it and silently stays
+        on JSON against older servers, ``json`` skips the hello entirely,
+        and ``binary`` raises :class:`ProtocolError` unless the upgrade
+        actually happens.
+        """
+        binproto.check_wire_mode(wire)
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port), timeout=timeout
@@ -85,7 +97,73 @@ class AsyncBeliefClient:
             raise ConnectionLost(
                 f"could not connect to {host}:{port}: {exc}"
             ) from exc
-        return cls(reader, writer, max_inflight=max_inflight)
+        try:
+            codec = await asyncio.wait_for(
+                cls._negotiate(reader, writer, wire), timeout=timeout
+            )
+        except asyncio.TimeoutError as exc:
+            writer.close()
+            raise ConnectionLost(
+                f"wire negotiation with {host}:{port} timed out"
+            ) from exc
+        except (OSError, asyncio.IncompleteReadError) as exc:
+            writer.close()
+            raise ConnectionLost(
+                f"connection to server lost during wire negotiation: {exc}"
+            ) from exc
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, max_inflight=max_inflight, codec=codec)
+
+    @staticmethod
+    async def _negotiate(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter, wire: str
+    ) -> Any:
+        """The hello exchange, on the JSON floor; returns the codec."""
+        if wire == "json":
+            return binproto.JSON_CODEC
+        request = Request(
+            id=0, op=binproto.HELLO_OP,
+            params={
+                "codecs": binproto.client_offer(wire),
+                "version": binproto.VERSION,
+            },
+        )
+        await protocol.write_frame_async(writer, request.to_wire())
+        payload = await protocol.read_frame_async(reader)
+        if payload is None:
+            raise ConnectionLost(
+                "server closed the connection during wire negotiation"
+            )
+        response = Response.from_wire(payload)
+        if response.id != request.id:
+            raise ProtocolError(
+                f"hello response id {response.id} does not match the "
+                f"hello request id {request.id}"
+            )
+        if not response.ok:
+            error = response.error or {}
+            if "unknown operation" in error.get("message", ""):
+                if wire == "binary":
+                    raise ProtocolError(
+                        "wire='binary' requested but the server does not "
+                        "speak the hello handshake"
+                    )
+                return binproto.JSON_CODEC
+            unwrap_response(response)  # raises the travelled error, typed
+        result = response.result if isinstance(response.result, dict) else {}
+        chosen = result.get("codec", binproto.CODEC_JSON)
+        if chosen == binproto.CODEC_BINARY:
+            return binproto.BinaryCodec()
+        if chosen == binproto.CODEC_JSON:
+            if wire == "binary":
+                raise ProtocolError(
+                    "wire='binary' requested but the server negotiated "
+                    "the connection down to JSON"
+                )
+            return binproto.JSON_CODEC
+        raise ProtocolError(f"server chose an unknown wire codec {chosen!r}")
 
     # -------------------------------------------------------------- plumbing
 
@@ -102,7 +180,7 @@ class AsyncBeliefClient:
         failure: BaseException = ConnectionLost("server closed the connection")
         try:
             while True:
-                payload = await protocol.read_frame_async(self._reader)
+                payload = await self._codec.read_async(self._reader)
                 if payload is None:
                     break
                 response = Response.from_wire(payload)
@@ -148,7 +226,7 @@ class AsyncBeliefClient:
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._pending[request.id] = future
             try:
-                await protocol.write_frame_async(
+                await self._codec.write_async(
                     self._writer, request.to_wire()
                 )
             except ProtocolError:

@@ -47,7 +47,7 @@ from repro.bdms.bdms import BeliefDBMS
 from repro.errors import BeliefDBError, FrameTooLargeError
 from repro.obs.clock import monotonic_s
 from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.server import BeliefServer
 from repro.server.session import ClientSession
@@ -89,6 +89,7 @@ class AsyncBeliefServer(BeliefServer):
         slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
         slow_op_capacity: int = DEFAULT_CAPACITY,
         max_frame_bytes: int | None = None,
+        wire: str = "auto",
     ) -> None:
         super().__init__(
             db, host=host, port=port, record_ops=record_ops,
@@ -98,6 +99,7 @@ class AsyncBeliefServer(BeliefServer):
             slow_op_ms=slow_op_ms,
             slow_op_capacity=slow_op_capacity,
             max_frame_bytes=max_frame_bytes,
+            wire=wire,
         )
         if max_inflight < 1:
             raise BeliefDBError("max_inflight must be >= 1")
@@ -232,13 +234,18 @@ class AsyncBeliefServer(BeliefServer):
         inflight = asyncio.Semaphore(self.max_inflight)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        # One-slot codec holder shared between this reader loop and the
+        # in-flight writer tasks: every connection starts on the JSON
+        # floor, a hello may upgrade the slot. A holder (not a local)
+        # because responses are written by tasks spawned before the swap.
+        codec_ref: list[Any] = [binproto.JSON_CODEC]
         try:
             if self._over_session_limit():
                 await self._refuse_connection_async(reader, writer)
                 return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
-                    payload = await protocol.read_frame_async(
+                    payload = await codec_ref[0].read_async(
                         reader, self.max_frame_bytes
                     )
                 except (ProtocolError, OSError):
@@ -253,11 +260,30 @@ class AsyncBeliefServer(BeliefServer):
                     with self._state_lock:
                         self.stats["protocol_errors"] += 1
                     break
+                if request.op == binproto.HELLO_OP:
+                    # Codec switch barrier: this server answers out of
+                    # order, so all in-flight responses must flush in the
+                    # old codec before the hello response commits the new
+                    # one. The client mirrors this contract by sending
+                    # hello only on an otherwise-quiet connection.
+                    if tasks:
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    response, next_codec = self._negotiate_wire(request)
+                    try:
+                        async with write_lock:
+                            await codec_ref[0].write_async(
+                                writer, response.to_wire(),
+                                self.max_frame_bytes,
+                            )
+                    except (ProtocolError, FrameTooLargeError, OSError):
+                        break
+                    codec_ref[0] = next_codec
+                    continue
                 # Backpressure: beyond max_inflight the reader stops pulling
                 # frames, so the client's sends eventually block in TCP.
                 await inflight.acquire()
                 handler = asyncio.ensure_future(self._run_request(
-                    session, request, writer, write_lock, inflight
+                    session, request, writer, write_lock, inflight, codec_ref
                 ))
                 tasks.add(handler)
                 handler.add_done_callback(tasks.discard)
@@ -305,6 +331,7 @@ class AsyncBeliefServer(BeliefServer):
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         inflight: asyncio.Semaphore,
+        codec_ref: list[Any],
     ) -> None:
         """Execute one request on the worker pool; write its response frame.
 
@@ -319,15 +346,20 @@ class AsyncBeliefServer(BeliefServer):
                 response = await loop.run_in_executor(
                     self._executor, self._dispatch, session, request
                 )
+                # Encode in the connection's current codec. The encode
+                # call is synchronous (no await inside), so the binary
+                # codec's reused buffer cannot be interleaved by another
+                # task; the frame bytes it returns are a private copy.
+                codec = codec_ref[0]
                 try:
-                    frame = protocol.encode_frame(
+                    frame = codec.encode(
                         response.to_wire(), self.max_frame_bytes
                     )
                 except FrameTooLargeError as exc:
                     # The response outgrew the ceiling; substitute a small
                     # typed error frame so the connection survives — same
                     # behavior as the threaded core.
-                    frame = protocol.encode_frame(
+                    frame = codec.encode(
                         Response.failure(request.id, exc).to_wire(),
                         self.max_frame_bytes,
                     )

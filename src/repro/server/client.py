@@ -45,7 +45,7 @@ from typing import Any, Sequence
 
 import repro.errors as _errors
 from repro.errors import BeliefDBError, FrameTooLargeError
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.protocol import ProtocolError, Request, Response
 
 
@@ -262,9 +262,11 @@ class BeliefClient:
         auto_reconnect: bool = False,
         max_inflight: int = 64,
         max_frame_bytes: int | None = None,
+        wire: str = "auto",
     ) -> None:
         self.host = host
         self.port = port
+        self.wire = binproto.check_wire_mode(wire)
         self.max_frame_bytes = (
             protocol.MAX_FRAME_BYTES if max_frame_bytes is None
             else int(max_frame_bytes)
@@ -272,6 +274,13 @@ class BeliefClient:
         self.timeout = timeout
         self.auto_reconnect = auto_reconnect
         self.max_inflight = max(1, max_inflight)
+        # Wire codec state: every connection starts on the JSON floor and
+        # the first submit on it sends a ``hello`` (deferred, not done at
+        # connect time, so connect-time server errors — e.g. an admission
+        # refusal answering the first frame — still surface on the first
+        # *call*, exactly as they do for a never-negotiating client).
+        self._codec: Any = binproto.JSON_CODEC
+        self._negotiate_pending = False
         #: Called with this client after a successful reconnect, before the
         #: pending request is resent — the hook for session re-establishment
         #: (login, default path); see :class:`repro.api.RemoteConnection`.
@@ -298,6 +307,12 @@ class BeliefClient:
                 self._sock.setsockopt(
                     socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
                 )
+                # A fresh connection always restarts on the JSON floor —
+                # a reconnect to a different (or downgraded, JSON-only)
+                # server re-negotiates from scratch instead of assuming
+                # the old connection's codec.
+                self._codec = binproto.JSON_CODEC
+                self._negotiate_pending = self.wire != "json"
                 return
             except OSError as exc:
                 last = exc
@@ -307,6 +322,89 @@ class BeliefClient:
             f"could not connect to {self.host}:{self.port} "
             f"after {max(1, retries)} attempts: {last}"
         )
+
+    def _negotiate_locked(self) -> None:
+        """Send ``hello`` and switch codecs if the server takes the offer.
+
+        Must hold the lock, with an empty pipeline (it runs before the
+        first real request of a connection, which is the only moment both
+        are guaranteed). A pre-hello server answers with its normal
+        "unknown operation" error — that is the stay-on-JSON signal, not
+        a failure. Any *other* error (an admission refusal, for instance)
+        re-raises typed, exactly as it would have for the first real
+        request of a never-negotiating client.
+        """
+        self._negotiate_pending = False
+        assert self._sock is not None
+        self._request_id += 1
+        request = Request(
+            id=self._request_id, op=binproto.HELLO_OP,
+            params={
+                "codecs": binproto.client_offer(self.wire),
+                "version": binproto.VERSION,
+            },
+        )
+        try:
+            self._codec.write(
+                self._sock, request.to_wire(), self.max_frame_bytes
+            )
+            payload = self._codec.read(self._sock, self.max_frame_bytes)
+        except (OSError, ProtocolError) as exc:
+            self._drop(exc if isinstance(exc, ProtocolError) else None)
+            raise ConnectionLost(
+                f"connection to server lost during wire negotiation: {exc}"
+            ) from exc
+        if payload is None:
+            self._drop()
+            raise ConnectionLost(
+                "server closed the connection during wire negotiation"
+            )
+        try:
+            response = Response.from_wire(payload)
+        except ProtocolError as exc:
+            self._drop(exc)
+            raise
+        if response.id != request.id:
+            self._drop()
+            raise ProtocolError(
+                f"hello response id {response.id} does not match the "
+                f"hello request id {request.id}"
+            )
+        if not response.ok:
+            error = response.error or {}
+            if "unknown operation" in error.get("message", ""):
+                # A server that predates the handshake: the JSON floor is
+                # the negotiated outcome, unless the caller demanded
+                # binary outright.
+                if self.wire == "binary":
+                    self._drop()
+                    raise ProtocolError(
+                        "wire='binary' requested but the server does not "
+                        "speak the hello handshake"
+                    )
+                return
+            self._unwrap(response)  # raises the travelled error, typed
+            raise ProtocolError(  # pragma: no cover — unwrap always raises
+                "hello error response did not unwrap"
+            )
+        result = response.result if isinstance(response.result, dict) else {}
+        chosen = result.get("codec", binproto.CODEC_JSON)
+        if chosen == binproto.CODEC_BINARY:
+            self._codec = binproto.BinaryCodec()
+        elif chosen == binproto.CODEC_JSON:
+            if self.wire == "binary":
+                self._drop()
+                raise ProtocolError(
+                    "wire='binary' requested but the server negotiated "
+                    "the connection down to JSON"
+                )
+        else:
+            # The server picked something this client never offered; the
+            # next frame would be unreadable. Fail closed.
+            self._drop()
+            raise ProtocolError(
+                f"server chose an unknown wire codec {chosen!r}"
+            )
 
     # -------------------------------------------------------------- plumbing
 
@@ -349,6 +447,11 @@ class BeliefClient:
                     )
                 self._reconnect_locked()
                 reconnected = True
+            if self._negotiate_pending:
+                # First traffic on a fresh connection: run the hello
+                # exchange before any real request so the codec can never
+                # change underneath an in-flight pipeline.
+                self._negotiate_locked()
             # Window bound: past max_inflight unread responses, drain the
             # socket into the reply buffer before sending more — keeping
             # both sides' buffers shallow so a big pipeline cannot wedge
@@ -371,7 +474,7 @@ class BeliefClient:
             self._request_id += 1
             request = Request(id=self._request_id, op=op, params=params)
             try:
-                protocol.write_frame(
+                self._codec.write(
                     self._sock, request.to_wire(), self.max_frame_bytes
                 )
             except (ProtocolError, FrameTooLargeError):
@@ -402,8 +505,10 @@ class BeliefClient:
                         f"connection to server lost: {exc}"
                     ) from exc
                 self._reconnect_locked()
+                if self._negotiate_pending:
+                    self._negotiate_locked()
                 try:
-                    protocol.write_frame(
+                    self._codec.write(
                         self._sock, request.to_wire(), self.max_frame_bytes
                     )
                 except (OSError, ProtocolError) as retry_exc:
@@ -460,7 +565,7 @@ class BeliefClient:
             )
             return
         try:
-            payload = protocol.read_frame(self._sock, self.max_frame_bytes)
+            payload = self._codec.read(self._sock, self.max_frame_bytes)
         except (OSError, ProtocolError) as exc:
             self._drop(ConnectionLost(
                 self._response_lost(f"connection to server lost: {exc}")

@@ -50,7 +50,7 @@ from repro.errors import (
 )
 from repro.obs.clock import monotonic_s
 from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS, SlowOpLog
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.protocol import ProtocolError, Request, Response
 from repro.server.session import ClientSession
 
@@ -246,10 +246,12 @@ class BeliefServer:
         slow_op_ms: float | None = DEFAULT_THRESHOLD_MS,
         slow_op_capacity: int = DEFAULT_CAPACITY,
         max_frame_bytes: int | None = None,
+        wire: str = "auto",
     ) -> None:
         self.db = db
         self.host = host
         self.port = port
+        self.wire = binproto.check_wire_mode(wire)
         self.max_frame_bytes = (
             protocol.MAX_FRAME_BYTES if max_frame_bytes is None
             else int(max_frame_bytes)
@@ -316,6 +318,11 @@ class BeliefServer:
         self._conn_counter_metric = self.metrics.counter(
             "beliefdb_connections_total",
             "Connections ever accepted.",
+        )
+        self._wire_negotiations = self.metrics.counter(
+            "beliefdb_wire_negotiations_total",
+            "Completed hello exchanges, by the codec the server chose.",
+            labels=("codec",),
         )
         self.metrics.gauge(
             "beliefdb_sessions_active",
@@ -532,17 +539,38 @@ class BeliefServer:
         except (ProtocolError, FrameTooLargeError, OSError):
             pass
 
+    def _negotiate_wire(self, request: Request) -> tuple[Response, Any]:
+        """Answer a ``hello`` and pick the codec for the rest of the
+        connection.
+
+        Returns the response (to be written in the *current* codec — the
+        switch happens strictly after that frame) and the codec object
+        both sides use from the next frame on. Unknown client offers fall
+        through to JSON, so negotiation can only upgrade, never strand.
+        """
+        params = request.params if isinstance(request.params, dict) else {}
+        result = binproto.hello_result(self.wire, params.get("codecs"))
+        self._wire_negotiations.labels(codec=result["codec"]).inc()
+        return (
+            Response.success(request.id, result),
+            binproto.codec_for(result["codec"]),
+        )
+
     def _serve_connection(
         self, conn_id: int, conn: socket.socket, peer: str
     ) -> None:
         session = ClientSession(peer)
+        # Every connection starts on the JSON floor; a hello may upgrade
+        # it. The binary codec instance is per-connection (it owns a
+        # reused encode buffer), created at negotiation time.
+        codec = binproto.JSON_CODEC
         try:
             if self._over_session_limit():
                 self._refuse_connection(conn)
                 return  # the finally block closes and un-counts it
             while not self._stopping.is_set():
                 try:
-                    payload = protocol.read_frame(conn, self.max_frame_bytes)
+                    payload = codec.read(conn, self.max_frame_bytes)
                 except (ProtocolError, OSError):
                     with self._state_lock:
                         self.stats["protocol_errors"] += 1
@@ -555,16 +583,26 @@ class BeliefServer:
                     with self._state_lock:
                         self.stats["protocol_errors"] += 1
                     break
+                if request.op == binproto.HELLO_OP:
+                    response, next_codec = self._negotiate_wire(request)
+                    try:
+                        codec.write(
+                            conn, response.to_wire(), self.max_frame_bytes
+                        )
+                    except (ProtocolError, FrameTooLargeError, OSError):
+                        break
+                    codec = next_codec
+                    continue
                 response = self._dispatch(session, request)
                 try:
-                    protocol.write_frame(
+                    codec.write(
                         conn, response.to_wire(), self.max_frame_bytes
                     )
                 except FrameTooLargeError as exc:
                     # The *response* outgrew the ceiling; substitute a small
                     # typed error frame so the connection survives.
                     try:
-                        protocol.write_frame(
+                        codec.write(
                             conn,
                             Response.failure(request.id, exc).to_wire(),
                             self.max_frame_bytes,

@@ -13,6 +13,7 @@ router ops, per-shard health gauges, and restart counters in one scrape.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
@@ -39,7 +40,15 @@ class ShardCluster:
         max_frame_bytes: int | None = None,
         ping_interval: float = 0.25,
         ping_timeout: float = 2.0,
+        wire: str = "auto",
     ) -> None:
+        # The wire preference flows both directions: to the workers (via
+        # the spec, so restarts keep it) and to the router's client-facing
+        # listener plus its upstream connections.
+        if spec is None:
+            spec = WorkerSpec(wire=wire)
+        elif spec.wire != wire and wire != "auto":
+            spec = dataclasses.replace(spec, wire=wire)
         # One registry for the whole cluster: the coordinator's shard_up /
         # shard_load / restart metrics register alongside the router's own
         # families, so one metrics op (or Prometheus scrape) sees the fleet.
@@ -63,6 +72,8 @@ class ShardCluster:
             slow_op_capacity=slow_op_capacity,
             max_frame_bytes=max_frame_bytes,
             registry=registry,
+            wire=wire,
+            upstream_wire=wire,
         )
 
     @property

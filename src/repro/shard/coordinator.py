@@ -61,6 +61,7 @@ class WorkerSpec:
     max_inflight_requests: int | None = None
     slow_op_ms: float | None = None
     max_frame_bytes: int | None = None
+    wire: str = "auto"
 
 
 class ThreadWorker:
@@ -106,6 +107,7 @@ class ThreadWorker:
             "max_sessions": spec.max_sessions,
             "max_inflight_requests": spec.max_inflight_requests,
             "max_frame_bytes": spec.max_frame_bytes,
+            "wire": spec.wire,
         }
         checkpoint = (
             spec.checkpoint_interval if durability is not None else None
@@ -207,6 +209,8 @@ class ProcessWorker:
             cmd += ["--slow-op-ms", str(spec.slow_op_ms)]
         if spec.max_frame_bytes is not None:
             cmd += ["--max-frame-bytes", str(spec.max_frame_bytes)]
+        if spec.wire != "auto":
+            cmd += ["--wire", spec.wire]
         return cmd
 
     @staticmethod

@@ -58,7 +58,7 @@ from repro.errors import (
 from repro.obs.clock import monotonic_s
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import DEFAULT_CAPACITY, DEFAULT_THRESHOLD_MS
-from repro.server import protocol
+from repro.server import binproto, protocol
 from repro.server.client import (
     BeliefClient,
     ConnectionLost,
@@ -245,6 +245,8 @@ class BeliefRouter(BeliefServer):
         max_frame_bytes: int | None = None,
         upstream_timeout: float = 30.0,
         registry: MetricsRegistry | None = None,
+        wire: str = "auto",
+        upstream_wire: str = "auto",
     ) -> None:
         super().__init__(
             _RouterState(registry),  # type: ignore[arg-type] — duck-typed stub
@@ -253,10 +255,14 @@ class BeliefRouter(BeliefServer):
             max_inflight_requests=max_inflight_requests,
             slow_op_ms=slow_op_ms, slow_op_capacity=slow_op_capacity,
             max_frame_bytes=max_frame_bytes,
+            wire=wire,
         )
         self.coordinator = coordinator
         self.ring = HashRing(coordinator.n_shards)
         self.upstream_timeout = upstream_timeout
+        #: Codec preference for router->worker hops; negotiated per upstream
+        #: connection, independently of whatever each client negotiated.
+        self.upstream_wire = binproto.check_wire_mode(upstream_wire)
         #: The global user registry mirror: every create goes through the
         #: router (broadcast with a pinned uid), so these maps converge to
         #: the union of every shard's user table.
@@ -330,6 +336,7 @@ class BeliefRouter(BeliefServer):
                 *address, connect_retries=3, retry_delay=0.05,
                 timeout=self.upstream_timeout, auto_reconnect=False,
                 max_frame_bytes=self.max_frame_bytes,
+                wire=self.upstream_wire,
             )
         except (ConnectionLost, OSError) as exc:
             raise ShardUnavailableError(

@@ -6,6 +6,7 @@ so tests can compare the relational representation against the paper verbatim.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import pytest
@@ -18,7 +19,10 @@ from repro.storage.store import BeliefStore
 from repro.storage.updates import insert_statement
 
 settings.register_profile("default", deadline=None, max_examples=60)
-settings.load_profile("default")
+#: CI's protocol-fuzz step raises the example budget on the wire-codec
+#: property suite (select with HYPOTHESIS_PROFILE=protocol-fuzz).
+settings.register_profile("protocol-fuzz", deadline=None, max_examples=500)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 ALICE, BOB, CAROL = 1, 2, 3
 USER_NAMES = {ALICE: "Alice", BOB: "Bob", CAROL: "Carol"}

@@ -306,6 +306,7 @@ def test_send_failure_with_inflight_never_resends(monkeypatch):
     """A send that dies while other requests are in flight must fail the
     whole pipeline — not quietly reconnect and resend its own frame while
     sibling responses evaporate."""
+    from repro.server import binproto as binproto_module
     from repro.server import protocol as protocol_module
 
     with BeliefServer(BeliefDBMS(sightings_schema(), strict=False)) as server:
@@ -313,17 +314,28 @@ def test_send_failure_with_inflight_never_resends(monkeypatch):
         try:
             first = client.submit("ping")
             real_write = protocol_module.write_frame
+            real_bin_write = binproto_module.BinaryCodec.write
             calls = {"n": 0}
 
             def failing_write(sock, payload, max_frame_bytes=None):
                 calls["n"] += 1
                 raise OSError("wire cut")
 
+            # Cut both write seams: JSON frames go through the protocol
+            # module, a negotiated binary connection through its codec.
             monkeypatch.setattr(protocol_module, "write_frame", failing_write)
+            monkeypatch.setattr(
+                binproto_module.BinaryCodec, "write",
+                lambda self, sock, payload, max_frame_bytes=None:
+                    failing_write(sock, payload, max_frame_bytes),
+            )
             with pytest.raises(ConnectionLost):
                 client.submit("ping")
             assert calls["n"] == 1  # no reconnect+resend with a live pipeline
             monkeypatch.setattr(protocol_module, "write_frame", real_write)
+            monkeypatch.setattr(
+                binproto_module.BinaryCodec, "write", real_bin_write
+            )
             with pytest.raises(ConnectionLost):
                 first.result()
         finally:

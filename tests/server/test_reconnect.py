@@ -164,6 +164,7 @@ def test_send_failure_never_resends_session_handles(db, monkeypatch):
     """A request naming a prepared-statement handle must not be resent on a
     fresh connection — the handle died with the old session, and resending
     would surface a misleading 'unknown statement' instead of the truth."""
+    from repro.server import binproto as binproto_module
     from repro.server import protocol as protocol_module
 
     with BeliefServer(db) as server:
@@ -175,13 +176,21 @@ def test_send_failure_never_resends_session_handles(db, monkeypatch):
                 "insert into Sightings values (?,?,?,?,?)"
             )
             real_write = protocol_module.write_frame
+            real_bin_write = binproto_module.BinaryCodec.write
             calls = {"n": 0}
 
             def failing_write(sock, payload, max_frame_bytes=None):
                 calls["n"] += 1
                 raise OSError("connection reset by peer")
 
+            # Cut both write seams: JSON frames go through the protocol
+            # module, a negotiated binary connection through its codec.
             monkeypatch.setattr(protocol_module, "write_frame", failing_write)
+            monkeypatch.setattr(
+                binproto_module.BinaryCodec, "write",
+                lambda self, sock, payload, max_frame_bytes=None:
+                    failing_write(sock, payload, max_frame_bytes),
+            )
             with pytest.raises(ConnectionLost, match="connection to server"):
                 client.execute_prepared(
                     statement,
@@ -190,6 +199,9 @@ def test_send_failure_never_resends_session_handles(db, monkeypatch):
             # One send attempt, no reconnect+resend for the stale handle.
             assert calls["n"] == 1
             monkeypatch.setattr(protocol_module, "write_frame", real_write)
+            monkeypatch.setattr(
+                binproto_module.BinaryCodec, "write", real_bin_write
+            )
             # The next call (no session handles) reconnects as usual.
             assert client.ping()
         finally:
