@@ -9,7 +9,9 @@ Benchmarks regenerate the paper's evaluation (Sect. 6). Scale knobs:
 
 Experiment tables are printed outside pytest's capture (so they land in the
 terminal / tee'd log alongside pytest-benchmark's timing table) and appended
-to ``benchmarks/results/experiment_tables.txt`` for the record.
+to ``benchmarks/results/experiment_tables.txt`` for the record. The file is
+capped: only the newest ``TABLES_KEEP`` timestamped blocks are retained, so
+repeated local runs can't grow it without bound.
 """
 
 from __future__ import annotations
@@ -26,6 +28,33 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: uploads this as a workflow artifact and feeds it to
 #: ``benchmarks/check_regression.py`` against the committed baseline.
 RESULTS_JSON = RESULTS_DIR / "bench_results.json"
+
+TABLES_FILE = RESULTS_DIR / "experiment_tables.txt"
+
+#: Timestamped blocks retained in ``experiment_tables.txt``. A full bench
+#: sweep emits a couple dozen tables; 60 keeps roughly the last two sweeps.
+TABLES_KEEP = 60
+
+
+def _rotate_tables(path: pathlib.Path, keep: int) -> None:
+    """Drop all but the newest ``keep`` ``[stamp]`` blocks from ``path``.
+
+    Blocks are delimited by lines of the form ``[YYYY-mm-dd HH:MM:SS]``;
+    everything between one stamp and the next belongs to the earlier stamp.
+    """
+    try:
+        lines = path.read_text().splitlines(keepends=True)
+    except OSError:
+        return
+    starts = [
+        i for i, line in enumerate(lines)
+        if line.startswith("[") and line.rstrip().endswith("]")
+    ]
+    if len(starts) <= keep:
+        return
+    cut = starts[len(starts) - keep]
+    # Stamps are preceded by a blank separator line; keep the cut clean.
+    path.write_text("\n" + "".join(lines[cut:]))
 
 
 @pytest.fixture
@@ -55,8 +84,9 @@ def emit(capsys):
             print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         stamp = time.strftime("%Y-%m-%d %H:%M:%S")
-        with open(RESULTS_DIR / "experiment_tables.txt", "a") as sink:
+        with open(TABLES_FILE, "a") as sink:
             sink.write(f"\n[{stamp}]\n{text}\n")
+        _rotate_tables(TABLES_FILE, TABLES_KEEP)
 
     return _emit
 

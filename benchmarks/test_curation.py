@@ -1,0 +1,143 @@
+"""Curation-workload benchmark: the lifecycle subsystem under conflict.
+
+Runs the conflict-heavy NatureMapping curation workload
+(:mod:`repro.workload.curation`) two ways —
+
+* **embedded** — straight onto a BDMS, measuring the lifecycle write path
+  itself (propose/transition throughput, decay sweep latency, audit
+  append cost) with zero wire overhead;
+* **threaded server** — the same workload over the wire with per-racer
+  client connections, so CAS races really contend across sessions the way
+  racing curators do, and every loser's ``LIFECYCLE_CONFLICT`` makes a
+  full round trip.
+
+``bench_results.json`` section ``lifecycle`` feeds the CI regression gate
+(``check_regression.py --only lifecycle.``). Conflict *counts* are
+workload invariants (exactly one winner per contended belief) and are
+asserted at any scale; timings are gated only through the baseline file's
+generous regression factor.
+
+Scale knob: ``BELIEFDB_BENCH_CURATION_BELIEFS`` (tracked beliefs,
+default 24).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.server import BeliefClient, BeliefServer
+from repro.workload.curation import (
+    CURATORS,
+    ClientDriver,
+    CurationConfig,
+    EmbeddedDriver,
+    run_curation,
+)
+
+_RESULTS: dict[str, object] = {}
+
+
+def _n_beliefs() -> int:
+    return int(os.environ.get("BELIEFDB_BENCH_CURATION_BELIEFS", "24"))
+
+
+def _config() -> CurationConfig:
+    return CurationConfig(n_beliefs=_n_beliefs(), racers=4)
+
+
+def _check_invariants(stats) -> None:
+    assert stats.proposed == _n_beliefs()
+    assert stats.conflicts > 0, "conflict-heavy workload saw no conflicts"
+    # Every successful op appends exactly one audit event — no more, no
+    # less. This is the audit subsystem's core accounting invariant.
+    assert stats.audit_events == (
+        stats.proposed + stats.transitions + stats.sweeps
+    )
+
+
+def test_curation_embedded(record_json, emit):
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    for name in CURATORS:
+        db.add_user(name)
+    config = _config()
+    stats = run_curation(EmbeddedDriver(db), config)
+    _check_invariants(stats)
+
+    sweep_start = time.perf_counter()
+    db.lifecycle_decay_sweep()
+    sweep_s = time.perf_counter() - sweep_start
+
+    _RESULTS["embedded"] = {
+        "seconds": round(stats.elapsed_s, 4),
+        "transitions": stats.transitions,
+        "conflicts": stats.conflicts,
+        "audit_events": stats.audit_events,
+        "sweep_s": round(sweep_s, 5),
+        "ops_per_s": round(
+            (stats.proposed + stats.transitions) / stats.elapsed_s, 1
+        ),
+    }
+    record_json("lifecycle", dict(_RESULTS))
+    emit(
+        "Curation workload (embedded): "
+        f"{stats.proposed} proposed, {stats.transitions} transitions, "
+        f"{stats.conflicts} conflicts, {stats.audit_events} audit events "
+        f"in {stats.elapsed_s:.3f}s"
+    )
+
+
+def test_curation_threaded_server(record_json, emit):
+    server = BeliefServer(
+        BeliefDBMS(sightings_schema(), strict=False), port=0
+    )
+    server.start()
+    clients: list[BeliefClient] = []
+
+    def client_driver() -> ClientDriver:
+        client = BeliefClient(*server.address)
+        clients.append(client)
+        return ClientDriver(client)
+
+    try:
+        main = client_driver()
+        for name in CURATORS:
+            main.client.login(name, create=True)
+        config = _config()
+        stats = run_curation(main, config, driver_factory=client_driver)
+        _check_invariants(stats)
+        metrics = main.client.metrics()
+        conflict_total = _metric_value(
+            metrics, "beliefdb_lifecycle_conflicts_total"
+        )
+        assert conflict_total == stats.conflicts
+    finally:
+        for client in clients:
+            client.close()
+        server.stop()
+
+    _RESULTS["threaded"] = {
+        "seconds": round(stats.elapsed_s, 4),
+        "transitions": stats.transitions,
+        "conflicts": stats.conflicts,
+        "audit_events": stats.audit_events,
+        "ops_per_s": round(
+            (stats.proposed + stats.transitions) / stats.elapsed_s, 1
+        ),
+    }
+    record_json("lifecycle", dict(_RESULTS))
+    emit(
+        "Curation workload (threaded server): "
+        f"{stats.transitions} transitions, {stats.conflicts} conflicts "
+        f"in {stats.elapsed_s:.3f}s "
+        f"({_RESULTS['threaded']['ops_per_s']} lifecycle ops/s)"
+    )
+
+
+def _metric_value(metrics: dict, family_name: str) -> float:
+    for family in metrics["families"]:
+        if family["name"] == family_name:
+            return sum(s["value"] for s in family["samples"])
+    return 0.0

@@ -71,7 +71,7 @@ def test_embedded_insert_prepared_beats_literal():
     db = _fresh()
     started = time.perf_counter()
     for i in range(n):
-        db.execute(_insert_sql(i))
+        db.execute_sql(_insert_sql(i)).legacy()
     unprepared = time.perf_counter() - started
 
     cur = connect(_fresh()).cursor()
@@ -105,10 +105,10 @@ def test_embedded_select_prepared_beats_uncached_literal():
     db = seeded(cache=0)
     started = time.perf_counter()
     for i in range(n):
-        db.execute(
+        db.execute_sql(
             "select S.sid, S.species from BELIEF 'Carol' Sightings as S "
             f"where S.sid = 's{i % 50}'"
-        )
+        ).legacy()
     unprepared = time.perf_counter() - started
 
     db = seeded(cache=128)

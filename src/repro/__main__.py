@@ -426,6 +426,124 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _connected_client(args: argparse.Namespace):
+    from repro.server.client import BeliefClient, ConnectionLost
+
+    try:
+        return BeliefClient(args.host, args.port)
+    except (OSError, ConnectionLost) as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _format_ts(ts: float | None) -> str:
+    import datetime
+
+    if ts is None:
+        return "-"
+    return datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Curation from the shell: propose / transition / sweep / queue."""
+    from repro.errors import BeliefDBError
+
+    client = _connected_client(args)
+    if client is None:
+        return 1
+    try:
+        if args.user:
+            client.login(args.user)
+        if args.action == "queue":
+            views = client.lifecycle_queue(
+                path=args.path.split(",") if args.path else None,
+                status=args.status, limit=args.limit,
+            )
+            for v in views:
+                print(f"{v['belief']}  {v['status']:<10} "
+                      f"conf={v['confidence']:.3f}  {v['relation']}"
+                      f"{tuple(v['values'])!r}  "
+                      f"updated {_format_ts(v['updated_ts'])}")
+            print(f"({len(views)} tracked beliefs)")
+        elif args.action == "propose":
+            if not args.relation or args.values is None:
+                print("error: propose needs --relation and --values",
+                      file=sys.stderr)
+                return 1
+            view = client.lifecycle_propose(
+                args.relation, args.values,
+                path=args.path.split(",") if args.path else None,
+                sign=args.sign, confidence=args.confidence,
+                decay=args.decay,
+                derived_from=args.derived_from or (),
+            )
+            print(f"proposed {view['belief']} ({view['status']}, "
+                  f"confidence {view['confidence']})")
+        elif args.action == "transition":
+            if not args.belief or not args.to:
+                print("error: transition needs --belief and --to",
+                      file=sys.stderr)
+                return 1
+            view = client.lifecycle_transition(
+                args.belief, args.to, expect=args.expect,
+                reason=args.reason,
+                path=args.path.split(",") if args.path else None,
+            )
+            print(f"{view['belief']} -> {view['status']}")
+        elif args.action == "sweep":
+            result = client.lifecycle_decay_sweep()
+            print(f"swept {result['swept']} tracked beliefs, "
+                  f"{result['changed']} confidences decayed")
+        return 0
+    except BeliefDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Inspect the append-only audit history and provenance chains."""
+    from repro.errors import BeliefDBError
+
+    client = _connected_client(args)
+    if client is None:
+        return 1
+    try:
+        if args.provenance:
+            prov = client.provenance(args.provenance)
+            for node in prov["chain"]:
+                parents = ", ".join(str(p) for p in node["derived_from"])
+                print(f"{node['belief']}  {node['status']:<10} "
+                      f"conf={node['confidence']:.3f}  {node['relation']}"
+                      f"{tuple(node['values'])!r}"
+                      + (f"  <- {parents}" if parents else ""))
+            return 0
+        events = client.audit_log(belief=args.belief, limit=args.limit)
+        for e in events:
+            what = e["action"]
+            if what == "transition":
+                detail = f"{e['from']} -> {e['to']}"
+                if e.get("reason"):
+                    detail += f" ({e['reason']})"
+            elif what == "propose":
+                detail = (f"{e['relation']}{tuple(e['values'])!r} "
+                          f"conf={e['confidence']}")
+            else:
+                detail = f"swept={e['swept']} changed={e['changed']}"
+            belief = e.get("belief") or "-"
+            print(f"#{e['seq']:<5} {_format_ts(e['ts'])}  "
+                  f"{what:<11} {belief:<14} {detail}")
+        print(f"({len(events)} audit events)")
+        return 0
+    except BeliefDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def _cmd_connect(args: argparse.Namespace) -> int:
     from repro.bdms.repl import remote_main
     from repro.server.client import ConnectionLost
@@ -556,6 +674,56 @@ def main(argv: list[str] | None = None) -> int:
     )
     shard_status.add_argument("--host", default="127.0.0.1")
     shard_status.add_argument("--port", type=int, default=5433)
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="curate beliefs on a running server: propose, transition, "
+             "decay-sweep, or list the review queue",
+    )
+    lifecycle.add_argument("--host", default="127.0.0.1")
+    lifecycle.add_argument("--port", type=int, default=5433)
+    lifecycle.add_argument("--user", default=None,
+                           help="log in as this curator (actor attribution)")
+    lifecycle.add_argument(
+        "action", choices=("queue", "propose", "transition", "sweep"),
+    )
+    lifecycle.add_argument("--path", default=None, metavar="U1,U2",
+                           help="belief path as comma-separated users")
+    lifecycle.add_argument("--status", default=None,
+                           help="queue: filter by status (e.g. CHALLENGED)")
+    lifecycle.add_argument("--limit", type=int, default=None)
+    lifecycle.add_argument("--relation", default=None,
+                           help="propose: the statement's relation")
+    lifecycle.add_argument("--values", nargs="*", default=None,
+                           help="propose: the statement's values")
+    lifecycle.add_argument("--sign", choices=("+", "-"), default="+")
+    lifecycle.add_argument("--confidence", type=float, default=1.0)
+    lifecycle.add_argument("--decay", default="none", metavar="SPEC",
+                           help="'none', 'exponential:<half-life-s>', or "
+                                "'linear:<rate-per-s>'")
+    lifecycle.add_argument("--derived-from", nargs="*", default=None,
+                           metavar="REF",
+                           help="propose: parent belief ids and/or users")
+    lifecycle.add_argument("--belief", default=None,
+                           help="transition: the belief id")
+    lifecycle.add_argument("--to", default=None,
+                           help="transition: the target status")
+    lifecycle.add_argument("--expect", default=None,
+                           help="transition: CAS precondition on the "
+                                "current status")
+    lifecycle.add_argument("--reason", default=None)
+    audit = sub.add_parser(
+        "audit",
+        help="print a running server's append-only lifecycle audit log "
+             "(or one belief's provenance chain)",
+    )
+    audit.add_argument("--host", default="127.0.0.1")
+    audit.add_argument("--port", type=int, default=5433)
+    audit.add_argument("--belief", default=None,
+                       help="only events for this belief id")
+    audit.add_argument("--limit", type=int, default=None,
+                       help="only the newest N events")
+    audit.add_argument("--provenance", default=None, metavar="BELIEF",
+                       help="print this belief's derivation chain instead")
     args = parser.parse_args(argv)
     handler = {
         "repl": _cmd_repl,
@@ -565,6 +733,8 @@ def main(argv: list[str] | None = None) -> int:
         "connect": _cmd_connect,
         "stats": _cmd_stats,
         "shard-status": _cmd_shard_status,
+        "lifecycle": _cmd_lifecycle,
+        "audit": _cmd_audit,
     }[args.command]
     return handler(args)
 

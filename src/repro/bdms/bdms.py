@@ -50,18 +50,18 @@ prepared-statement cache underneath (parse+compile once, bind many)::
         result.columns   # ('sid', 'species')
         cur.fetchall()
 
-``execute`` keeps its historical return shape as a thin **deprecated**
-shim over :meth:`~BeliefDBMS.execute_sql` /
-:meth:`~BeliefDBMS.execute_prepared`; it is the one compatibility wrapper
-left for pre-Result callers, and the server rejects it inside an open
-transaction. Transactions (:meth:`~BeliefDBMS.begin_transaction` /
+Transactions (:meth:`~BeliefDBMS.begin_transaction` /
 :meth:`~BeliefDBMS.commit_transaction`) group DML into atomic units — see
-:mod:`repro.bdms.transaction`.
+:mod:`repro.bdms.transaction`. (The long-deprecated ``execute()`` legacy
+shim was removed; the wire protocol's ``execute`` op goes through
+:meth:`~BeliefDBMS.execute_statement`, which keeps the historical
+``list | bool | int`` result shape for the protocol only.)
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -83,6 +83,7 @@ from repro.beliefsql.ast import (
 from repro.beliefsql.compiler import (
     CompiledDelete,
     CompiledInsert,
+    CompiledLifecycleSelect,
     CompiledSelect,
     CompiledUpdate,
     compile_delete,
@@ -99,10 +100,20 @@ from repro.core.statements import NEGATIVE, POSITIVE, BeliefStatement, Sign
 from repro.core.worlds import BeliefWorld
 from repro.errors import (
     BeliefDBError,
+    LifecycleConflictError,
+    LifecycleError,
     QueryError,
     RejectedUpdateError,
     TransactionAbortedError,
     TransactionError,
+    UnknownUserError,
+)
+from repro.lifecycle.model import (
+    ACTIVE as LIFECYCLE_ACTIVE,
+)
+from repro.lifecycle.model import (
+    belief_key,
+    check_status,
 )
 from repro.obs.clock import Stopwatch
 from repro.obs.metrics import MetricsRegistry
@@ -112,6 +123,7 @@ from repro.query.naive import evaluate_naive
 from repro.query.parser import parse_bcq
 from repro.query.sql_gen import evaluate_sql
 from repro.query.translate import evaluate_translated
+from repro.relational.expressions import compare
 from repro.storage.mvcc import Version, VersionManager
 from repro.storage.store import BeliefStore
 from repro.storage.updates import delete_tuple, insert_statement, insert_tuple
@@ -121,7 +133,11 @@ _BACKENDS = ("engine", "sqlite", "naive", "lazy")
 StatementKind = Literal["select", "insert", "delete", "update"]
 
 CompiledStatement = Union[
-    CompiledSelect, CompiledInsert, CompiledDelete, CompiledUpdate
+    CompiledSelect,
+    CompiledLifecycleSelect,
+    CompiledInsert,
+    CompiledDelete,
+    CompiledUpdate,
 ]
 
 
@@ -240,6 +256,33 @@ class BeliefDBMS:
             event: cache_events.labels(event=event)
             for event in ("hit", "miss", "eviction", "invalidation")
         }
+        self._lifecycle_ops = self.metrics.counter(
+            "beliefdb_lifecycle_ops_total",
+            "Applied lifecycle operations by action.",
+            labels=("action",),
+        )
+        self._lifecycle_transitions = self.metrics.counter(
+            "beliefdb_lifecycle_transitions_total",
+            "Applied lifecycle status transitions by target status.",
+            labels=("to",),
+        )
+        self._lifecycle_conflicts = self.metrics.counter(
+            "beliefdb_lifecycle_conflicts_total",
+            "Lifecycle transitions rejected as conflicts (CAS mismatch or "
+            "a move the transition table forbids).",
+        )
+        self.metrics.gauge(
+            "beliefdb_lifecycle_tracked_beliefs",
+            "Belief statements with a lifecycle record.",
+        ).set_function(lambda: float(self.store.lifecycle.record_count()))
+        self.metrics.gauge(
+            "beliefdb_lifecycle_audit_events",
+            "Events in the append-only lifecycle audit log.",
+        ).set_function(lambda: float(self.store.lifecycle.audit_count()))
+        self._lifecycle_sweep_hist = self.metrics.histogram(
+            "beliefdb_lifecycle_sweep_seconds",
+            "Wall time of confidence decay sweeps.",
+        )
         #: The MVCC version manager: epoch counter, snapshot cache, pin
         #: accounting, and version GC (``mvcc_*`` metrics).
         self.versions = VersionManager(metrics=self.metrics)
@@ -658,6 +701,9 @@ class BeliefDBMS:
             if query is not None:
                 rows = sorted(self.query(query, version=version), key=repr)
             rowcount = len(rows)
+        elif isinstance(compiled, CompiledLifecycleSelect):
+            rows = self._lifecycle_select(compiled.bind(params), version)
+            rowcount = len(rows)
         else:
             # DML: the statement is WAL-logged here as one replayable
             # template + parameter record; suppress the per-tuple records
@@ -928,7 +974,12 @@ class BeliefDBMS:
         """
         from repro.durability.snapshot import statement_order
 
+        # Transactions stage only DML, so the lifecycle registry (records +
+        # audit log) is untouched by the failed commit: carry the object
+        # over to the rebuilt store instead of losing it.
+        lifecycle = self.store.lifecycle
         self.store = BeliefStore(self.schema, eager=self.store.eager)
+        self.store.lifecycle = lifecycle
         self.invalidate_statements()
         for uid, name in users:
             self.store.add_user(name=name, uid=uid)
@@ -945,24 +996,6 @@ class BeliefDBMS:
     def execute_sql(self, sql: str, params: Sequence[Value] = ()) -> Result:
         """Execute one BeliefSQL statement with ``?`` parameters; typed result."""
         return self.execute_prepared(self.prepare(sql), params)
-
-    def execute(
-        self, sql: str, params: Sequence[Value] = ()
-    ) -> list[tuple] | bool | int:
-        """Execute one BeliefSQL statement (Fig. 1) — **deprecated shim**.
-
-        This is the legacy compatibility wrapper, kept only so pre-Result
-        callers and the wire protocol's legacy ``execute`` op behave
-        exactly as before: it collapses the typed :class:`Result` of
-        :meth:`execute_sql` to the historical ``list | bool | int`` soup
-        (sorted tuples for ``select``, True/False for ``insert``, the
-        affected-statement count for ``delete``/``update``). It also
-        predates transactions: the server rejects it inside an open
-        transaction. New code — including every example and internal
-        caller in this repository — uses :meth:`execute_sql`,
-        :meth:`execute_prepared`, or the cursors of :mod:`repro.api`.
-        """
-        return self.execute_sql(sql, params).legacy()
 
     def execute_statement(
         self, statement: Statement, params: Sequence[Value] = ()
@@ -1049,6 +1082,285 @@ class BeliefDBMS:
         """A snapshot of the explicit annotations as a core belief database."""
         return self.store.to_belief_database()
 
+    # ------------------------------------------------------------- lifecycle
+
+    @contextmanager
+    def _pinned_store(self, version: Version | None):
+        """The store of ``version``, or a freshly pinned one for this read."""
+        if version is not None:
+            yield version.store
+        else:
+            with self.read_view() as pinned:
+                yield pinned.store
+
+    def _apply_lifecycle(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Apply one lifecycle WAL record to the live store and log it.
+
+        The single write path for lifecycle state: the live API methods
+        below build a record (stamping ``ts`` exactly once) and recovery
+        replays the logged record verbatim — both land here, so the audit
+        history after a crash replays bit-identical to the one before it.
+        The registry's ``apply`` validates before mutating, so a raised
+        conflict leaves no state change and nothing in the log.
+        """
+        self._check_durable_writable()
+        with self._write_mutex:
+            try:
+                result = self.store.lifecycle.apply(record)
+            except LifecycleConflictError:
+                self._lifecycle_conflicts.inc()
+                raise
+            self.versions.bump()
+            self._log_durable(record)
+        self._lifecycle_ops.labels(action=record["action"]).inc()
+        if record["action"] == "transition":
+            self._lifecycle_transitions.labels(to=record["to"]).inc()
+        return result
+
+    def apply_lifecycle_record(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Replay entry point for ``{"op": "lifecycle"}`` WAL records."""
+        return self._apply_lifecycle(record)
+
+    def lifecycle_propose(
+        self,
+        path: Sequence[Any],
+        relation: str,
+        values: Sequence[Value],
+        sign: Sign | str = POSITIVE,
+        *,
+        actor: Any = None,
+        confidence: float = 1.0,
+        decay: str = "none",
+        derived_from: Sequence[str] = (),
+        ts: float | None = None,
+    ) -> dict[str, Any]:
+        """Start lifecycle tracking for one explicit belief statement.
+
+        The statement must already exist (insert first, then propose); it
+        enters the state machine as PROPOSED with the given confidence,
+        decay model spec, and provenance links (parent belief ids and/or
+        user references). Returns the record view, including the stable
+        ``belief`` id used by transitions and audit queries.
+        """
+        with self._write_mutex:
+            resolved = tuple(self.store.resolve_user(u) for u in path)
+            t = self.schema.tuple(relation, *values)
+            coerced = Sign.coerce(sign)
+            if (t, coerced) not in self.store.explicit_db.explicit_signs(
+                resolved
+            ):
+                raise LifecycleError(
+                    f"no explicit statement {t} with sign {coerced} at path "
+                    f"{resolved!r} — insert it before proposing lifecycle "
+                    "tracking"
+                )
+            record = {
+                "op": "lifecycle",
+                "action": "propose",
+                "path": list(resolved),
+                "relation": relation,
+                "values": list(t.values),
+                "sign": str(coerced),
+                "actor": (
+                    self.store.resolve_user(actor) if actor is not None
+                    else None
+                ),
+                "confidence": float(confidence),
+                "decay": decay,
+                "derived_from": list(derived_from),
+                "ts": float(ts) if ts is not None else time.time(),
+            }
+            return self._apply_lifecycle(record)
+
+    def lifecycle_transition(
+        self,
+        belief: str,
+        to: str,
+        *,
+        actor: Any = None,
+        expect: str | None = None,
+        reason: str | None = None,
+        ts: float | None = None,
+    ) -> dict[str, Any]:
+        """Move one tracked belief to a new status.
+
+        ``expect`` is an optional compare-and-swap precondition: when given
+        and the belief's current status differs, the transition raises
+        :class:`~repro.errors.LifecycleConflictError` without applying —
+        how racing curators lose cleanly. Moves the transition table
+        forbids raise the same conflict error.
+        """
+        with self._write_mutex:
+            record = {
+                "op": "lifecycle",
+                "action": "transition",
+                "belief": belief,
+                "to": to,
+                "expect": expect,
+                "actor": (
+                    self.store.resolve_user(actor) if actor is not None
+                    else None
+                ),
+                "reason": reason,
+                "ts": float(ts) if ts is not None else time.time(),
+            }
+            return self._apply_lifecycle(record)
+
+    def lifecycle_decay_sweep(
+        self, *, actor: Any = None, now: float | None = None
+    ) -> dict[str, Any]:
+        """Apply every record's decay model to its confidence, in one sweep.
+
+        Deterministic (the sweep timestamp rides the WAL record), audited
+        as a single event. Returns ``{"swept": n, "changed": m}``.
+        """
+        watch = Stopwatch()
+        with self._write_mutex:
+            record = {
+                "op": "lifecycle",
+                "action": "decay_sweep",
+                "actor": (
+                    self.store.resolve_user(actor) if actor is not None
+                    else None
+                ),
+                "ts": float(now) if now is not None else time.time(),
+            }
+            result = self._apply_lifecycle(record)
+        self._lifecycle_sweep_hist.observe(watch.elapsed_s())
+        return result
+
+    def lifecycle_get(
+        self, belief: str, version: Version | None = None
+    ) -> dict[str, Any] | None:
+        """The lifecycle record view for one belief id, or None."""
+        with self._pinned_store(version) as store:
+            record = store.lifecycle.get(belief)
+            return record.view() if record is not None else None
+
+    def lifecycle_list(
+        self,
+        path: Sequence[Any] | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+        version: Version | None = None,
+    ) -> list[dict[str, Any]]:
+        """Tracked beliefs, oldest first — the curation review queue.
+
+        Filter by belief world (``path``) and/or status (e.g. all
+        CHALLENGED beliefs awaiting resolution).
+        """
+        if status is not None:
+            check_status(status)
+        with self._pinned_store(version) as store:
+            resolved = (
+                tuple(store.resolve_user(u) for u in path)
+                if path is not None else None
+            )
+            views = []
+            for record in store.lifecycle.records():
+                if resolved is not None and record.key[0] != resolved:
+                    continue
+                if status is not None and record.status != status:
+                    continue
+                views.append(record.view())
+                if limit is not None and len(views) >= limit > 0:
+                    break
+            return views
+
+    def audit_log(
+        self,
+        belief: str | None = None,
+        limit: int | None = None,
+        version: Version | None = None,
+    ) -> list[dict[str, Any]]:
+        """The append-only audit history (oldest first), optionally for one
+        belief id. A pinned MVCC read — never blocks behind writers."""
+        with self._pinned_store(version) as store:
+            return store.lifecycle.audit_events(belief=belief, limit=limit)
+
+    def provenance(
+        self, belief: str, version: Version | None = None
+    ) -> dict[str, Any]:
+        """The derivation chain of one belief (``derived_from`` closure)."""
+        with self._pinned_store(version) as store:
+            return store.lifecycle.provenance(belief)
+
+    def _lifecycle_select(
+        self, op: CompiledLifecycleSelect, version: Version | None
+    ) -> list[tuple]:
+        """Evaluate a bound lifecycle-filtered select against one snapshot.
+
+        Lifecycle records attach to *explicit* statements, so the scan is
+        over the explicit annotations in the named belief world (exact
+        path); statements with no record count as ACTIVE with confidence
+        1.0 and an empty provenance closure.
+        """
+        with self._pinned_store(version) as store:
+            return self._lifecycle_select_store(op, store)
+
+    def _lifecycle_select_store(
+        self, op: CompiledLifecycleSelect, store: BeliefStore
+    ) -> list[tuple]:
+        resolved = tuple(store.resolve_user(u) for u in op.path)
+        registry = store.lifecycle
+        # Validate filter values bound from ? parameters up front.
+        filters: list[tuple[str, str, Any]] = []
+        for field, fop, value in op.filters:
+            if field == "status":
+                if not isinstance(value, str):
+                    raise LifecycleError(
+                        f"STATUS compares against a status name, got {value!r}"
+                    )
+                check_status(value)
+            elif field == "confidence":
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise LifecycleError(
+                        f"CONFIDENCE compares against a number, got {value!r}"
+                    )
+                value = float(value)
+            filters.append((field, fop, value))
+        sign_str = str(op.sign)
+        rows: list[tuple] = []
+        for t, sign in store.explicit_db.explicit_signs(resolved):
+            if t.relation != op.relation or sign is not op.sign:
+                continue
+            if not op.predicate(t):
+                continue
+            record = registry.get(
+                belief_key(resolved, op.relation, t.values, sign_str)
+            )
+            matched = True
+            for field, fop, value in filters:
+                if field == "status":
+                    status = (
+                        record.status if record is not None
+                        else LIFECYCLE_ACTIVE
+                    )
+                    ok = compare(fop, status, value)
+                elif field == "confidence":
+                    conf = record.confidence if record is not None else 1.0
+                    ok = compare(fop, conf, value)
+                else:  # derived_from: match the transitive provenance closure
+                    if record is None:
+                        ok = False
+                    else:
+                        tokens = registry.derivation_tokens(record)
+                        candidates = {value}
+                        try:
+                            candidates.add(store.resolve_user(value))
+                        except UnknownUserError:
+                            pass
+                        ok = bool(candidates & tokens)
+                if not ok:
+                    matched = False
+                    break
+            if matched:
+                rows.append(tuple(t.values[i] for i in op.column_indices))
+        rows.sort(key=repr)
+        return rows
+
     # ------------------------------------------------------------------ stats
 
     def annotation_count(self) -> int:
@@ -1100,6 +1412,9 @@ class BeliefDBMS:
             epoch = pinned.epoch
             annotations = len(store.explicit_db)
             total_rows = store.total_rows()
+            by_status: dict[str, int] = {}
+            for record in store.lifecycle.records():
+                by_status[record.status] = by_status.get(record.status, 0) + 1
             store_section = {
                 "eager": store.eager,
                 "users": len(store.users()),
@@ -1108,6 +1423,11 @@ class BeliefDBMS:
                 "total_rows": total_rows,
                 "relative_overhead": total_rows / max(1, annotations),
                 "row_counts": dict(store.row_counts()),
+                "lifecycle": {
+                    "tracked": store.lifecycle.record_count(),
+                    "audit_events": store.lifecycle.audit_count(),
+                    "by_status": by_status,
+                },
             }
         return {
             "backend": self.backend,

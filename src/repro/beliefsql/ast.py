@@ -124,16 +124,39 @@ class FromItem:
 
 
 @dataclass(frozen=True)
+class LifecycleFilter:
+    """One term of a select's trailing ``WITH`` lifecycle clause.
+
+    ``field`` is ``status`` (``status = 'ACTIVE'``, also ``<>``/``!=``),
+    ``confidence`` (any comparison, e.g. ``confidence >= 0.5``), or
+    ``derived_from`` (rendered ``derived from x``; matches the transitive
+    provenance closure). ``value`` is a literal or a ``?`` placeholder.
+    """
+
+    field: str
+    op: str
+    value: Union[Literal, Placeholder]
+
+    def __str__(self) -> str:
+        if self.field == "derived_from":
+            return f"derived from {self.value}"
+        return f"{self.field} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
 class SelectStatement:
     columns: tuple[ColumnRef, ...]
     items: tuple[FromItem, ...]
     conditions: tuple[Condition, ...] = ()
+    lifecycle: tuple[LifecycleFilter, ...] = ()
 
     def __str__(self) -> str:
         sql = "select " + ", ".join(map(str, self.columns))
         sql += " from " + ", ".join(map(str, self.items))
         if self.conditions:
             sql += " where " + " and ".join(map(str, self.conditions))
+        if self.lifecycle:
+            sql += " with " + " and ".join(map(str, self.lifecycle))
         return sql
 
 
@@ -219,6 +242,8 @@ def statement_placeholders(statement: Statement) -> int:
     for cond in getattr(statement, "conditions", ()):
         found += _operand_placeholders(cond.left)
         found += _operand_placeholders(cond.right)
+    for lf in getattr(statement, "lifecycle", ()):
+        found += _operand_placeholders(lf.value)
     indices = {p.index for p in found}
     if indices != set(range(len(indices))):
         raise ParameterBindingError(
@@ -302,8 +327,15 @@ def bind_statement(statement: Statement, params: Sequence[Any]) -> Statement:
             dataclasses.replace(item, belief=_bind_spec(item.belief, bound))
             for item in statement.items
         )
+        lifecycle = tuple(
+            dataclasses.replace(lf, value=_bind_operand(lf.value, bound))
+            for lf in statement.lifecycle
+        )
         return SelectStatement(
-            statement.columns, items, _bind_conditions(statement.conditions, bound)
+            statement.columns,
+            items,
+            _bind_conditions(statement.conditions, bound),
+            lifecycle,
         )
     if isinstance(statement, InsertStatement):
         return InsertStatement(

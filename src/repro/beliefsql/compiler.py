@@ -186,18 +186,134 @@ class CompiledSelect:
         return _substitute_query(self.query, bound)
 
 
+@dataclass(frozen=True)
+class CompiledLifecycleSelect:
+    """A select with a ``WITH`` lifecycle clause, compiled once.
+
+    Lifecycle filters apply to *explicit* statements — the curated
+    annotations lifecycle records attach to — so the compiled form is not a
+    BCQ over entailed worlds but a direct scan spec: the belief world
+    (exact path), relation, sign, a WHERE predicate over the tuple, the
+    lifecycle filter terms, and a column projection. The BDMS evaluates it
+    against the lifecycle registry of a pinned store version
+    (:meth:`repro.bdms.bdms.BeliefDBMS.execute_prepared`); statements with
+    no lifecycle record count as ACTIVE with confidence 1.0.
+    """
+
+    path: tuple[Any, ...]  # raw user references; may hold Placeholders
+    sign: Sign
+    relation: str
+    columns: tuple[str, ...]
+    column_indices: tuple[int, ...]
+    predicate: DmlPredicate
+    filters: tuple[tuple[str, str, Any], ...]  # (field, op, value|Placeholder)
+    param_count: int = 0
+
+    def bind(self, params: Sequence[Any] = ()) -> "CompiledLifecycleSelect":
+        bound = check_parameters(self.param_count, params)
+        if not self.param_count:
+            return self
+        return CompiledLifecycleSelect(
+            tuple(_bind_term(u, bound) for u in self.path),
+            self.sign,
+            self.relation,
+            self.columns,
+            self.column_indices,
+            self.predicate.bind(bound),
+            tuple((f, op, _bind_term(v, bound)) for f, op, v in self.filters),
+        )
+
+
+def compile_lifecycle_select(
+    stmt: SelectStatement, schema: ExternalSchema
+) -> CompiledLifecycleSelect:
+    """Compile a select carrying a ``WITH`` lifecycle clause."""
+    from repro.lifecycle.model import STATUSES as _LIFECYCLE_STATUSES
+
+    if len(stmt.items) != 1:
+        raise BeliefSQLCompileError(
+            "a WITH lifecycle clause requires exactly one FROM item "
+            "(lifecycle records attach to single explicit statements)"
+        )
+    item = stmt.items[0]
+    if item.relation not in schema:
+        raise BeliefSQLCompileError(f"unknown relation {item.relation!r}")
+    if item.relation == schema.users_relation:
+        raise BeliefSQLCompileError(
+            "the users catalog carries no lifecycle records"
+        )
+    relation = schema.relation(item.relation)
+    param_count = statement_placeholders(stmt)
+    columns = select_columns(stmt)
+    indices: list[int] = []
+    for col in stmt.columns:
+        if col.alias not in (None, item.alias, item.relation):
+            raise BeliefSQLCompileError(f"unknown column reference {col}")
+        if col.column not in relation.attributes:
+            raise BeliefSQLCompileError(
+                f"relation {relation.name} has no column {col.column!r}"
+            )
+        indices.append(relation.attributes.index(col.column))
+    path: list[Any] = []
+    for operand in item.belief.path:
+        if isinstance(operand, ColumnRef):
+            raise BeliefSQLCompileError(
+                "BELIEF arguments in a lifecycle-filtered select must be "
+                f"literals, not column references ({operand})"
+            )
+        path.append(operand if isinstance(operand, Placeholder) else operand.value)
+    predicate = _dml_predicate(
+        item.relation, stmt.conditions, schema, alias=item.alias
+    )
+    filters: list[tuple[str, str, Any]] = []
+    for lf in stmt.lifecycle:
+        value: Any = lf.value
+        if isinstance(value, Literal):
+            value = value.value
+        if not isinstance(value, Placeholder):
+            if lf.field == "status" and value not in _LIFECYCLE_STATUSES:
+                raise BeliefSQLCompileError(
+                    f"unknown STATUS literal {value!r}; expected one of "
+                    + ", ".join(_LIFECYCLE_STATUSES)
+                )
+            if lf.field == "confidence" and not isinstance(value, (int, float)):
+                raise BeliefSQLCompileError(
+                    f"CONFIDENCE compares against a number, got {value!r}"
+                )
+        filters.append((lf.field, lf.op, value))
+    return CompiledLifecycleSelect(
+        tuple(path),
+        _dml_sign(item.belief),
+        item.relation,
+        columns,
+        tuple(indices),
+        predicate,
+        tuple(filters),
+        param_count,
+    )
+
+
 def compile_select(
     stmt: SelectStatement, schema: ExternalSchema
 ) -> BCQuery | None:
     """Compile a placeholder-free ``select`` into a safe BCQ; None when
     provably empty (two different constants equated in the WHERE clause)."""
-    return compile_select_prepared(stmt, schema).bind(())
+    if stmt.lifecycle:
+        raise BeliefSQLCompileError(
+            "selects with a WITH lifecycle clause do not compile to a BCQ; "
+            "execute them through the BDMS (execute_sql/execute_prepared)"
+        )
+    compiled = compile_select_prepared(stmt, schema)
+    assert isinstance(compiled, CompiledSelect)
+    return compiled.bind(())
 
 
 def compile_select_prepared(
     stmt: SelectStatement, schema: ExternalSchema
-) -> CompiledSelect:
+) -> "CompiledSelect | CompiledLifecycleSelect":
     """Compile a ``select`` (placeholders allowed) into a bindable form."""
+    if stmt.lifecycle:
+        return compile_lifecycle_select(stmt, schema)
     aliases: dict[str, FromItem] = {}
     for item in stmt.items:
         if item.alias in aliases:
@@ -457,18 +573,20 @@ def _dml_predicate(
     relation_name: str,
     conditions: Iterable[Condition],
     schema: ExternalSchema,
+    alias: str | None = None,
 ) -> DmlPredicate:
     """Compile DML WHERE conditions into a tuple predicate.
 
-    Operands may be bare column names (or ``relation.column``), literals,
-    and ``?`` placeholders.
+    Operands may be bare column names (or ``relation.column``, or
+    ``alias.column`` when an alias is given), literals, and ``?``
+    placeholders.
     """
     relation = schema.relation(relation_name)
 
     def index_of(operand: Operand) -> int | None:
         if not isinstance(operand, ColumnRef):
             return None
-        if operand.alias not in (None, relation_name):
+        if operand.alias not in (None, relation_name, alias):
             raise BeliefSQLCompileError(
                 f"DML conditions may only reference {relation_name} columns, "
                 f"found {operand}"

@@ -25,6 +25,7 @@ from repro.beliefsql.ast import (
     DeleteStatement,
     FromItem,
     InsertStatement,
+    LifecycleFilter,
     Literal,
     Operand,
     Placeholder,
@@ -37,7 +38,7 @@ from repro.errors import BeliefSQLSyntaxError
 _KEYWORDS = frozenset(
     {
         "select", "from", "where", "insert", "into", "values",
-        "delete", "update", "set", "and", "as", "not", "belief",
+        "delete", "update", "set", "and", "as", "not", "belief", "with",
     }
 )
 
@@ -238,7 +239,54 @@ class _Parser:
             self.advance()
             items.append(self.parse_from_item())
         conditions = self.parse_conditions()
-        return SelectStatement(tuple(columns), tuple(items), conditions)
+        lifecycle = self.parse_lifecycle_filters()
+        return SelectStatement(tuple(columns), tuple(items), conditions, lifecycle)
+
+    def parse_lifecycle_filters(self) -> tuple[LifecycleFilter, ...]:
+        """The optional trailing ``WITH`` clause of a select.
+
+        ``with status = 'ACTIVE' and confidence >= 0.5 and derived from X``
+        — STATUS/CONFIDENCE/DERIVED are matched contextually (they stay
+        usable as ordinary identifiers everywhere else).
+        """
+        if not self.accept_keyword("with"):
+            return ()
+        filters = [self.parse_lifecycle_filter()]
+        while self.accept_keyword("and"):
+            filters.append(self.parse_lifecycle_filter())
+        return tuple(filters)
+
+    def parse_lifecycle_filter(self) -> LifecycleFilter:
+        token = self.current
+        word = token.text.lower() if token.kind == "ident" else ""
+        if word == "status":
+            self.advance()
+            op = self.expect_kind("op").text
+            if op not in ("=", "<>", "!="):
+                raise BeliefSQLSyntaxError(
+                    f"STATUS filters use = or <>, found {op!r} at {token.pos}"
+                )
+            op = "!=" if op == "<>" else op
+            return LifecycleFilter("status", op, self.parse_filter_value())
+        if word == "confidence":
+            self.advance()
+            op = self.expect_kind("op").text
+            return LifecycleFilter(
+                "confidence", "!=" if op == "<>" else op, self.parse_filter_value()
+            )
+        if word == "derived":
+            self.advance()
+            self.expect_keyword("from")
+            return LifecycleFilter("derived_from", "=", self.parse_filter_value())
+        raise self.error("STATUS, CONFIDENCE, or DERIVED FROM")
+
+    def parse_filter_value(self) -> Literal | Placeholder:
+        if self.current.kind == "qmark":
+            return self.next_placeholder()
+        if self.current.kind == "ident" and self.current.keyword is None:
+            # A bare identifier is a user-name/belief-id token literal.
+            return Literal(self.expect_identifier())
+        return Literal(self.parse_literal_value())
 
     def parse_column_ref(self) -> ColumnRef:
         alias = self.expect_identifier()

@@ -34,6 +34,7 @@ class ReplayStats:
     inserts: int = 0
     deletes: int = 0
     executes: int = 0
+    lifecycle_ops: int = 0
     rows_affected: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -98,6 +99,12 @@ def replay_records(
                     )
                 stats.executes += 1
                 stats.rows_affected += result.rowcount
+            elif op == "lifecycle":
+                # The record carries its own timestamps, and the registry's
+                # apply path is deterministic — replay rebuilds the exact
+                # audit history the live write produced.
+                db.apply_lifecycle_record(record)
+                stats.lifecycle_ops += 1
             else:
                 raise DurabilityError(f"unknown WAL op {op!r}")
         except DurabilityError:

@@ -22,7 +22,8 @@ import re
 from typing import Any
 
 from repro.core.statements import BeliefStatement, Sign
-from repro.errors import DurabilityError
+from repro.errors import BeliefDBError, DurabilityError
+from repro.lifecycle.registry import LifecycleRegistry
 from repro.storage.updates import insert_statement
 
 from repro.durability.wal import fsync_directory
@@ -60,9 +61,14 @@ def statement_order(statement: Any) -> tuple:
 
 
 def build_snapshot(db: Any, seq: int) -> dict[str, Any]:
-    """Serialize a BDMS's users + explicit statements as of WAL ``seq``."""
+    """Serialize a BDMS's users + explicit statements as of WAL ``seq``.
+
+    The optional ``lifecycle`` key carries the lifecycle registry (records
+    + the full audit history) when anything is tracked; snapshots from
+    before the lifecycle subsystem simply lack the key and restore fine.
+    """
     statements = sorted(db.store.explicit_statements(), key=statement_order)
-    return {
+    payload = {
         "format": SNAPSHOT_FORMAT,
         "seq": seq,
         "users": sorted(
@@ -83,6 +89,10 @@ def build_snapshot(db: Any, seq: int) -> dict[str, Any]:
             "users": len(db.users()),
         },
     }
+    lifecycle = db.store.lifecycle
+    if lifecycle.record_count() or lifecycle.audit_count():
+        payload["lifecycle"] = lifecycle.dump()
+    return payload
 
 
 def write_snapshot(directory: str, payload: dict[str, Any]) -> str:
@@ -159,6 +169,14 @@ def restore_snapshot(db: Any, payload: dict[str, Any]) -> int:
             f"snapshot restore produced {db.annotation_count()} annotations, "
             f"snapshot recorded {counts['annotations']}"
         )
+    lifecycle = payload.get("lifecycle")
+    if lifecycle is not None:
+        try:
+            db.store.lifecycle = LifecycleRegistry.from_dump(lifecycle)
+        except (BeliefDBError, KeyError, TypeError, ValueError) as exc:
+            raise DurabilityError(
+                f"snapshot lifecycle section is damaged: {exc}"
+            ) from exc
     db._mirror_dirty = True
     db.invalidate_statements()
     return applied

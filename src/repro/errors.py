@@ -178,3 +178,25 @@ class RejectedUpdateError(BeliefDBError):
     lower-level store signals the same condition with a boolean return value,
     matching the paper's Algorithm 4.
     """
+
+
+class LifecycleError(BeliefDBError):
+    """Base class for belief-lifecycle problems: unknown belief or status,
+    proposing lifecycle tracking twice for the same belief, a malformed
+    decay model, or a lifecycle action inside an open transaction."""
+
+
+class LifecycleConflictError(LifecycleError):
+    """A lifecycle transition lost a race or is not allowed from the
+    belief's current status.
+
+    Raised when a compare-and-swap ``expect`` precondition does not match
+    the belief's current status (another curator got there first), or when
+    the requested transition is not an edge of the status machine from the
+    current status. Travels the wire as the structured ``LIFECYCLE_CONFLICT``
+    error; nothing was applied or logged, so the loser can re-read the
+    belief's current status and decide what to do next.
+    """
+
+    #: Stable machine-readable code clients can match without parsing text.
+    code = "LIFECYCLE_CONFLICT"

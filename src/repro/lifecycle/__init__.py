@@ -1,0 +1,51 @@
+"""Belief lifecycle, provenance & audit subsystem.
+
+Statuses with an enforced transition table
+(PROPOSED→ACTIVE→CHALLENGED→DEPRECATED→ARCHIVED), confidence scores with
+pluggable decay, derived-from provenance chains, and an append-only audit
+log that rides the WAL (see ``docs/lifecycle.md``).
+"""
+
+from repro.lifecycle.model import (
+    ACTIVE,
+    ARCHIVED,
+    CHALLENGED,
+    DECAY_MODELS,
+    DECAYABLE,
+    DEPRECATED,
+    PROPOSED,
+    STATUSES,
+    TRANSITIONS,
+    BeliefKey,
+    LifecycleRecord,
+    belief_id,
+    belief_key,
+    check_confidence,
+    check_status,
+    decode_key,
+    encode_key,
+    parse_decay,
+)
+from repro.lifecycle.registry import LifecycleRegistry
+
+__all__ = [
+    "ACTIVE",
+    "ARCHIVED",
+    "CHALLENGED",
+    "DECAYABLE",
+    "DECAY_MODELS",
+    "DEPRECATED",
+    "PROPOSED",
+    "STATUSES",
+    "TRANSITIONS",
+    "BeliefKey",
+    "LifecycleRecord",
+    "LifecycleRegistry",
+    "belief_id",
+    "belief_key",
+    "check_confidence",
+    "check_status",
+    "decode_key",
+    "encode_key",
+    "parse_decay",
+]

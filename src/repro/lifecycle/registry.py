@@ -1,0 +1,321 @@
+"""The lifecycle registry: records, the append-only audit log, provenance.
+
+One :class:`LifecycleRegistry` lives on each :class:`~repro.storage.store.
+BeliefStore`. All mutation goes through :meth:`apply`, which consumes exactly
+the dict shape that rides the WAL (``{"op": "lifecycle", "action": ...}``) —
+the live write path and crash recovery replay the *same* code over the *same*
+record, so the audit history after a restart is bit-identical to the history
+before the crash. Timestamps travel inside the record (stamped once by the
+writer), never read from the clock during apply.
+
+MVCC forks (:meth:`fork`) copy the record dict eagerly — O(tracked beliefs),
+same cost class as the store's other registries — but share the audit list
+itself: it is append-only and only the live head appends (under the BDMS
+write mutex), so a fork just remembers the length watermark at fork time and
+reads ``audit[:watermark]``. Forking stays O(1) in audit history size no
+matter how long the database has been running.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import LifecycleConflictError, LifecycleError
+from repro.lifecycle.model import (
+    DECAYABLE,
+    PROPOSED,
+    TRANSITIONS,
+    BeliefKey,
+    LifecycleRecord,
+    belief_id,
+    belief_key,
+    check_confidence,
+    check_status,
+    parse_decay,
+)
+
+
+class LifecycleRegistry:
+    """Lifecycle records + audit log for one belief store (or fork)."""
+
+    def __init__(self) -> None:
+        self._records: dict[BeliefKey, LifecycleRecord] = {}
+        self._by_id: dict[str, BeliefKey] = {}
+        # Shared append-only audit history; _audit_len is this view's bound.
+        self._audit: list[dict[str, Any]] = []
+        self._audit_len = 0
+        self._next_audit_seq = 1
+
+    # ------------------------------------------------------------------ forks
+
+    def fork(self) -> "LifecycleRegistry":
+        fork = LifecycleRegistry.__new__(LifecycleRegistry)
+        fork._records = dict(self._records)
+        fork._by_id = dict(self._by_id)
+        fork._audit = self._audit  # shared; bounded by the watermark below
+        fork._audit_len = self._audit_len
+        fork._next_audit_seq = self._next_audit_seq
+        return fork
+
+    # ------------------------------------------------------------------ reads
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def audit_count(self) -> int:
+        return self._audit_len
+
+    def get(self, belief: Any) -> LifecycleRecord | None:
+        """Look up by belief id (``b...``) or by canonical key."""
+        if isinstance(belief, str):
+            key = self._by_id.get(belief)
+            if key is None:
+                return None
+            return self._records.get(key)
+        if isinstance(belief, tuple):
+            return self._records.get(belief)
+        return None
+
+    def require(self, belief: Any) -> LifecycleRecord:
+        record = self.get(belief)
+        if record is None:
+            raise LifecycleError(f"no lifecycle record for belief {belief!r}")
+        return record
+
+    def records(self) -> list[LifecycleRecord]:
+        """All records, oldest first (ties broken by id for determinism)."""
+        return sorted(
+            self._records.values(), key=lambda r: (r.created_ts, r.belief_id)
+        )
+
+    def status_of(self, key: BeliefKey) -> str | None:
+        record = self._records.get(key)
+        return record.status if record is not None else None
+
+    def audit_events(
+        self, belief: str | None = None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Audit history (oldest first), optionally for one belief id."""
+        events: Iterable[dict[str, Any]] = self._audit[: self._audit_len]
+        if belief is not None:
+            events = [e for e in events if e.get("belief") == belief]
+        else:
+            events = list(events)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return [dict(e) for e in events]
+
+    # -------------------------------------------------------------- provenance
+
+    def derivation_tokens(self, record: LifecycleRecord) -> frozenset[Any]:
+        """Transitive provenance closure of a record.
+
+        The closure contains, for the record and every ancestor reachable
+        through ``derived_from`` links: the belief id, the proposing actor,
+        and every raw ``derived_from`` token (user names/uids stay as
+        opaque tokens). This is what ``DERIVED FROM x`` matches against —
+        "derived from user X" and "derived from belief b…" both work.
+        """
+        tokens: set[Any] = set()
+        frontier = [record]
+        seen_ids = {record.belief_id}
+        while frontier:
+            current = frontier.pop()
+            tokens.add(current.belief_id)
+            tokens.add(current.actor)
+            for token in current.derived_from:
+                tokens.add(token)
+                parent = self.get(token) if isinstance(token, str) else None
+                if parent is not None and parent.belief_id not in seen_ids:
+                    seen_ids.add(parent.belief_id)
+                    frontier.append(parent)
+        return frozenset(tokens)
+
+    def provenance(self, belief: Any) -> dict[str, Any]:
+        """The derivation chain of one belief as a JSON-friendly tree walk."""
+        record = self.require(belief)
+        chain: list[dict[str, Any]] = []
+        frontier = [record.belief_id]
+        seen: set[str] = set()
+        while frontier:
+            bid = frontier.pop(0)
+            if bid in seen:
+                continue
+            seen.add(bid)
+            node = self.get(bid)
+            if node is None:
+                continue
+            parents = []
+            for token in node.derived_from:
+                parent = self.get(token) if isinstance(token, str) else None
+                if parent is not None:
+                    parents.append(parent.belief_id)
+                    frontier.append(parent.belief_id)
+                else:
+                    parents.append(token)
+            chain.append(
+                {
+                    "belief": node.belief_id,
+                    "status": node.status,
+                    "confidence": node.confidence,
+                    "actor": node.actor,
+                    "relation": node.key[1],
+                    "values": list(node.key[2]),
+                    "path": list(node.key[0]),
+                    "derived_from": parents,
+                }
+            )
+        return {"belief": record.belief_id, "chain": chain}
+
+    # ------------------------------------------------------------------ apply
+
+    def apply(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Apply one lifecycle WAL record; returns the op's result view.
+
+        This is the single mutation entry point, shared by the live write
+        path and recovery replay. It must stay deterministic: everything it
+        needs (including timestamps) is inside ``record``.
+        """
+        action = record.get("action")
+        if action == "propose":
+            return self._apply_propose(record)
+        if action == "transition":
+            return self._apply_transition(record)
+        if action == "decay_sweep":
+            return self._apply_decay_sweep(record)
+        raise LifecycleError(f"unknown lifecycle action {action!r}")
+
+    def _audit_append(self, event: dict[str, Any]) -> None:
+        event["seq"] = self._next_audit_seq
+        self._next_audit_seq += 1
+        self._audit.append(event)
+        self._audit_len += 1
+
+    def _apply_propose(self, record: dict[str, Any]) -> dict[str, Any]:
+        key = belief_key(
+            record["path"], record["relation"], record["values"], record["sign"]
+        )
+        if key in self._records:
+            raise LifecycleError(
+                f"belief {belief_id(key)} already has a lifecycle record"
+            )
+        confidence = check_confidence(record.get("confidence", 1.0))
+        decay = record.get("decay", "none")
+        parse_decay(decay)  # validate the spec up front
+        ts = float(record["ts"])
+        entry = LifecycleRecord(
+            belief_id=belief_id(key),
+            key=key,
+            status=PROPOSED,
+            confidence=confidence,
+            actor=record.get("actor"),
+            decay=decay,
+            derived_from=tuple(record.get("derived_from", ())),
+            created_ts=ts,
+            updated_ts=ts,
+        )
+        self._records[key] = entry
+        self._by_id[entry.belief_id] = key
+        self._audit_append(
+            {
+                "ts": ts,
+                "action": "propose",
+                "belief": entry.belief_id,
+                "actor": entry.actor,
+                "to": PROPOSED,
+                "confidence": confidence,
+                "path": list(key[0]),
+                "relation": key[1],
+                "values": list(key[2]),
+                "sign": key[3],
+                "derived_from": list(entry.derived_from),
+            }
+        )
+        return entry.view()
+
+    def _apply_transition(self, record: dict[str, Any]) -> dict[str, Any]:
+        entry = self.require(record["belief"])
+        to = check_status(record["to"])
+        expect = record.get("expect")
+        if expect is not None:
+            check_status(expect)
+            if entry.status != expect:
+                raise LifecycleConflictError(
+                    f"belief {entry.belief_id} is {entry.status}, "
+                    f"not {expect} — another curator got there first"
+                )
+        if to not in TRANSITIONS[entry.status]:
+            allowed = ", ".join(sorted(TRANSITIONS[entry.status])) or "nothing"
+            raise LifecycleConflictError(
+                f"belief {entry.belief_id} cannot go {entry.status} -> {to} "
+                f"(allowed from {entry.status}: {allowed})"
+            )
+        ts = float(record["ts"])
+        updated = entry.with_status(to, ts)
+        self._records[entry.key] = updated
+        self._audit_append(
+            {
+                "ts": ts,
+                "action": "transition",
+                "belief": entry.belief_id,
+                "actor": record.get("actor"),
+                "from": entry.status,
+                "to": to,
+                "reason": record.get("reason"),
+                "path": list(entry.key[0]),
+                "relation": entry.key[1],
+            }
+        )
+        return updated.view()
+
+    def _apply_decay_sweep(self, record: dict[str, Any]) -> dict[str, Any]:
+        now = float(record["ts"])
+        swept = 0
+        changed = 0
+        # Deterministic iteration order: sorted by belief id.
+        for bid in sorted(self._by_id):
+            key = self._by_id[bid]
+            entry = self._records[key]
+            if entry.decay == "none" or entry.status not in DECAYABLE:
+                continue
+            swept += 1
+            fn = parse_decay(entry.decay)
+            decayed = fn(entry.confidence, now - entry.updated_ts)
+            if abs(decayed - entry.confidence) > 1e-12:
+                changed += 1
+                self._records[key] = entry.with_confidence(decayed, now)
+        self._audit_append(
+            {
+                "ts": now,
+                "action": "decay_sweep",
+                "belief": None,
+                "actor": record.get("actor"),
+                "swept": swept,
+                "changed": changed,
+            }
+        )
+        return {"swept": swept, "changed": changed}
+
+    # -------------------------------------------------------------- snapshots
+
+    def dump(self) -> dict[str, Any]:
+        """Snapshot payload: records + the audit history visible here."""
+        return {
+            "records": [r.view() for r in self.records()],
+            "audit": [dict(e) for e in self._audit[: self._audit_len]],
+            "next_audit_seq": self._next_audit_seq,
+        }
+
+    @classmethod
+    def from_dump(cls, payload: dict[str, Any]) -> "LifecycleRegistry":
+        registry = cls()
+        for view in payload.get("records", ()):
+            record = LifecycleRecord.from_view(view)
+            registry._records[record.key] = record
+            registry._by_id[record.belief_id] = record.key
+        registry._audit = [dict(e) for e in payload.get("audit", ())]
+        registry._audit_len = len(registry._audit)
+        registry._next_audit_seq = int(
+            payload.get("next_audit_seq", registry._audit_len + 1)
+        )
+        return registry

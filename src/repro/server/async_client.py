@@ -365,6 +365,60 @@ class AsyncBeliefClient:
     async def stats(self) -> dict[str, Any]:
         return await self.call("stats")
 
+    async def lifecycle_propose(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+        sign: str = "+",
+        *,
+        actor: Any = None,
+        confidence: float = 1.0,
+        decay: str = "none",
+        derived_from: Sequence[Any] = (),
+    ) -> dict[str, Any]:
+        return await self.call(
+            "lifecycle", action="propose", relation=relation,
+            values=list(values),
+            path=None if path is None else list(path), sign=sign,
+            actor=actor, confidence=confidence, decay=decay,
+            derived_from=list(derived_from),
+        )
+
+    async def lifecycle_transition(
+        self,
+        belief: str,
+        to: str,
+        *,
+        expect: str | None = None,
+        reason: str | None = None,
+        actor: Any = None,
+    ) -> dict[str, Any]:
+        return await self.call(
+            "lifecycle", action="transition", belief=belief, to=to,
+            expect=expect, reason=reason, actor=actor,
+        )
+
+    async def audit_log(
+        self, belief: str | None = None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        return await self.call("audit", kind="log", belief=belief, limit=limit)
+
+    async def lifecycle_queue(
+        self,
+        path: Sequence[Any] | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        return await self.call(
+            "audit", kind="queue",
+            path=None if path is None else list(path),
+            status=status, limit=limit,
+        )
+
+    async def provenance(self, belief: str) -> dict[str, Any]:
+        return await self.call("audit", kind="provenance", belief=belief)
+
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         return f"<AsyncBeliefClient ({state}, {len(self._pending)} in flight)>"

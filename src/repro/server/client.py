@@ -923,6 +923,78 @@ class BeliefClient:
     def describe(self) -> str:
         return self.call("describe")
 
+    # --------------------------------------------------- lifecycle & audit
+
+    def lifecycle_propose(
+        self,
+        relation: str,
+        values: Sequence[Any],
+        path: Sequence[Any] | None = None,
+        sign: str = "+",
+        *,
+        actor: Any = None,
+        confidence: float = 1.0,
+        decay: str = "none",
+        derived_from: Sequence[Any] = (),
+    ) -> dict[str, Any]:
+        """Start lifecycle tracking for one explicit statement (PROPOSED)."""
+        return self.call(
+            "lifecycle", action="propose", relation=relation,
+            values=list(values),
+            path=None if path is None else list(path), sign=sign,
+            actor=actor, confidence=confidence, decay=decay,
+            derived_from=list(derived_from),
+        )
+
+    def lifecycle_transition(
+        self,
+        belief: str,
+        to: str,
+        *,
+        expect: str | None = None,
+        reason: str | None = None,
+        actor: Any = None,
+        path: Sequence[Any] | None = None,
+    ) -> dict[str, Any]:
+        """Move a belief to ``to``; ``expect`` makes it a CAS that raises
+        LifecycleConflictError when another curator got there first.
+        ``path`` is routing-only (which world the belief lives in) and
+        matters against a shard router."""
+        return self.call(
+            "lifecycle", action="transition", belief=belief, to=to,
+            expect=expect, reason=reason, actor=actor,
+            path=None if path is None else list(path),
+        )
+
+    def lifecycle_decay_sweep(self, *, actor: Any = None) -> dict[str, Any]:
+        """One decay sweep over every tracked belief; ``{"swept", "changed"}``."""
+        return self.call("lifecycle", action="decay_sweep", actor=actor)
+
+    def audit_log(
+        self, belief: str | None = None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """The append-only audit history, oldest first."""
+        return self.call("audit", kind="log", belief=belief, limit=limit)
+
+    def lifecycle_get(self, belief: str) -> dict[str, Any] | None:
+        return self.call("audit", kind="record", belief=belief)
+
+    def lifecycle_queue(
+        self,
+        path: Sequence[Any] | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """The curation review queue: tracked beliefs, filtered, oldest first."""
+        return self.call(
+            "audit", kind="queue",
+            path=None if path is None else list(path),
+            status=status, limit=limit,
+        )
+
+    def provenance(self, belief: str) -> dict[str, Any]:
+        return self.call("audit", kind="provenance", belief=belief)
+
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"
         return f"<BeliefClient {self.host}:{self.port} ({state})>"

@@ -92,6 +92,8 @@ OPS = frozenset({
     "query", "believes", "world", "worlds",
     # introspection
     "stats", "metrics", "kripke", "describe",
+    # belief lifecycle (curation writes) and the append-only audit reads
+    "lifecycle", "audit",
     # sharding (answered by the router; a plain worker reports unknown op)
     "shard_status",
 })

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from contextlib import nullcontext
 from typing import Any, Callable, Sequence
 
@@ -1183,6 +1184,112 @@ class BeliefServer:
             "slow_ops": self.slow_ops.snapshot(),
         }
 
+    # ---------------------------------------------------- lifecycle & audit
+
+    def _op_lifecycle(
+        self, session: ClientSession, params: dict[str, Any]
+    ) -> Any:
+        """One curation write: propose / transition / decay_sweep.
+
+        Runs under the exclusive write lock; the op-log entry carries the
+        resolved arguments *and* the server-stamped timestamp, so replaying
+        the log rebuilds the exact audit history (ids and event order are
+        deterministic functions of the record contents).
+        """
+        if session.in_transaction:
+            # Lifecycle transitions are compare-and-swap ops against the
+            # live registry; staging them would let a later commit reorder
+            # around the compare and hand both racing curators a win.
+            raise TransactionError(
+                "lifecycle operations are not transactional; "
+                "commit or rollback first"
+            )
+        action = _require(params, "action")
+        # Attribution: an explicit actor wins; otherwise the logged-in
+        # curator (clients send actor=null, so a plain .get default won't do).
+        actor = params.get("actor")
+        if actor is None:
+            actor = session.user
+        ts = time.time()
+        if action == "propose":
+            raw_path = params.get("path")
+            if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+                raise BeliefDBError("path must be a list of users (or null)")
+            result = self.db.lifecycle_propose(
+                session.effective_path(raw_path),
+                _require(params, "relation"),
+                _require(params, "values"),
+                params.get("sign", "+"),
+                actor=actor,
+                confidence=params.get("confidence", 1.0),
+                decay=params.get("decay", "none"),
+                derived_from=params.get("derived_from", ()),
+                ts=ts,
+            )
+            self._record({
+                "op": "lifecycle", "action": "propose",
+                "path": result["path"], "relation": result["relation"],
+                "values": result["values"], "sign": result["sign"],
+                "actor": result["actor"],
+                "confidence": result["confidence"],
+                "decay": result["decay"],
+                "derived_from": result["derived_from"],
+                "ts": ts, "ok": result["belief"],
+            })
+        elif action == "transition":
+            belief = _require(params, "belief")
+            to = _require(params, "to")
+            expect = params.get("expect")
+            reason = params.get("reason")
+            result = self.db.lifecycle_transition(
+                belief, to, actor=actor, expect=expect, reason=reason, ts=ts,
+            )
+            self._record({
+                "op": "lifecycle", "action": "transition",
+                "belief": belief, "to": to, "expect": expect,
+                "reason": reason, "actor": result["actor"],
+                "ts": ts, "ok": result["status"],
+            })
+        elif action == "decay_sweep":
+            result = self.db.lifecycle_decay_sweep(actor=actor, now=ts)
+            self._record({
+                "op": "lifecycle", "action": "decay_sweep",
+                "actor": (
+                    self.db.store.resolve_user(actor)
+                    if actor is not None else None
+                ),
+                "ts": ts, "ok": dict(result),
+            })
+        else:
+            raise BeliefDBError(f"unknown lifecycle action {action!r}")
+        return _jsonify(result)
+
+    def _op_audit(self, session: ClientSession, params: dict[str, Any]) -> Any:
+        """Lifecycle reads: the audit log, one record, the review queue,
+        or a provenance chain. All evaluate against a pinned MVCC version
+        (the BDMS pins one per call), so they never queue behind writers."""
+        kind = params.get("kind", "log")
+        if kind == "log":
+            return _jsonify(self.db.audit_log(
+                belief=params.get("belief"), limit=params.get("limit"),
+            ))
+        if kind == "record":
+            return _jsonify(self.db.lifecycle_get(_require(params, "belief")))
+        if kind == "queue":
+            raw_path = params.get("path")
+            if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+                raise BeliefDBError("path must be a list of users (or null)")
+            return _jsonify(self.db.lifecycle_list(
+                path=raw_path, status=params.get("status"),
+                limit=params.get("limit"),
+            ))
+        if kind == "provenance":
+            return _jsonify(self.db.provenance(_require(params, "belief")))
+        raise BeliefDBError(
+            f"unknown audit kind {kind!r}; expected log, record, "
+            "queue, or provenance"
+        )
+
     def _op_kripke(self, session: ClientSession, params: dict[str, Any]) -> Any:
         return self.db.kripke().describe()
 
@@ -1234,6 +1341,8 @@ _HANDLERS: dict[str, tuple[Callable[..., Any], str]] = {
     "metrics": (BeliefServer._op_metrics, "read"),  # lockless; see _dispatch
     "kripke": (BeliefServer._op_kripke, "read"),
     "describe": (BeliefServer._op_describe, "read"),
+    "lifecycle": (BeliefServer._op_lifecycle, "write"),
+    "audit": (BeliefServer._op_audit, "read"),  # pinned MVCC read
 }
 
 #: Ops served without taking the database lock at all (``ping`` touches no
@@ -1250,7 +1359,7 @@ _LOCKLESS_OPS = frozenset({"ping", "metrics"})
 #: shared read lock — they read the live store directly.
 _PINNED_READ_OPS = frozenset({
     "execute", "execute_prepared", "query", "believes",
-    "world", "worlds", "stats",
+    "world", "worlds", "stats", "audit",
 })
 
 #: Module-level alias of :attr:`BeliefServer.shed_exempt_ops` (the class
@@ -1287,7 +1396,7 @@ def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:
                 )
         elif op == "execute":
             try:
-                result = _jsonify(db.execute(entry["sql"]))
+                result = _jsonify(db.execute_sql(entry["sql"]).legacy())
             except BeliefDBError:
                 result = False
             if result != entry["ok"]:
@@ -1307,6 +1416,28 @@ def replay_oplog(db: BeliefDBMS, entries: Sequence[dict[str, Any]]) -> None:
                 raise BeliefDBError(
                     f"replay diverged at seq {entry['seq']}: execute_batch "
                     f"gave {result!r}, log has {entry['ok']!r}"
+                )
+        elif op == "lifecycle":
+            # The entry *is* the lifecycle WAL record (plus seq/ok); replay
+            # feeds it through the same deterministic apply path recovery
+            # uses, so ids, statuses, and audit events come out identical.
+            try:
+                applied = db.apply_lifecycle_record(
+                    {k: v for k, v in entry.items() if k not in ("seq", "ok")}
+                )
+                if entry["action"] == "propose":
+                    result = applied["belief"]
+                elif entry["action"] == "transition":
+                    result = applied["status"]
+                else:
+                    result = dict(applied)
+            except BeliefDBError:
+                result = False
+            if result != entry["ok"]:
+                raise BeliefDBError(
+                    f"replay diverged at seq {entry['seq']}: lifecycle "
+                    f"{entry['action']} gave {result!r}, log has "
+                    f"{entry['ok']!r}"
                 )
         elif op == "txn":
             # A committed transaction replays as its statements in commit

@@ -50,6 +50,7 @@ from repro.beliefsql.parser import parse_beliefsql
 from repro.errors import (
     BeliefDBError,
     CrossShardTransactionError,
+    LifecycleError,
     SchemaError,
     ShardUnavailableError,
     TransactionError,
@@ -1178,6 +1179,104 @@ class BeliefRouter(BeliefServer):
             "slow_ops": self.slow_ops.snapshot(),
         }
 
+    # --------------------------------------------------- lifecycle & audit
+
+    def _route_lifecycle(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        """Curation writes route like DML: by the belief-world head.
+
+        ``propose`` carries its statement's path; ``transition`` routes by
+        an explicit ``path`` param or the session default (belief ids are
+        content hashes — the router cannot invert them, so a transition
+        addressed from outside the owning session must say which world the
+        belief lives in). ``decay_sweep`` fans out: every shard sweeps its
+        own records, each stamping its own WAL.
+        """
+        if rsession.in_txn:
+            raise TransactionError(
+                "lifecycle operations are not transactional; "
+                "commit or rollback first"
+            )
+        action = _require(params, "action")
+        # Workers hold no session for router upstreams, so attribution is
+        # forwarded explicitly: an explicit actor wins, else the curator
+        # logged into *this* router session.
+        actor = params.get("actor")
+        if actor is None and rsession.base.user is not None:
+            actor = rsession.base.user
+        if action == "decay_sweep":
+            swept = 0
+            changed = 0
+            for _, result in self._fanout(
+                rsession, "lifecycle", action="decay_sweep", actor=actor
+            ):
+                swept += result["swept"]
+                changed += result["changed"]
+            return {"swept": swept, "changed": changed}
+        raw_path = params.get("path")
+        if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+            raise BeliefDBError("path must be a list of users (or null)")
+        shard = self._shard_for_path(rsession, raw_path)
+        forwarded = dict(params)
+        forwarded["actor"] = actor
+        if action == "propose":
+            # Workers hold no session state: the path is always explicit.
+            forwarded["path"] = list(self._raw_effective(rsession, raw_path))
+        else:
+            forwarded.pop("path", None)  # routing-only for transitions
+        return self._forward(rsession, shard, "lifecycle", **forwarded)
+
+    def _route_audit(
+        self, rsession: RouterSession, params: dict[str, Any]
+    ) -> Any:
+        """Lifecycle reads. A ``queue`` listing with a path goes to the
+        owning shard; the rest scatter — the log merges by timestamp, and
+        record/provenance lookups return the one shard's answer that has
+        the belief (each id lives on exactly one shard)."""
+        kind = params.get("kind", "log")
+        if kind == "queue":
+            raw_path = params.get("path")
+            if raw_path is not None and not isinstance(raw_path, (list, tuple)):
+                raise BeliefDBError("path must be a list of users (or null)")
+            if raw_path is not None:
+                shard = self._shard_for_path(rsession, raw_path)
+                forwarded = dict(params)
+                forwarded["path"] = list(
+                    self._raw_effective(rsession, raw_path)
+                )
+                return self._forward(rsession, shard, "audit", **forwarded)
+            merged: list = []
+            for _, views in self._fanout(rsession, "audit", **params):
+                merged.extend(views)
+            merged.sort(key=lambda v: (v["created_ts"], v["belief"]))
+            limit = params.get("limit")
+            return merged[:limit] if limit else merged
+        if kind == "log":
+            events: list = []
+            for _, shard_events in self._fanout(rsession, "audit", **params):
+                events.extend(shard_events)
+            events.sort(key=lambda e: (e["ts"], e["seq"]))
+            limit = params.get("limit")
+            return events[-limit:] if limit else events
+        if kind in ("record", "provenance"):
+            last_error: LifecycleError | None = None
+            for shard in range(self.ring.n_shards):
+                try:
+                    result = self._forward(rsession, shard, "audit", **params)
+                except LifecycleError as exc:
+                    last_error = exc  # not on this shard; keep looking
+                    continue
+                if result is not None:
+                    return result
+            if last_error is not None:
+                raise last_error
+            return None
+        raise BeliefDBError(
+            f"unknown audit kind {kind!r}; expected log, record, "
+            "queue, or provenance"
+        )
+
     def _route_shard_status(
         self, rsession: RouterSession, params: dict[str, Any]
     ) -> Any:
@@ -1270,4 +1369,6 @@ _ROUTER_HANDLERS = {
     "kripke": BeliefRouter._route_kripke,
     "describe": BeliefRouter._route_describe,
     "shard_status": BeliefRouter._route_shard_status,
+    "lifecycle": BeliefRouter._route_lifecycle,
+    "audit": BeliefRouter._route_audit,
 }

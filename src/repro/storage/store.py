@@ -43,6 +43,7 @@ from repro.errors import (
     UnknownUserError,
     UnknownWorldError,
 )
+from repro.lifecycle.registry import LifecycleRegistry
 from repro.relational.database import RelationalDatabase
 from repro.relational.table import Row, Table
 from repro.storage.internal_schema import (
@@ -109,6 +110,10 @@ class BeliefStore:
         self._tuple_by_tid: dict[int, GroundTuple] = {}
         self._next_tid = 1
 
+        #: Lifecycle records + audit log for the explicit statements
+        #: (:mod:`repro.lifecycle`); mutated only via the BDMS write path.
+        self.lifecycle = LifecycleRegistry()
+
     # ------------------------------------------------------------- snapshots
 
     def fork_snapshot(self) -> "BeliefStore":
@@ -142,6 +147,7 @@ class BeliefStore:
         fork._tid_by_tuple = dict(self._tid_by_tuple)
         fork._tuple_by_tid = dict(self._tuple_by_tid)
         fork._next_tid = self._next_tid
+        fork.lifecycle = self.lifecycle.fork()
         return fork
 
     # ------------------------------------------------------------------ users

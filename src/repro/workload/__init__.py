@@ -11,6 +11,16 @@ from repro.workload.generator import (
     concurrent_trace,
     populate_store,
 )
+from repro.workload.curation import (
+    CURATORS,
+    ClientDriver,
+    CurationConfig,
+    CurationStats,
+    EmbeddedDriver,
+    race_challenges,
+    run_curation,
+    seed_beliefs,
+)
 from repro.workload.naturemapping import (
     CONFUSABLE,
     EXPERTS,
@@ -30,8 +40,13 @@ from repro.workload.trace import (
 __all__ = [
     "AnnotationGenerator",
     "CONFUSABLE",
+    "CURATORS",
+    "ClientDriver",
     "ConcurrentOp",
     "concurrent_trace",
+    "CurationConfig",
+    "CurationStats",
+    "EmbeddedDriver",
     "EXPERTS",
     "LOCATIONS",
     "ReplayResult",
@@ -47,5 +62,8 @@ __all__ = [
     "build_store",
     "conflict_report",
     "populate_store",
+    "race_challenges",
     "replay",
+    "run_curation",
+    "seed_beliefs",
 ]

@@ -32,7 +32,7 @@ def seed_running_example(db: BeliefDBMS) -> None:
         "insert into BELIEF 'Bob' BELIEF 'Alice' Comments values ('c2','black feathers','s2')",
         "insert into BELIEF 'Bob' Comments values ('c2','purple-black feathers','s2')",
     ]:
-        assert db.execute(sql) is True
+        assert db.execute_sql(sql).legacy() is True
 
 
 class TestUsers:
@@ -75,7 +75,7 @@ class TestDML:
 
     def test_execute_delete_counts(self, db):
         seed_running_example(db)
-        n = db.execute("delete from BELIEF 'Bob' not Sightings where sid = 's1'")
+        n = db.execute_sql("delete from BELIEF 'Bob' not Sightings where sid = 's1'").legacy()
         assert n == 2
         # Bob now inherits Carol's report again.
         assert db.believes(["Bob"], "Sightings",
@@ -83,7 +83,7 @@ class TestDML:
 
     def test_execute_update_root(self, db):
         seed_running_example(db)
-        n = db.execute("update Sightings set species = 'fish eagle' where sid = 's1'")
+        n = db.execute_sql("update Sightings set species = 'fish eagle' where sid = 's1'").legacy()
         assert n == 1
         assert db.believes([], "Sightings",
                            ("s1", "Carol", "fish eagle", "6-14-08", "Lake Forest"))
@@ -94,10 +94,10 @@ class TestDML:
 
     def test_update_on_belief_world(self, db):
         seed_running_example(db)
-        n = db.execute(
+        n = db.execute_sql(
             "update BELIEF 'Alice' Sightings set species = 'osprey' "
             "where sid = 's2'"
-        )
+        ).legacy()
         assert n == 1
         assert db.believes(["Alice"], "Sightings",
                            ("s2", "Alice", "osprey", "6-14-08", "Lake Placid"))
@@ -105,10 +105,10 @@ class TestDML:
     def test_update_of_inherited_default_becomes_explicit(self, db):
         seed_running_example(db)
         # Carol holds s1 only by default; updating her view makes it explicit.
-        n = db.execute(
+        n = db.execute_sql(
             "update BELIEF 'Carol' Sightings set species = 'osprey' "
             "where sid = 's1'"
-        )
+        ).legacy()
         assert n == 1
         assert db.believes(["Carol"], "Sightings",
                            ("s1", "Carol", "osprey", "6-14-08", "Lake Forest"))
@@ -118,31 +118,31 @@ class TestDML:
 
     def test_noop_update_counts_zero(self, db):
         seed_running_example(db)
-        n = db.execute(
+        n = db.execute_sql(
             "update Sightings set species = 'bald eagle' where sid = 's1'"
-        )
+        ).legacy()
         assert n == 0
 
 
 class TestQueries:
     def test_paper_q1(self, db):
         seed_running_example(db)
-        rows = db.execute(
+        rows = db.execute_sql(
             "select S.sid, S.uid, S.species from Users as U, "
             "BELIEF U.uid Sightings as S "
             "where U.name = 'Bob' and S.location = 'Lake Placid'"
-        )
+        ).legacy()
         assert rows == [("s2", "Alice", "raven")]
 
     def test_paper_q2(self, db):
         seed_running_example(db)
-        rows = db.execute(
+        rows = db.execute_sql(
             "select U2.name, S1.species, S2.species "
             "from Users as U1, Users as U2, "
             "BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2 "
             "where U1.name = 'Alice' and S1.sid = S2.sid "
             "and S1.species <> S2.species"
-        )
+        ).legacy()
         assert rows == [("Bob", "crow", "raven")]
 
     def test_textual_bcq(self, db):
@@ -153,10 +153,10 @@ class TestQueries:
 
     def test_provably_empty_select(self, db):
         seed_running_example(db)
-        rows = db.execute(
+        rows = db.execute_sql(
             "select S.sid from Sightings as S "
             "where S.species = 'a' and S.species = 'b'"
-        )
+        ).legacy()
         assert rows == []
 
     @pytest.mark.parametrize("backend", ["engine", "sqlite", "naive", "lazy"])
@@ -165,12 +165,12 @@ class TestQueries:
         for name in ("Alice", "Bob", "Carol"):
             db.add_user(name)
         seed_running_example(db)
-        rows = db.execute(
+        rows = db.execute_sql(
             "select S.sid, S.species from BELIEF 'Bob' not Sightings as S, "
             "Sightings as G where G.sid = S.sid and G.uid = S.uid "
             "and G.species = S.species and G.date = S.date "
             "and G.location = S.location"
-        )
+        ).legacy()
         assert rows == [("s1", "bald eagle")]
 
     def test_sqlite_mirror_resyncs_after_updates(self):

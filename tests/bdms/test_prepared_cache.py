@@ -138,8 +138,8 @@ class TestExecutePrepared:
             db.execute_prepared(prepared, ())
 
     def test_result_matches_legacy_execute(self, db):
-        db.execute("insert into Sightings values ('s1','Carol','crow','d','l')")
-        legacy = db.execute("select S.sid, S.species from Sightings as S")
+        db.execute_sql("insert into Sightings values ('s1','Carol','crow','d','l')").legacy()
+        legacy = db.execute_sql("select S.sid, S.species from Sightings as S").legacy()
         typed = db.execute_sql("select S.sid, S.species from Sightings as S")
         assert typed.rows == legacy
         assert typed.kind == "select"

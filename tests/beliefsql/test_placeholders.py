@@ -244,19 +244,19 @@ class TestQuotingSafety:
     def test_naive_interpolation_breaks(self):
         db = self._db()
         with pytest.raises(BeliefSQLError):
-            db.execute(
+            db.execute_sql(
                 f"insert into Sightings values "
                 f"('s1','Carol','{self.SPIKY}','d','l')"
-            )
+            ).legacy()
 
     def test_escaped_literal_equals_bound_parameter(self):
         # The '' escape works — but only if the caller remembers it; binding
         # needs no escaping at all.
         db = self._db()
         escaped = self.SPIKY.replace("'", "''")
-        db.execute(
+        db.execute_sql(
             f"insert into Sightings values ('s1','Carol','{escaped}','d','l')"
-        )
+        ).legacy()
         rows = db.execute_sql(
             "select S.species from Sightings as S where S.species = ?",
             (self.SPIKY,),

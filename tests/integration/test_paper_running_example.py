@@ -33,7 +33,7 @@ def db(request) -> BeliefDBMS:
     for name in ("Alice", "Bob", "Carol"):
         db.add_user(name)
     for sql in INSERTS:
-        assert db.execute(sql) is True
+        assert db.execute_sql(sql).legacy() is True
     return db
 
 
@@ -118,21 +118,21 @@ class TestRelationalRepresentation:
 
 class TestPaperQueries:
     def test_q1(self, db):
-        rows = db.execute(
+        rows = db.execute_sql(
             "select S.sid, S.uid, S.species from Users as U, "
             "BELIEF U.uid Sightings as S "
             "where U.name = 'Bob' and S.location = 'Lake Placid'"
-        )
+        ).legacy()
         assert rows == [("s2", "Alice", "raven")]
 
     def test_q2(self, db):
-        rows = db.execute(
+        rows = db.execute_sql(
             "select U2.name, S1.species, S2.species "
             "from Users as U1, Users as U2, "
             "BELIEF U1.uid Sightings as S1, BELIEF U2.uid Sightings as S2 "
             "where U1.name = 'Alice' and S1.sid = S2.sid "
             "and S1.species <> S2.species"
-        )
+        ).legacy()
         assert rows == [("Bob", "crow", "raven")]
 
 

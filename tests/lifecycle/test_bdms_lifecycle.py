@@ -1,0 +1,250 @@
+"""The BDMS lifecycle surface: API, BeliefSQL ``WITH`` filters, durability.
+
+The durability contract is the subsystem's headline: the audit log rides
+the WAL, so after recovery (WAL-only or snapshot+tail) the audit history is
+*bit-identical* to the pre-crash one and every status agrees with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdms.bdms import BeliefDBMS
+from repro.core.schema import sightings_schema
+from repro.durability import DurabilityManager
+from repro.errors import (
+    BeliefSQLCompileError,
+    LifecycleConflictError,
+    LifecycleError,
+)
+
+S1 = ("s1", "Carol", "bald eagle", "6-14-08", "Lake Forest")
+S2 = ("s2", "Carol", "crow", "6-15-08", "Discovery Park")
+S3 = ("s3", "Carol", "osprey", "6-16-08", "Lake Forest")
+
+
+@pytest.fixture
+def db():
+    db = BeliefDBMS(sightings_schema(), strict=False)
+    for name in ("Carol", "Bob"):
+        db.add_user(name)
+    for values in (S1, S2, S3):
+        db.insert(["Carol"], "Sightings", values)
+    return db
+
+
+def _seed_lifecycle(db) -> dict[str, str]:
+    """Track all three statements; returns sid -> belief id."""
+    root = db.lifecycle_propose(
+        ["Carol"], "Sightings", S1, actor="Carol",
+        confidence=0.9, decay="exponential:100", derived_from=["Bob"],
+    )
+    child = db.lifecycle_propose(
+        ["Carol"], "Sightings", S2, actor="Bob",
+        confidence=0.6, derived_from=[root["belief"]],
+    )
+    other = db.lifecycle_propose(
+        ["Carol"], "Sightings", S3, actor="Carol", confidence=0.4,
+    )
+    return {"s1": root["belief"], "s2": child["belief"],
+            "s3": other["belief"]}
+
+
+class TestApi:
+    def test_propose_requires_an_existing_statement(self, db):
+        with pytest.raises(LifecycleError, match="insert it before"):
+            db.lifecycle_propose(
+                ["Carol"], "Sightings",
+                ("s9", "Carol", "dodo", "1-1-08", "nowhere"),
+            )
+
+    def test_propose_transition_audit_flow(self, db):
+        ids = _seed_lifecycle(db)
+        view = db.lifecycle_transition(
+            ids["s1"], "ACTIVE", actor="Bob", expect="PROPOSED"
+        )
+        assert view["status"] == "ACTIVE"
+        assert db.lifecycle_get(ids["s1"])["status"] == "ACTIVE"
+        events = db.audit_log(belief=ids["s1"])
+        assert [e["action"] for e in events] == ["propose", "transition"]
+
+    def test_cas_conflict_is_typed_and_leaves_no_audit(self, db):
+        ids = _seed_lifecycle(db)
+        before = len(db.audit_log())
+        with pytest.raises(LifecycleConflictError):
+            db.lifecycle_transition(ids["s1"], "ACTIVE", expect="CHALLENGED")
+        assert len(db.audit_log()) == before
+        assert db.lifecycle_get(ids["s1"])["status"] == "PROPOSED"
+
+    def test_queue_filters_by_status_and_path(self, db):
+        ids = _seed_lifecycle(db)
+        db.lifecycle_transition(ids["s1"], "ACTIVE")
+        queue = db.lifecycle_list(status="PROPOSED")
+        assert {v["belief"] for v in queue} == {ids["s2"], ids["s3"]}
+        assert db.lifecycle_list(path=["Bob"]) == []
+        assert len(db.lifecycle_list(path=["Carol"])) == 3
+
+    def test_provenance_reaches_the_root(self, db):
+        ids = _seed_lifecycle(db)
+        chain = db.provenance(ids["s2"])["chain"]
+        assert [n["belief"] for n in chain] == [ids["s2"], ids["s1"]]
+
+    def test_sweep_decays_only_decayable_specs(self, db):
+        _seed_lifecycle(db)
+        result = db.lifecycle_decay_sweep(now=1e12)
+        assert result == {"swept": 1, "changed": 1}
+
+    def test_reads_are_mvcc_pinned(self, db):
+        ids = _seed_lifecycle(db)
+        with db.read_view() as pinned:
+            db.lifecycle_transition(ids["s1"], "ACTIVE")
+            assert db.lifecycle_get(
+                ids["s1"], version=pinned
+            )["status"] == "PROPOSED"
+            assert len(db.audit_log(version=pinned)) == 3
+        assert db.lifecycle_get(ids["s1"])["status"] == "ACTIVE"
+
+
+class TestBeliefSQL:
+    def test_status_filter(self, db):
+        ids = _seed_lifecycle(db)
+        db.lifecycle_transition(ids["s1"], "ACTIVE")
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with status = 'ACTIVE'"
+        ).rows
+        assert rows == [("s1",)]
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with status <> 'ACTIVE'"
+        ).rows
+        assert rows == [("s2",), ("s3",)]
+
+    def test_untracked_statements_count_as_active(self, db):
+        # No lifecycle records at all: everything is implicitly ACTIVE/1.0.
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with status = 'ACTIVE' and confidence >= 1.0"
+        ).rows
+        assert rows == [("s1",), ("s2",), ("s3",)]
+
+    def test_confidence_threshold_with_placeholder(self, db):
+        _seed_lifecycle(db)
+        prepared = db.prepare(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with confidence >= ?"
+        )
+        assert db.execute_prepared(prepared, [0.5]).rows == \
+            [("s1",), ("s2",)]
+        assert db.execute_prepared(prepared, [0.95]).rows == []
+
+    def test_derived_from_matches_transitively(self, db):
+        ids = _seed_lifecycle(db)
+        # s1 derives from Bob; s2 derives from s1 — both reach token Bob.
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with derived from Bob"
+        ).rows
+        assert rows == [("s1",), ("s2",)]
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "with derived from ?", [ids["s1"]]
+        ).rows
+        assert rows == [("s1",), ("s2",)]
+
+    def test_filters_compose_with_where(self, db):
+        _seed_lifecycle(db)
+        rows = db.execute_sql(
+            "select s.sid from BELIEF 'Carol' Sightings s "
+            "where s.location = 'Lake Forest' with confidence >= 0.3"
+        ).rows
+        assert rows == [("s1",), ("s3",)]
+
+    def test_unknown_status_literal_fails_at_compile(self, db):
+        with pytest.raises(BeliefSQLCompileError, match="unknown STATUS"):
+            db.prepare(
+                "select s.sid from BELIEF 'Carol' Sightings s "
+                "with status = 'RETIRED'"
+            )
+
+    def test_bad_bound_status_fails_typed_at_execute(self, db):
+        prepared = db.prepare(
+            "select s.sid from BELIEF 'Carol' Sightings s with status = ?"
+        )
+        with pytest.raises(LifecycleError, match="unknown status"):
+            db.execute_prepared(prepared, ["RETIRED"])
+
+
+class TestDurability:
+    def _seeded_db(self, data_dir) -> tuple[BeliefDBMS, dict[str, str]]:
+        db = BeliefDBMS(
+            sightings_schema(), strict=False,
+            durability=DurabilityManager(str(data_dir)),
+        )
+        for name in ("Carol", "Bob"):
+            db.add_user(name)
+        for values in (S1, S2, S3):
+            db.insert(["Carol"], "Sightings", values)
+        ids = _seed_lifecycle(db)
+        db.lifecycle_transition(ids["s1"], "ACTIVE", actor="Bob")
+        db.lifecycle_transition(ids["s1"], "CHALLENGED", reason="dubious")
+        db.lifecycle_decay_sweep(now=1e12)
+        return db, ids
+
+    def test_wal_replay_rebuilds_a_bit_identical_audit(self, tmp_path):
+        db, ids = self._seeded_db(tmp_path / "d")
+        audit = db.audit_log()
+        statuses = {b: db.lifecycle_get(b)["status"] for b in ids.values()}
+        db.close()
+
+        recovered = BeliefDBMS(
+            sightings_schema(), strict=False,
+            durability=DurabilityManager(str(tmp_path / "d")),
+        )
+        try:
+            assert recovered.durability.last_recovery.replay.lifecycle_ops == 6
+            assert recovered.audit_log() == audit
+            for belief, status in statuses.items():
+                assert recovered.lifecycle_get(belief)["status"] == status
+            assert recovered.provenance(ids["s2"])["chain"][-1][
+                "belief"
+            ] == ids["s1"]
+        finally:
+            recovered.close()
+
+    def test_snapshot_round_trip_preserves_the_registry(self, tmp_path):
+        db, ids = self._seeded_db(tmp_path / "d")
+        audit = db.audit_log()
+        db.durability.checkpoint(db)
+        db.close()
+
+        recovered = BeliefDBMS(
+            sightings_schema(), strict=False,
+            durability=DurabilityManager(str(tmp_path / "d")),
+        )
+        try:
+            report = recovered.durability.last_recovery
+            assert report.snapshot_seq > 0
+            assert report.wal_records == 0  # everything came from the dump
+            assert recovered.audit_log() == audit
+            # The restored registry keeps accepting writes from the right seq.
+            recovered.lifecycle_transition(ids["s1"], "ACTIVE")
+            assert recovered.audit_log()[-1]["seq"] == len(audit) + 1
+        finally:
+            recovered.close()
+
+    def test_metrics_track_the_subsystem(self, tmp_path):
+        db, _ = self._seeded_db(tmp_path / "d")
+        try:
+            families = {f["name"]: f for f in db.metrics.snapshot()}
+            ops = families["beliefdb_lifecycle_ops_total"]
+            by_action = {
+                s["labels"]["action"]: s["value"] for s in ops["samples"]
+            }
+            assert by_action["propose"] == 3
+            assert by_action["transition"] == 2
+            assert by_action["decay_sweep"] == 1
+            tracked = families["beliefdb_lifecycle_tracked_beliefs"]
+            assert tracked["samples"][0]["value"] == 3
+        finally:
+            db.close()

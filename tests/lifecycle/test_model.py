@@ -1,0 +1,132 @@
+"""The pure lifecycle data model: statuses, decay specs, keys, records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LifecycleError
+from repro.lifecycle.model import (
+    ACTIVE,
+    ARCHIVED,
+    CHALLENGED,
+    DECAYABLE,
+    DEPRECATED,
+    PROPOSED,
+    STATUSES,
+    TRANSITIONS,
+    LifecycleRecord,
+    belief_id,
+    belief_key,
+    check_confidence,
+    check_status,
+    parse_decay,
+)
+
+
+class TestTransitionTable:
+    def test_every_status_has_a_row(self):
+        assert set(TRANSITIONS) == set(STATUSES)
+
+    def test_targets_are_valid_statuses(self):
+        for targets in TRANSITIONS.values():
+            assert targets <= set(STATUSES)
+
+    def test_the_curation_flow(self):
+        assert TRANSITIONS[PROPOSED] == {ACTIVE}
+        assert TRANSITIONS[ACTIVE] == {CHALLENGED}
+        assert TRANSITIONS[CHALLENGED] == {ACTIVE, DEPRECATED}
+        assert TRANSITIONS[DEPRECATED] == {ARCHIVED}
+        assert TRANSITIONS[ARCHIVED] == frozenset()
+
+    def test_archived_is_terminal_and_not_decayable(self):
+        assert not TRANSITIONS[ARCHIVED]
+        assert ARCHIVED not in DECAYABLE
+        assert DEPRECATED not in DECAYABLE
+
+    def test_check_status_rejects_unknowns(self):
+        with pytest.raises(LifecycleError, match="unknown status"):
+            check_status("RETIRED")
+        assert check_status("ACTIVE") == "ACTIVE"
+
+
+class TestDecay:
+    def test_none_is_identity(self):
+        fn = parse_decay("none")
+        assert fn(0.8, 1e6) == 0.8
+
+    def test_exponential_halves_at_half_life(self):
+        fn = parse_decay("exponential:3600")
+        assert fn(0.8, 3600) == pytest.approx(0.4)
+        assert fn(0.8, 0) == 0.8
+
+    def test_linear_floors_at_zero(self):
+        fn = parse_decay("linear:0.01")
+        assert fn(0.5, 10) == pytest.approx(0.4)
+        assert fn(0.5, 1e9) == 0.0
+
+    @pytest.mark.parametrize(
+        "spec", ["exponential", "exponential:0", "exponential:-1",
+                 "exponential:abc", "sigmoid:3", ""]
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(LifecycleError):
+            parse_decay(spec)
+
+
+class TestConfidence:
+    @pytest.mark.parametrize("value", [0, 1, 0.5, 0.999])
+    def test_valid_range(self, value):
+        assert check_confidence(value) == float(value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, "high", None, True])
+    def test_invalid_values_raise(self, value):
+        with pytest.raises(LifecycleError):
+            check_confidence(value)
+
+
+class TestKeysAndIds:
+    def test_id_is_stable_and_content_derived(self):
+        key = belief_key((3,), "Sightings", ("s1", "crow"), "+")
+        again = belief_key([3], "Sightings", ["s1", "crow"], "+")
+        assert key == again
+        assert belief_id(key) == belief_id(again)
+        assert belief_id(key).startswith("b")
+        assert len(belief_id(key)) == 13
+
+    def test_id_changes_with_any_component(self):
+        base = belief_key((3,), "Sightings", ("s1",), "+")
+        for other in (
+            belief_key((4,), "Sightings", ("s1",), "+"),
+            belief_key((3,), "Findings", ("s1",), "+"),
+            belief_key((3,), "Sightings", ("s2",), "+"),
+            belief_key((3,), "Sightings", ("s1",), "-"),
+        ):
+            assert belief_id(other) != belief_id(base)
+
+    def test_bad_sign_raises(self):
+        with pytest.raises(LifecycleError, match="sign"):
+            belief_key((1,), "R", ("v",), "*")
+
+
+class TestRecordViews:
+    def test_view_round_trips(self):
+        key = belief_key((7,), "Sightings", ("s9", "owl"), "+")
+        record = LifecycleRecord(
+            belief_id=belief_id(key), key=key, status=CHALLENGED,
+            confidence=0.62, actor=3, decay="exponential:1800",
+            derived_from=("Bob", "b0123456789ab"),
+            created_ts=100.0, updated_ts=140.0,
+        )
+        assert LifecycleRecord.from_view(record.view()) == record
+
+    def test_with_status_touches_updated_ts_only(self):
+        key = belief_key((7,), "Sightings", ("s9",), "+")
+        record = LifecycleRecord(
+            belief_id=belief_id(key), key=key, status=PROPOSED,
+            confidence=1.0, actor=None, decay="none", derived_from=(),
+            created_ts=10.0, updated_ts=10.0,
+        )
+        moved = record.with_status(ACTIVE, 20.0)
+        assert (moved.status, moved.updated_ts) == (ACTIVE, 20.0)
+        assert moved.created_ts == 10.0
+        assert record.status == PROPOSED  # frozen original untouched

@@ -31,40 +31,40 @@ def db():
 
 
 def test_query_after_insert_sees_new_tuple(db):
-    assert db.execute(Q_CAROL) == []
+    assert db.execute_sql(Q_CAROL).legacy() == []
     db.insert(["Carol"], "Sightings", S1)
-    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
+    assert db.execute_sql(Q_CAROL).legacy() == [("s1", "bald eagle")]
 
 
 def test_query_after_delete_stops_seeing_tuple(db):
     db.insert(["Carol"], "Sightings", S1)
-    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
+    assert db.execute_sql(Q_CAROL).legacy() == [("s1", "bald eagle")]
     db.delete(["Carol"], "Sightings", S1)
-    assert db.execute(Q_CAROL) == []
+    assert db.execute_sql(Q_CAROL).legacy() == []
 
 
 def test_query_after_beliefsql_insert_and_delete(db):
-    db.execute("insert into BELIEF 'Carol' Sightings values "
-               "('s1','Carol','bald eagle','6-14-08','Lake Forest')")
-    assert db.execute(Q_CAROL) == [("s1", "bald eagle")]
-    count = db.execute("delete from BELIEF 'Carol' Sightings "
-                       "where sid = 's1'")
+    db.execute_sql("insert into BELIEF 'Carol' Sightings values "
+               "('s1','Carol','bald eagle','6-14-08','Lake Forest')").legacy()
+    assert db.execute_sql(Q_CAROL).legacy() == [("s1", "bald eagle")]
+    count = db.execute_sql("delete from BELIEF 'Carol' Sightings "
+                       "where sid = 's1'").legacy()
     assert count == 1
-    assert db.execute(Q_CAROL) == []
+    assert db.execute_sql(Q_CAROL).legacy() == []
 
 
 def test_query_after_update_sees_new_values(db):
     db.insert(["Carol"], "Sightings", S1)
-    count = db.execute("update BELIEF 'Carol' Sightings "
-                       "set species = 'fish eagle' where sid = 's1'")
+    count = db.execute_sql("update BELIEF 'Carol' Sightings "
+                       "set species = 'fish eagle' where sid = 's1'").legacy()
     assert count == 1
-    assert db.execute(Q_CAROL) == [("s1", "fish eagle")]
+    assert db.execute_sql(Q_CAROL).legacy() == [("s1", "fish eagle")]
 
 
 def test_query_after_add_user_sees_user_catalog(db):
-    rows = db.execute("select U.name from Users as U")
+    rows = db.execute_sql("select U.name from Users as U").legacy()
     db.add_user("Dave")
-    rows_after = db.execute("select U.name from Users as U")
+    rows_after = db.execute_sql("select U.name from Users as U").legacy()
     assert len(rows_after) == len(rows) + 1
     assert ("Dave",) in rows_after
 
@@ -74,14 +74,14 @@ def test_interleaved_updates_and_queries_never_stale(db):
     for k in range(8):
         values = (f"s{k}", "Carol", "crow", "6-14-08", "Union Bay")
         db.insert(["Carol"], "Sightings", values)
-        rows = db.execute("select S.sid from BELIEF 'Carol' Sightings as S")
+        rows = db.execute_sql("select S.sid from BELIEF 'Carol' Sightings as S").legacy()
         assert (f"s{k}",) in rows
         assert len(rows) == k + 1
 
 
 def test_mirror_not_resynced_within_a_version(db):
     db.insert(["Carol"], "Sightings", S1)
-    db.execute(Q_CAROL)  # builds + syncs the current version's mirror
+    db.execute_sql(Q_CAROL).legacy()  # builds + syncs the current version's mirror
     with db.read_view() as version:
         mirror = version.synced_mirror()
         synced_with = []
@@ -89,10 +89,10 @@ def test_mirror_not_resynced_within_a_version(db):
         mirror.sync = (
             lambda source: synced_with.append(source) or original(source)
         )
-        db.execute(Q_CAROL)
+        db.execute_sql(Q_CAROL).legacy()
         assert synced_with == []  # same epoch: no wholesale rebuild
     db.insert(["Bob"], "Sightings", S2)
-    db.execute(Q_CAROL)
+    db.execute_sql(Q_CAROL).legacy()
     # The write bumped the epoch; the old version's mirror stays untouched
     # (a *new* version served the post-write query).
     assert synced_with == []
@@ -100,7 +100,7 @@ def test_mirror_not_resynced_within_a_version(db):
 
 def test_queries_at_one_epoch_share_one_mirror(db):
     db.insert(["Carol"], "Sightings", S1)
-    db.execute(Q_CAROL)
+    db.execute_sql(Q_CAROL).legacy()
     with db.read_view() as v1, db.read_view() as v2:
         assert v1 is v2  # same epoch → same cached version
         assert v1.synced_mirror() is v2.synced_mirror()
@@ -120,4 +120,4 @@ def test_sqlite_results_match_engine_backend(db):
         "select U.name, S.sid from Users as U, BELIEF U.uid Sightings as S",
     ]
     for q in queries:
-        assert db.execute(q) == engine.execute(q), q
+        assert db.execute_sql(q).legacy() == engine.execute_sql(q).legacy(), q

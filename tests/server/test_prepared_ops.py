@@ -117,7 +117,7 @@ def test_session_rewrite_applies_at_execute_time(client, server):
     client.execute_prepared(insert, ["s1", "Carol", "wren", "d", "l"])
     db = server.db
     # s0 went to plain content, s1 to Carol's belief world.
-    plain = db.execute("select S.sid from Sightings as S")
+    plain = db.execute_sql("select S.sid from Sightings as S").legacy()
     assert plain == [("s0",)]
     assert db.believes(["Carol"], "Sightings",
                        ("s1", "Carol", "wren", "d", "l"))
